@@ -1,0 +1,135 @@
+// Component microbenchmarks (google-benchmark, real wall-clock time).
+//
+// Unlike the figure benches — which measure *simulated* time — these
+// measure the real throughput of the data structures the simulation
+// executes for real: skiplist memtable, bloom filters, CRC32C, varint
+// codecs, SSTable block parsing, and the VPIC generator. Useful for
+// catching performance regressions in the library itself.
+#include <benchmark/benchmark.h>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "common/keys.h"
+#include "common/random.h"
+#include "lsm/bloom.h"
+#include "lsm/memtable.h"
+#include "vpic/vpic.h"
+
+namespace kvcsd {
+namespace {
+
+void BM_MemTableInsert(benchmark::State& state) {
+  lsm::MemTable* mem = new lsm::MemTable();
+  Rng rng(1);
+  lsm::SequenceNumber seq = 0;
+  const std::string value(32, 'v');
+  for (auto _ : state) {
+    mem->Add(++seq, lsm::ValueType::kValue, MakeFixedKey(rng.Next()),
+             value);
+    if (mem->num_entries() >= 1 << 20) {  // cap memory growth
+      state.PauseTiming();
+      delete mem;
+      mem = new lsm::MemTable();
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  delete mem;
+}
+BENCHMARK(BM_MemTableInsert);
+
+void BM_MemTableGet(benchmark::State& state) {
+  lsm::MemTable mem;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    mem.Add(i + 1, lsm::ValueType::kValue, MakeFixedKey(i),
+            std::string(32, 'v'));
+  }
+  Rng rng(2);
+  std::string value;
+  bool found;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mem.Get(MakeFixedKey(rng.Uniform(100000)), 1 << 20, &value,
+                &found));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BloomBuild(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    lsm::BloomFilterBuilder builder(10);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      builder.AddKey(MakeFixedKey(i));
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BloomBuild)->Arg(1024)->Arg(65536);
+
+void BM_BloomQuery(benchmark::State& state) {
+  lsm::BloomFilterBuilder builder(10);
+  for (std::uint64_t i = 0; i < 65536; ++i) builder.AddKey(MakeFixedKey(i));
+  const std::string filter = builder.Finish();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lsm::BloomFilterMayContain(Slice(filter), MakeFixedKey(rng.Next())));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomQuery);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(1 << 20);
+
+void BM_VarintRoundTrip(benchmark::State& state) {
+  Rng rng(4);
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    const std::uint64_t v = rng.Next() >> (rng.Uniform(64));
+    PutVarint64(&buf, v);
+    Slice in(buf);
+    std::uint64_t out = 0;
+    GetVarint64(&in, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VarintRoundTrip);
+
+void BM_VpicGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    vpic::GeneratorConfig gen;
+    gen.num_particles = static_cast<std::uint64_t>(state.range(0));
+    vpic::Dump dump(gen);
+    benchmark::DoNotOptimize(dump.num_particles());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VpicGenerate)->Arg(100000);
+
+void BM_OrderEncodeF32(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OrderEncodeF32(static_cast<float>(rng.Normal(0, 100))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OrderEncodeF32);
+
+}  // namespace
+}  // namespace kvcsd
+
+BENCHMARK_MAIN();

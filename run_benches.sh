@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs every benchmark binary in sequence (the repository's "regenerate
+# all paper figures" entry point). Pass extra flags through the
+# environment, e.g. KVCSD_BENCH_FLAGS="--keys=32000000" for paper scale.
+set -e
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $b"
+  "$b" ${KVCSD_BENCH_FLAGS:-}
+  echo
+done

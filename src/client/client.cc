@@ -1,0 +1,199 @@
+#include "client/client.h"
+
+#include "common/coding.h"
+
+namespace kvcsd::client {
+
+sim::Task<nvme::Completion> Client::Call(nvme::Command command) {
+  // Userspace driver work on the host: packing + doorbell. No kernel.
+  co_await host_cpu_->Compute(costs_.syscall_overhead);
+  co_return co_await queue_->Submit(std::move(command));
+}
+
+sim::Task<Result<KeyspaceHandle>> Client::CreateKeyspace(
+    const std::string& name) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKeyspaceCreate;
+  cmd.name = name;
+  auto completion = co_await Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  co_return KeyspaceHandle(this, completion.keyspace_id);
+}
+
+sim::Task<Result<KeyspaceHandle>> Client::OpenKeyspace(
+    const std::string& name) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKeyspaceOpen;
+  cmd.name = name;
+  auto completion = co_await Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  co_return KeyspaceHandle(this, completion.keyspace_id);
+}
+
+sim::Task<Status> Client::DropKeyspace(const std::string& name) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKeyspaceDrop;
+  cmd.name = name;
+  auto completion = co_await Call(std::move(cmd));
+  co_return completion.status;
+}
+
+// ---------------------------------------------------------------------------
+// KeyspaceHandle
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> KeyspaceHandle::Put(const std::string& key,
+                                      const std::string& value) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKvStore;
+  cmd.keyspace_id = id_;
+  cmd.key = key;
+  cmd.value = value;
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::BulkWriter::Add(const std::string& key,
+                                                  const std::string& value) {
+  // Frame format consumed by Device::DoBulkPut: length-prefixed key then
+  // length-prefixed value, repeated.
+  PutLengthPrefixedSlice(&frame_, Slice(key));
+  PutLengthPrefixedSlice(&frame_, Slice(value));
+  if (frame_.size() >= client_->config().bulk_frame_bytes) {
+    co_return co_await Flush();
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> KeyspaceHandle::BulkWriter::Flush() {
+  if (frame_.empty()) co_return Status::Ok();
+  // Client-side packing cost for the whole frame.
+  co_await client_->host_cpu_->ComputeBytes(
+      frame_.size(), client_->costs_.memcpy_bytes_per_sec);
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kBulkStore;
+  cmd.keyspace_id = keyspace_id_;
+  cmd.value = std::move(frame_);
+  frame_.clear();
+  ++frames_sent_;
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::Sync() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kSync;
+  cmd.keyspace_id = id_;
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::CompactWithIndexes(
+    std::vector<nvme::SecondaryIndexSpec> specs) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kCompactWithIndexes;
+  cmd.keyspace_id = id_;
+  cmd.sidx_list = std::move(specs);
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::Compact() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kCompact;
+  cmd.keyspace_id = id_;
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::WaitCompaction() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kCompactWait;
+  cmd.keyspace_id = id_;
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::CreateSecondaryIndex(
+    nvme::SecondaryIndexSpec spec) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kSecondaryBuild;
+  cmd.keyspace_id = id_;
+  cmd.sidx = std::move(spec);
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::CreateSecondaryIndexF32(
+    const std::string& name, std::uint32_t value_offset) {
+  nvme::SecondaryIndexSpec spec;
+  spec.name = name;
+  spec.value_offset = value_offset;
+  spec.value_length = 4;
+  spec.type = nvme::SecondaryKeyType::kF32;
+  co_return co_await CreateSecondaryIndex(std::move(spec));
+}
+
+sim::Task<Result<std::string>> KeyspaceHandle::Get(const std::string& key) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKvRetrieve;
+  cmd.keyspace_id = id_;
+  cmd.key = key;
+  auto completion = co_await client_->Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  co_return std::move(completion.value);
+}
+
+sim::Task<Status> KeyspaceHandle::Scan(
+    const std::string& lo, const std::string& hi, std::uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kQueryPrimaryRange;
+  cmd.keyspace_id = id_;
+  cmd.key = lo;
+  cmd.key_end = hi;
+  cmd.limit = limit;
+  auto completion = co_await client_->Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  for (auto& pair : completion.results) out->push_back(std::move(pair));
+  co_return Status::Ok();
+}
+
+sim::Task<Status> KeyspaceHandle::QuerySecondaryRange(
+    const std::string& index_name, const std::string& lo_encoded,
+    const std::string& hi_encoded, std::uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kQuerySecondaryRange;
+  cmd.keyspace_id = id_;
+  cmd.sidx.name = index_name;
+  cmd.key = lo_encoded;
+  cmd.key_end = hi_encoded;
+  cmd.limit = limit;
+  auto completion = co_await client_->Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  for (auto& pair : completion.results) out->push_back(std::move(pair));
+  co_return Status::Ok();
+}
+
+sim::Task<Status> KeyspaceHandle::QuerySecondaryRangeF32(
+    const std::string& index_name, float lo, float hi, std::uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  co_return co_await QuerySecondaryRange(
+      index_name, nvme::EncodeSecondaryF32(lo), nvme::EncodeSecondaryF32(hi),
+      limit, out);
+}
+
+sim::Task<Result<KeyspaceHandle::Stat>> KeyspaceHandle::GetStat() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKeyspaceStat;
+  cmd.keyspace_id = id_;
+  auto completion = co_await client_->Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  Stat stat;
+  stat.num_kvs = completion.count;
+  stat.state = std::move(completion.value);
+  co_return stat;
+}
+
+}  // namespace kvcsd::client

@@ -1,0 +1,153 @@
+// KV-CSD host client library — the public API of this repository.
+//
+// This is the "lightweight client library" of the paper (Fig. 1, §VI): a
+// userspace driver that packs key-value calls into NVMe commands and DMAs
+// them to the device, bypassing the host kernel entirely. All methods are
+// simulation coroutines; a typical application process looks like:
+//
+//   sim::Task<void> App(client::Client* db) {
+//     auto ks = (co_await db->CreateKeyspace("particles")).value();
+//     auto writer = ks.NewBulkWriter();
+//     for (...) co_await writer.Add(key, value);
+//     co_await writer.Flush();
+//     co_await ks.Compact();          // returns immediately (offloaded)
+//     co_await ks.WaitCompaction();   // barrier before querying
+//     co_await ks.CreateSecondaryIndexF32("energy", 28);
+//     std::vector<std::pair<std::string, std::string>> hits;
+//     co_await ks.QuerySecondaryRangeF32("energy", 1.2f, 9e9f, 0, &hits);
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "hostenv/cost_model.h"
+#include "nvme/command.h"
+#include "nvme/queue.h"
+#include "nvme/skey.h"
+#include "sim/resources.h"
+#include "sim/task.h"
+
+namespace kvcsd::client {
+
+struct ClientConfig {
+  // Bulk-put frame capacity (the paper's prototype uses 128 KB messages).
+  std::uint64_t bulk_frame_bytes = KiB(128);
+};
+
+class Client;
+
+// A handle to one keyspace. Cheap to copy.
+class KeyspaceHandle {
+ public:
+  KeyspaceHandle() = default;
+
+  std::uint64_t id() const { return id_; }
+  bool valid() const { return client_ != nullptr; }
+
+  // --- writes ---
+  sim::Task<Status> Put(const std::string& key, const std::string& value);
+
+  // Accumulates pairs into bulk frames; each full frame ships as one
+  // NVMe command. Always Flush() before Compact().
+  class BulkWriter {
+   public:
+    sim::Task<Status> Add(const std::string& key, const std::string& value);
+    sim::Task<Status> Flush();
+    std::uint64_t frames_sent() const { return frames_sent_; }
+
+   private:
+    friend class KeyspaceHandle;
+    BulkWriter(Client* client, std::uint64_t keyspace_id)
+        : client_(client), keyspace_id_(keyspace_id) {}
+    Client* client_;
+    std::uint64_t keyspace_id_;
+    std::string frame_;
+    std::uint64_t frames_sent_ = 0;
+  };
+  BulkWriter NewBulkWriter() { return BulkWriter(client_, id_); }
+
+  // Explicit fsync: persists buffered PUTs to the device's log zones
+  // before returning (paper §VI; most bulk-load pipelines skip this and
+  // rely on checkpoint-restart instead).
+  sim::Task<Status> Sync();
+
+  // --- lifecycle ---
+  // Triggers compaction; the device runs it asynchronously and this call
+  // returns as soon as the command completes.
+  sim::Task<Status> Compact();
+  // Fused variant (paper §V future work): compaction plus the given
+  // secondary indexes, built in one pass without re-reading the keyspace.
+  sim::Task<Status> CompactWithIndexes(
+      std::vector<nvme::SecondaryIndexSpec> specs);
+  // Blocks until the device reports the keyspace COMPACTED.
+  sim::Task<Status> WaitCompaction();
+
+  // --- secondary indexes ---
+  sim::Task<Status> CreateSecondaryIndex(nvme::SecondaryIndexSpec spec);
+  // Convenience: float32 key at byte `value_offset` of every value.
+  sim::Task<Status> CreateSecondaryIndexF32(const std::string& name,
+                                            std::uint32_t value_offset);
+
+  // --- queries (keyspace must be COMPACTED) ---
+  sim::Task<Result<std::string>> Get(const std::string& key);
+  sim::Task<Status> Scan(const std::string& lo, const std::string& hi,
+                         std::uint32_t limit,
+                         std::vector<std::pair<std::string, std::string>>*
+                             out);
+  // Secondary range with pre-encoded bounds.
+  sim::Task<Status> QuerySecondaryRange(
+      const std::string& index_name, const std::string& lo_encoded,
+      const std::string& hi_encoded, std::uint32_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+  sim::Task<Status> QuerySecondaryRangeF32(
+      const std::string& index_name, float lo, float hi, std::uint32_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+
+  // --- metadata ---
+  struct Stat {
+    std::uint64_t num_kvs = 0;
+    std::string state;
+  };
+  sim::Task<Result<Stat>> GetStat();
+
+ private:
+  friend class Client;
+  KeyspaceHandle(Client* client, std::uint64_t id)
+      : client_(client), id_(id) {}
+  Client* client_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class Client {
+ public:
+  Client(nvme::QueuePair* queue, sim::CpuPool* host_cpu,
+         const hostenv::CostModel& host_costs, ClientConfig config = {})
+      : queue_(queue),
+        host_cpu_(host_cpu),
+        costs_(host_costs),
+        config_(config) {}
+
+  sim::Task<Result<KeyspaceHandle>> CreateKeyspace(const std::string& name);
+  sim::Task<Result<KeyspaceHandle>> OpenKeyspace(const std::string& name);
+  sim::Task<Status> DropKeyspace(const std::string& name);
+
+  const ClientConfig& config() const { return config_; }
+  nvme::QueuePair& queue() { return *queue_; }
+
+ private:
+  friend class KeyspaceHandle;
+
+  // Client-side cost (packing, doorbell) + submit + await completion.
+  sim::Task<nvme::Completion> Call(nvme::Command command);
+
+  nvme::QueuePair* queue_;
+  sim::CpuPool* host_cpu_;
+  hostenv::CostModel costs_;
+  ClientConfig config_;
+};
+
+}  // namespace kvcsd::client

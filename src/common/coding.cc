@@ -1,0 +1,109 @@
+#include "common/coding.h"
+
+namespace kvcsd {
+
+void PutFixed16(std::string* dst, std::uint16_t v) {
+  char buf[sizeof(v)];
+  EncodeFixed16(buf, v);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed32(std::string* dst, std::uint32_t v) {
+  char buf[sizeof(v)];
+  EncodeFixed32(buf, v);
+  dst->append(buf, sizeof(buf));
+}
+
+void PutFixed64(std::string* dst, std::uint64_t v) {
+  char buf[sizeof(v)];
+  EncodeFixed64(buf, v);
+  dst->append(buf, sizeof(buf));
+}
+
+namespace {
+
+char* EncodeVarint64To(char* dst, std::uint64_t v) {
+  auto* ptr = reinterpret_cast<unsigned char*>(dst);
+  while (v >= 0x80) {
+    *(ptr++) = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  *(ptr++) = static_cast<unsigned char>(v);
+  return reinterpret_cast<char*>(ptr);
+}
+
+}  // namespace
+
+void PutVarint32(std::string* dst, std::uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+void PutVarint64(std::string* dst, std::uint64_t v) {
+  char buf[10];
+  char* end = EncodeVarint64To(buf, v);
+  dst->append(buf, static_cast<std::size_t>(end - buf));
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetFixed32(Slice* input, std::uint32_t* value) {
+  if (input->size() < sizeof(*value)) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(sizeof(*value));
+  return true;
+}
+
+bool GetFixed64(Slice* input, std::uint64_t* value) {
+  if (input->size() < sizeof(*value)) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(sizeof(*value));
+  return true;
+}
+
+bool GetVarint64(Slice* input, std::uint64_t* value) {
+  std::uint64_t result = 0;
+  const char* p = input->data();
+  const char* limit = p + input->size();
+  for (std::uint32_t shift = 0; shift <= 63 && p < limit; shift += 7) {
+    std::uint64_t byte = static_cast<unsigned char>(*p);
+    ++p;
+    if (byte & 0x80) {
+      result |= ((byte & 0x7f) << shift);
+    } else {
+      result |= (byte << shift);
+      *value = result;
+      input->remove_prefix(static_cast<std::size_t>(p - input->data()));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, std::uint32_t* value) {
+  std::uint64_t v64;
+  if (!GetVarint64(input, &v64) || v64 > UINT32_MAX) return false;
+  *value = static_cast<std::uint32_t>(v64);
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  std::uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(std::uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace kvcsd

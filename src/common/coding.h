@@ -1,0 +1,57 @@
+// Little-endian fixed and varint codecs shared by the WAL, SSTable, KLOG,
+// PIDX/SIDX block formats, and the NVMe command payloads.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace kvcsd {
+
+inline void EncodeFixed16(char* dst, std::uint16_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+inline void EncodeFixed32(char* dst, std::uint32_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+inline void EncodeFixed64(char* dst, std::uint64_t v) {
+  std::memcpy(dst, &v, sizeof(v));
+}
+
+inline std::uint16_t DecodeFixed16(const char* src) {
+  std::uint16_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline std::uint32_t DecodeFixed32(const char* src) {
+  std::uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline std::uint64_t DecodeFixed64(const char* src) {
+  std::uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, std::uint16_t v);
+void PutFixed32(std::string* dst, std::uint32_t v);
+void PutFixed64(std::string* dst, std::uint64_t v);
+
+void PutVarint32(std::string* dst, std::uint32_t v);
+void PutVarint64(std::string* dst, std::uint64_t v);
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+// Each Get* consumes the parsed bytes from *input and returns false on
+// malformed/short input (callers translate into Status::Corruption).
+bool GetFixed32(Slice* input, std::uint32_t* value);
+bool GetFixed64(Slice* input, std::uint64_t* value);
+bool GetVarint32(Slice* input, std::uint32_t* value);
+bool GetVarint64(Slice* input, std::uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+int VarintLength(std::uint64_t v);
+
+}  // namespace kvcsd

@@ -1,0 +1,39 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace kvcsd::crc32c {
+
+namespace {
+
+// Table-driven CRC32C; the table is generated at static-init time from the
+// Castagnoli polynomial (reflected form 0x82f63b78).
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Extend(std::uint32_t init_crc, const char* data,
+                     std::size_t n) {
+  std::uint32_t crc = ~init_crc;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace kvcsd::crc32c

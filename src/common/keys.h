@@ -1,0 +1,108 @@
+// Order-preserving key encodings.
+//
+// Primary keys in benchmarks are fixed-width byte strings compared
+// lexicographically. Secondary index keys are typed values extracted from a
+// byte range of the stored value (paper §V, "Secondary Index Construction"):
+// the application tells KV-CSD "bytes [off, off+len) of the value, treated
+// as type T". To index them with plain memcmp ordering we re-encode each
+// typed value into a byte string whose lexicographic order equals the
+// numeric order of the original value.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace kvcsd {
+
+// Big-endian encode: lexicographic order == unsigned numeric order.
+inline void AppendBigEndian64(std::string* dst, std::uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  dst->append(buf, sizeof(buf));
+}
+
+inline void AppendBigEndian32(std::string* dst, std::uint32_t v) {
+  char buf[4];
+  for (int i = 3; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  dst->append(buf, sizeof(buf));
+}
+
+inline std::uint64_t ReadBigEndian64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+inline std::uint32_t ReadBigEndian32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+// Signed integers: flip the sign bit so that two's-complement order maps to
+// unsigned order.
+inline std::uint32_t OrderEncodeI32(std::int32_t v) {
+  return static_cast<std::uint32_t>(v) ^ 0x80000000u;
+}
+inline std::int32_t OrderDecodeI32(std::uint32_t e) {
+  return static_cast<std::int32_t>(e ^ 0x80000000u);
+}
+inline std::uint64_t OrderEncodeI64(std::int64_t v) {
+  return static_cast<std::uint64_t>(v) ^ 0x8000000000000000ull;
+}
+inline std::int64_t OrderDecodeI64(std::uint64_t e) {
+  return static_cast<std::int64_t>(e ^ 0x8000000000000000ull);
+}
+
+// IEEE-754 floats: if the sign bit is clear, set it; otherwise invert all
+// bits. The resulting unsigned order equals the total order of the floats
+// (with -0.0 < +0.0; NaNs sort above +inf or below -inf by payload, which
+// is fine for index purposes).
+inline std::uint32_t OrderEncodeF32(float f) {
+  std::uint32_t u = std::bit_cast<std::uint32_t>(f);
+  return (u & 0x80000000u) ? ~u : (u | 0x80000000u);
+}
+inline float OrderDecodeF32(std::uint32_t e) {
+  std::uint32_t u = (e & 0x80000000u) ? (e & ~0x80000000u) : ~e;
+  return std::bit_cast<float>(u);
+}
+inline std::uint64_t OrderEncodeF64(double d) {
+  std::uint64_t u = std::bit_cast<std::uint64_t>(d);
+  return (u & 0x8000000000000000ull) ? ~u : (u | 0x8000000000000000ull);
+}
+inline double OrderDecodeF64(std::uint64_t e) {
+  std::uint64_t u =
+      (e & 0x8000000000000000ull) ? (e & ~0x8000000000000000ull) : ~e;
+  return std::bit_cast<double>(u);
+}
+
+// Fixed-width primary key from a uint64 id (benchmarks use 16 B keys: an
+// 8 B big-endian id plus an 8 B zero pad, matching the paper's 16 B keys).
+inline std::string MakeFixedKey(std::uint64_t id, std::size_t width = 16) {
+  std::string key;
+  key.reserve(width);
+  AppendBigEndian64(&key, id);
+  if (width > 8) key.append(width - 8, '\0');
+  key.resize(width);
+  return key;
+}
+
+inline std::uint64_t FixedKeyId(const Slice& key) {
+  return key.size() >= 8 ? ReadBigEndian64(key.data()) : 0;
+}
+
+}  // namespace kvcsd

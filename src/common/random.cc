@@ -1,0 +1,22 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace kvcsd {
+
+double Rng::Exponential(double rate) {
+  // Inverse-CDF; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace kvcsd

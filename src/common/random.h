@@ -1,0 +1,59 @@
+// Deterministic PRNG (xoshiro256**) used everywhere randomness is needed:
+// workload generation, zone-cluster start offsets, VPIC attribute synthesis.
+// Never std::random_device — simulation runs must be exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace kvcsd {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard exponential variate with the given rate.
+  double Exponential(double rate);
+
+  // Standard normal via Box-Muller (no state caching: simple & adequate).
+  double Normal(double mean, double stddev);
+
+  bool OneIn(std::uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace kvcsd

@@ -1,0 +1,135 @@
+// Status / Result<T>: lightweight error propagation used across the whole
+// library. Follows the C++ Core Guidelines preference for explicit,
+// value-based error handling on hot paths (no exceptions in the I/O and
+// simulation core).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace kvcsd {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,  // e.g. keyspace in the wrong lifecycle state
+  kOutOfSpace,
+  kCorruption,
+  kIoError,
+  kBusy,      // resource temporarily unavailable (e.g. compaction running)
+  kAborted,   // operation cancelled (e.g. keyspace deleted mid-flight)
+  kUnimplemented,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+// A Status is either OK (cheap: no allocation) or a code plus a message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = {}) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = {}) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = {}) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m = {}) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfSpace(std::string m = {}) {
+    return Status(StatusCode::kOutOfSpace, std::move(m));
+  }
+  static Status Corruption(std::string m = {}) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IoError(std::string m = {}) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Busy(std::string m = {}) {
+    return Status(StatusCode::kBusy, std::move(m));
+  }
+  static Status Aborted(std::string m = {}) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Unimplemented(std::string m = {}) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsBusy() const { return code_ == StatusCode::kBusy; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : rep_(std::move(status)) {}  // NOLINT
+  Result(StatusCode code, std::string message)
+      : rep_(Status(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? value() : fallback; }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace kvcsd
+
+// Propagate a non-OK Status from an expression (plain functions).
+#define KVCSD_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::kvcsd::Status kvcsd_st_ = (expr);        \
+    if (!kvcsd_st_.ok()) return kvcsd_st_;     \
+  } while (0)
+
+// Coroutine variant: co_returns the error from a Task<Status> coroutine.
+// The expression may itself be a co_await.
+#define KVCSD_CO_RETURN_IF_ERROR(expr)         \
+  do {                                         \
+    ::kvcsd::Status kvcsd_st_ = (expr);        \
+    if (!kvcsd_st_.ok()) co_return kvcsd_st_;  \
+  } while (0)

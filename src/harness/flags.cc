@@ -1,0 +1,26 @@
+#include "harness/flags.h"
+
+#include <string_view>
+
+// GCC 12's -Wrestrict fires a known false positive (PR105651) on
+// std::string construction from short string_views at -O2.
+#pragma GCC diagnostic ignored "-Wrestrict"
+
+namespace kvcsd::harness {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, 2) != "--") continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_[std::string(arg)] = "1";  // boolean flag
+    } else {
+      values_[std::string(arg.substr(0, eq))] =
+          std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+}  // namespace kvcsd::harness

@@ -1,0 +1,42 @@
+// Minimal command-line flag parsing for bench binaries:
+//   --keys=1000000 --threads=32 --full --scale=0.5
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kvcsd::harness {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  std::uint64_t GetUint(const std::string& name,
+                        std::uint64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool GetBool(const std::string& name, bool fallback = false) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
+  }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace kvcsd::harness

@@ -1,0 +1,32 @@
+// Bench output helpers: fixed-width tables mirroring the paper's figures,
+// plus unit formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace kvcsd::harness {
+
+std::string FormatSeconds(Tick ticks);          // "12.34 s" / "56.7 ms"
+std::string FormatBytes(std::uint64_t bytes);   // "1.5 GiB"
+std::string FormatRatio(double ratio);          // "4.2x"
+std::string FormatCount(std::uint64_t n);       // "32M" / "1.0B"
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column auto-sizing to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kvcsd::harness

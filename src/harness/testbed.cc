@@ -1,0 +1,29 @@
+#include "harness/testbed.h"
+
+#include <cstdio>
+
+#include "harness/report.h"
+
+namespace kvcsd::harness {
+
+std::string TestbedConfig::Describe() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "Testbed (paper Table I, scaled):\n"
+      "  Host   : %u cores, page cache %s, block cache %s, "
+      "conventional SSD %u ch\n"
+      "  KV-CSD : %u ARM cores, %s SoC DRAM, ZNS %u zones x %s (%u ch), "
+      "write buffer %s\n"
+      "  PCIe   : %.1f GB/s, %s request latency\n",
+      host_cores, FormatBytes(page_cache_bytes).c_str(),
+      FormatBytes(block_cache_bytes).c_str(), host_ssd.nand.channels,
+      device.soc_cores, FormatBytes(device.dram_bytes).c_str(),
+      device.zns.num_zones, FormatBytes(device.zns.zone_size).c_str(),
+      device.zns.nand.channels,
+      FormatBytes(device.write_buffer_bytes).c_str(),
+      pcie.bytes_per_sec / 1e9, FormatSeconds(pcie.request_latency).c_str());
+  return buf;
+}
+
+}  // namespace kvcsd::harness

@@ -1,0 +1,55 @@
+// Central cost model: every CPU/software cost charged to the simulated
+// clock is defined here, in one place, so calibration is auditable.
+//
+// Two presets exist: Host() (32× AMD EPYC class) and Soc() (4× ARM
+// Cortex-A53 class). The host pays the full kernel storage stack per I/O
+// (syscall + filesystem + block layer; §II "Host Software Overhead"); the
+// SoC runs an SPDK userspace driver and pays a few microseconds per NVMe
+// command (§III "Userspace Drivers").
+#pragma once
+
+#include "common/units.h"
+
+namespace kvcsd::hostenv {
+
+struct CostModel {
+  // --- per-I/O software path cost (charged to the owning CPU pool) ---
+  Tick io_path_overhead = Microseconds(15);  // syscall+FS+block layer
+  Tick syscall_overhead = Microseconds(2);   // cached / no-device syscalls
+
+  // --- bulk data processing rates, per core ---
+  double memcpy_bytes_per_sec = 4e9;        // buffer copies, packing
+  double merge_bytes_per_sec = 650e6;       // k-way merge-sort streaming
+  double checksum_bytes_per_sec = 2e9;      // crc32c etc.
+  double extract_bytes_per_sec = 800e6;     // secondary-key extraction scan
+
+  // --- per-operation costs ---
+  Tick memtable_insert = Nanoseconds(2500);  // write-group + WAL framing + skiplist
+  Tick memtable_lookup = Nanoseconds(400);
+  Tick block_search = Nanoseconds(1500);    // binary search within 4KB block
+  Tick bloom_check = Nanoseconds(120);
+  Tick kv_op_fixed = Nanoseconds(250);      // per-record handling overhead
+
+  // 32-core host running a full kernel storage stack.
+  static CostModel Host() { return CostModel{}; }
+
+  // 4-core A53 SoC running SPDK: weak cores (lower rates, higher per-op
+  // costs) but a very short I/O path.
+  static CostModel Soc() {
+    CostModel m;
+    m.io_path_overhead = Microseconds(3);
+    m.syscall_overhead = Nanoseconds(300);  // function call, no kernel
+    m.memcpy_bytes_per_sec = 1.2e9;
+    m.merge_bytes_per_sec = 150e6;
+    m.checksum_bytes_per_sec = 600e6;
+    m.extract_bytes_per_sec = 250e6;
+    m.memtable_insert = Microseconds(2);
+    m.memtable_lookup = Nanoseconds(1200);
+    m.block_search = Microseconds(4);
+    m.bloom_check = Nanoseconds(400);
+    m.kv_op_fixed = Nanoseconds(600);
+    return m;
+  }
+};
+
+}  // namespace kvcsd::hostenv

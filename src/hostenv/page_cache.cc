@@ -1,0 +1,49 @@
+#include "hostenv/page_cache.h"
+
+#include <vector>
+
+namespace kvcsd::hostenv {
+
+bool PageCache::Lookup(std::uint64_t file_id, std::uint64_t block) {
+  auto it = map_.find(KeyOf(file_id, block));
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return true;
+}
+
+void PageCache::Insert(std::uint64_t file_id, std::uint64_t block) {
+  const std::uint64_t key = KeyOf(file_id, block);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(key);
+  map_[key] = lru_.begin();
+  while (map_.size() > capacity_pages_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void PageCache::InvalidateFile(std::uint64_t file_id) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if ((*it >> 40) == file_id) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PageCache::DropAll() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace kvcsd::hostenv

@@ -1,0 +1,658 @@
+// Deferred compaction and secondary-index construction (paper §V).
+//
+// Compaction sorts a keyspace in two steps, exactly as the paper
+// describes: (1) sort the keys — an external merge sort whose run size is
+// bounded by SoC DRAM, with intermediate runs stored in temporarily
+// allocated TEMP zone clusters; (2) use the sorted keys to sort the values
+// — a DRAM-batched external permutation that gathers values with
+// address-coalesced reads and streams them out in key order. The result is
+// the SORTED_VALUES + PIDX clusters and an in-memory pivot sketch (one
+// entry per 4 KB PIDX block) kept in the keyspace table.
+//
+// Secondary indexes are built either separately (the paper's implemented
+// design: a full scan of the compacted keyspace, extract, external sort)
+// or fused into the compaction pass (the paper's §V future-work variant:
+// keys are extracted while the values are already in DRAM during phase 2,
+// skipping the re-read at the cost of extra DRAM pressure).
+#include <algorithm>
+#include <cstring>
+
+#include "common/keys.h"
+#include "kvcsd/device.h"
+#include "kvcsd/wire.h"
+#include "nvme/skey.h"
+
+namespace kvcsd::device {
+
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size());
+}
+
+// Order-preserving encoding of the secondary key bytes found in a value.
+Result<std::string> ExtractSecondaryKey(const Slice& value,
+                                        const nvme::SecondaryIndexSpec& spec) {
+  if (spec.value_offset + spec.value_length > value.size()) {
+    return Status::InvalidArgument("secondary key range beyond value");
+  }
+  return nvme::EncodeSecondaryKeyBytes(
+      Slice(value.data() + spec.value_offset, spec.value_length), spec);
+}
+
+}  // namespace
+
+sim::Task<Status> Device::ParseKlogZone(std::uint32_t zone,
+                                        std::vector<KlogEntry>* out) {
+  const std::uint64_t extent = ssd_.write_pointer(zone);
+  if (extent == 0) co_return Status::Ok();
+  std::string payload(extent, '\0');
+  KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
+      static_cast<std::uint64_t>(zone) * ssd_.zone_size(),
+      std::span<std::byte>(reinterpret_cast<std::byte*>(payload.data()),
+                           payload.size())));
+  Slice in(payload);
+  while (!in.empty()) {
+    wire::ParsedKlogEntry entry;
+    if (!wire::ParseKlogEntry(&in, &entry)) {
+      co_return Status::Corruption("bad KLOG entry");
+    }
+    out->push_back(
+        KlogEntry{entry.key.ToString(), entry.vaddr, entry.vlen});
+  }
+  co_return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// SIDX external sort (shared by the separate and fused index builds)
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> Device::SidxSpill(SidxSortState* state) {
+  if (state->current.empty()) co_return Status::Ok();
+  co_await cpu_.ComputeBytes(state->current_bytes,
+                             config_.costs.merge_bytes_per_sec);
+  std::sort(state->current.begin(), state->current.end(),
+            [](const SidxTuple& a, const SidxTuple& b) {
+              if (a.skey != b.skey) return a.skey < b.skey;
+              return a.pkey < b.pkey;
+            });
+  SpilledRun spilled;
+  std::string chunk;
+  auto flush_chunk = [&]() -> sim::Task<Status> {
+    if (chunk.empty()) co_return Status::Ok();
+    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    auto addr = co_await AppendToChain(&state->temp_clusters,
+                                       ZoneType::kTemp, AsBytes(chunk));
+    if (!addr.ok()) co_return addr.status();
+    spilled.segments.emplace_back(*addr,
+                                  static_cast<std::uint32_t>(chunk.size()));
+    chunk.clear();
+    co_return Status::Ok();
+  };
+  for (const SidxTuple& t : state->current) {
+    if (chunk.size() + wire::SidxEntrySize(t.skey, t.pkey) >
+        config_.output_batch_bytes) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+    }
+    wire::AppendSidxEntry(&chunk, t.skey, t.pkey, t.vaddr, t.vlen);
+    ++spilled.entries;
+  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+  state->runs.push_back(std::move(spilled));
+  state->current.clear();
+  state->current_bytes = 0;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Device::SidxAdd(SidxSortState* state, SidxTuple tuple) {
+  state->current_bytes += tuple.skey.size() + tuple.pkey.size() + 12;
+  state->current.push_back(std::move(tuple));
+  if (state->current_bytes >= state->run_budget) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await SidxSpill(state));
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
+    SidxSortState* state, const nvme::SecondaryIndexSpec& spec) {
+  KVCSD_CO_RETURN_IF_ERROR(co_await SidxSpill(state));
+
+  struct RunReader {
+    Device* device;
+    const SpilledRun* run;
+    std::size_t segment = 0;
+    std::string buffer;
+    Slice cursor;
+    SidxTuple head;
+    bool valid = false;
+
+    sim::Task<Status> Advance() {
+      while (true) {
+        if (!cursor.empty()) {
+          wire::SidxEntry e;
+          if (!wire::ParseSidxEntry(&cursor, &e)) {
+            co_return Status::Corruption("bad TEMP sidx entry");
+          }
+          head = SidxTuple{e.skey.ToString(), e.pkey.ToString(), e.vaddr,
+                           e.vlen};
+          valid = true;
+          co_return Status::Ok();
+        }
+        if (segment >= run->segments.size()) {
+          valid = false;
+          co_return Status::Ok();
+        }
+        const auto [addr, len] = run->segments[segment++];
+        buffer.assign(len, '\0');
+        KVCSD_CO_RETURN_IF_ERROR(co_await device->ssd_.Read(
+            addr, std::span<std::byte>(
+                      reinterpret_cast<std::byte*>(buffer.data()),
+                      buffer.size())));
+        cursor = Slice(buffer);
+      }
+    }
+  };
+
+  std::vector<std::unique_ptr<RunReader>> readers;
+  for (const SpilledRun& run : state->runs) {
+    auto reader = std::make_unique<RunReader>();
+    reader->device = this;
+    reader->run = &run;
+    KVCSD_CO_RETURN_IF_ERROR(co_await reader->Advance());
+    if (reader->valid) readers.push_back(std::move(reader));
+  }
+
+  SecondaryIndex sidx;
+  sidx.spec = spec;
+  std::string block;
+  wire::BeginIndexBlock(&block);
+  std::uint16_t block_count = 0;
+  std::string block_pivot;
+  std::vector<std::pair<std::string, std::string>> pending_blocks;
+  std::uint64_t pending_bytes = 0;
+
+  auto flush_blocks = [&]() -> sim::Task<Status> {
+    if (pending_blocks.empty()) co_return Status::Ok();
+    std::string blob;
+    blob.reserve(pending_bytes);
+    for (const auto& [pivot, b] : pending_blocks) blob += b;
+    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    auto addr = co_await AppendToChain(&sidx.sidx_clusters, ZoneType::kSidx,
+                                       AsBytes(blob));
+    if (!addr.ok()) co_return addr.status();
+    for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
+      sidx.sketch.push_back(SketchEntry{
+          pending_blocks[i].first,
+          *addr + i * config_.index_block_size, config_.index_block_size});
+    }
+    pending_blocks.clear();
+    pending_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  auto close_block = [&]() -> sim::Task<Status> {
+    if (block_count == 0) co_return Status::Ok();
+    wire::FinishIndexBlock(&block, block_count, config_.index_block_size);
+    pending_blocks.emplace_back(std::move(block_pivot), std::move(block));
+    pending_bytes += config_.index_block_size;
+    wire::BeginIndexBlock(&block);
+    block_count = 0;
+    block_pivot.clear();
+    if (pending_bytes >= config_.output_batch_bytes) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await flush_blocks());
+    }
+    co_return Status::Ok();
+  };
+
+  std::uint64_t merged = 0;
+  while (!readers.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < readers.size(); ++i) {
+      if (readers[i]->head.skey < readers[best]->head.skey ||
+          (readers[i]->head.skey == readers[best]->head.skey &&
+           readers[i]->head.pkey < readers[best]->head.pkey)) {
+        best = i;
+      }
+    }
+    SidxTuple t = std::move(readers[best]->head);
+    Status s = co_await readers[best]->Advance();
+    if (!s.ok()) co_return s;
+    if (!readers[best]->valid) {
+      readers.erase(readers.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+
+    merged += t.skey.size() + t.pkey.size() + 12;
+    if (merged >= MiB(1)) {
+      co_await cpu_.ComputeBytes(merged, config_.costs.merge_bytes_per_sec);
+      merged = 0;
+    }
+    if (block.size() + wire::SidxEntrySize(t.skey, t.pkey) >
+        config_.index_block_size) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await close_block());
+    }
+    if (block_count == 0) block_pivot = t.skey;
+    wire::AppendSidxEntry(&block, t.skey, t.pkey, t.vaddr, t.vlen);
+    ++block_count;
+    ++sidx.entries;
+  }
+  if (merged > 0) {
+    co_await cpu_.ComputeBytes(merged, config_.costs.merge_bytes_per_sec);
+  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await close_block());
+  KVCSD_CO_RETURN_IF_ERROR(co_await flush_blocks());
+
+  for (ClusterId id : state->temp_clusters) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
+  }
+  state->temp_clusters.clear();
+  state->runs.clear();
+  co_return sidx;
+}
+
+// ---------------------------------------------------------------------------
+// Compaction (optionally fused with secondary-index construction)
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> Device::CompactKeyspace(
+    Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs) {
+  // Flush whatever is still buffered in DRAM and drain in-flight flush
+  // I/O: compaction must observe complete KLOG/VLOG logs.
+  {
+    sim::Semaphore* lock = WriteLock(ks->id);
+    co_await lock->Acquire();
+    Status s = co_await FlushBuffer(ks);
+    lock->Release();
+    if (!s.ok()) co_return s;
+    co_await FlushInflight(ks->id)->Wait();
+    if (auto it = flush_errors_.find(ks->id);
+        it != flush_errors_.end() && !it->second.ok()) {
+      co_return it->second;
+    }
+  }
+
+  // The DRAM budget splits between the key sort and any fused index sorts
+  // (the paper's stated cost of consolidating index construction).
+  const std::uint64_t budget_shares = 1 + fused_specs.size();
+  const std::uint64_t run_budget =
+      config_.EffectiveSortRunBytes() / budget_shares;
+  std::vector<ClusterId> temp_clusters;
+
+  std::vector<SidxSortState> fused_states(fused_specs.size());
+  for (auto& state : fused_states) state.run_budget = run_budget;
+
+  // ---- Phase 1: sort the keys (external merge sort) ----
+  std::vector<SpilledRun> runs;
+  std::vector<KlogEntry> current;
+  std::uint64_t current_bytes = 0;
+
+  auto spill_current = [&]() -> sim::Task<Status> {
+    if (current.empty()) co_return Status::Ok();
+    co_await cpu_.ComputeBytes(current_bytes,
+                               config_.costs.merge_bytes_per_sec);
+    std::sort(current.begin(), current.end(),
+              [](const KlogEntry& a, const KlogEntry& b) {
+                return a.key < b.key;
+              });
+    SpilledRun spilled;
+    std::string chunk;
+    chunk.reserve(config_.output_batch_bytes);
+    auto flush_chunk = [&]() -> sim::Task<Status> {
+      if (chunk.empty()) co_return Status::Ok();
+      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      auto addr = co_await AppendToChain(&temp_clusters, ZoneType::kTemp,
+                                         AsBytes(chunk));
+      if (!addr.ok()) co_return addr.status();
+      spilled.segments.emplace_back(*addr,
+                                    static_cast<std::uint32_t>(chunk.size()));
+      chunk.clear();
+      co_return Status::Ok();
+    };
+    for (const KlogEntry& e : current) {
+      if (chunk.size() + e.key.size() + 20 > config_.output_batch_bytes) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+      }
+      wire::AppendKlogEntry(&chunk, e.key, e.value_addr, e.value_len);
+      ++spilled.entries;
+    }
+    KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+    runs.push_back(std::move(spilled));
+    current.clear();
+    current_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  for (ClusterId cluster : ks->klog_clusters) {
+    for (std::uint32_t zone : zone_manager_.cluster_zones(cluster)) {
+      std::vector<KlogEntry> zone_entries;
+      KVCSD_CO_RETURN_IF_ERROR(co_await ParseKlogZone(zone, &zone_entries));
+      for (KlogEntry& e : zone_entries) {
+        current_bytes += e.key.size() + 12;
+        current.push_back(std::move(e));
+        if (current_bytes >= run_budget) {
+          KVCSD_CO_RETURN_IF_ERROR(co_await spill_current());
+        }
+      }
+    }
+  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await spill_current());
+
+  // ---- Merge the key runs while streaming phase 2 ----
+  struct RunReader {
+    Device* device;
+    const SpilledRun* run;
+    std::size_t segment = 0;
+    std::string buffer;
+    Slice cursor;
+    KlogEntry head;
+    bool valid = false;
+
+    sim::Task<Status> Advance() {
+      while (true) {
+        if (!cursor.empty()) {
+          wire::ParsedKlogEntry e;
+          if (!wire::ParseKlogEntry(&cursor, &e)) {
+            co_return Status::Corruption("bad TEMP run entry");
+          }
+          head = KlogEntry{e.key.ToString(), e.vaddr, e.vlen};
+          valid = true;
+          co_return Status::Ok();
+        }
+        if (segment >= run->segments.size()) {
+          valid = false;
+          co_return Status::Ok();
+        }
+        const auto [addr, len] = run->segments[segment++];
+        buffer.assign(len, '\0');
+        KVCSD_CO_RETURN_IF_ERROR(co_await device->ssd_.Read(
+            addr, std::span<std::byte>(
+                      reinterpret_cast<std::byte*>(buffer.data()),
+                      buffer.size())));
+        cursor = Slice(buffer);
+      }
+    }
+  };
+
+  std::vector<std::unique_ptr<RunReader>> readers;
+  for (const SpilledRun& run : runs) {
+    auto reader = std::make_unique<RunReader>();
+    reader->device = this;
+    reader->run = &run;
+    KVCSD_CO_RETURN_IF_ERROR(co_await reader->Advance());
+    if (reader->valid) readers.push_back(std::move(reader));
+  }
+
+  // ---- Phase 2 state: batched value permutation + output building ----
+  std::vector<SketchEntry> sketch;
+  std::vector<ClusterId> pidx_clusters;
+  std::vector<ClusterId> value_clusters;
+  std::uint64_t total_entries = 0;
+
+  std::vector<KlogEntry> batch;
+  std::uint64_t batch_value_bytes = 0;
+  const std::uint64_t batch_budget = config_.dram_bytes / 4 / budget_shares;
+
+  std::string pidx_block;
+  wire::BeginIndexBlock(&pidx_block);
+  std::uint16_t pidx_block_count = 0;
+  std::string pidx_pivot;
+  std::vector<std::pair<std::string, std::string>> pending_blocks;
+  std::uint64_t pending_blocks_bytes = 0;
+
+  auto flush_pending_blocks = [&]() -> sim::Task<Status> {
+    if (pending_blocks.empty()) co_return Status::Ok();
+    std::string blob;
+    blob.reserve(pending_blocks_bytes);
+    for (const auto& [pivot, block] : pending_blocks) blob += block;
+    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    auto addr = co_await AppendToChain(&pidx_clusters, ZoneType::kPidx,
+                                       AsBytes(blob));
+    if (!addr.ok()) co_return addr.status();
+    for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
+      sketch.push_back(SketchEntry{
+          pending_blocks[i].first,
+          *addr + i * config_.index_block_size, config_.index_block_size});
+    }
+    pending_blocks.clear();
+    pending_blocks_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  auto close_pidx_block = [&]() -> sim::Task<Status> {
+    if (pidx_block_count == 0) co_return Status::Ok();
+    wire::FinishIndexBlock(&pidx_block, pidx_block_count,
+                           config_.index_block_size);
+    pending_blocks.emplace_back(std::move(pidx_pivot),
+                                std::move(pidx_block));
+    pending_blocks_bytes += config_.index_block_size;
+    wire::BeginIndexBlock(&pidx_block);
+    pidx_block_count = 0;
+    pidx_pivot.clear();
+    if (pending_blocks_bytes >= config_.output_batch_bytes) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await flush_pending_blocks());
+    }
+    co_return Status::Ok();
+  };
+
+  auto process_batch = [&]() -> sim::Task<Status> {
+    if (batch.empty()) co_return Status::Ok();
+    std::vector<ValueRef> refs;
+    refs.reserve(batch.size());
+    for (const KlogEntry& e : batch) {
+      refs.push_back(ValueRef{e.value_addr, e.value_len});
+    }
+    auto values = co_await GatherValues(std::move(refs));
+    if (!values.ok()) co_return values.status();
+    co_await cpu_.ComputeBytes(batch_value_bytes,
+                               config_.costs.memcpy_bytes_per_sec);
+
+    // Emit values in key order, packing whole values per append.
+    std::string chunk;
+    chunk.reserve(config_.output_batch_bytes);
+    std::vector<std::uint64_t> new_addrs(batch.size());
+    std::size_t chunk_first = 0;
+    auto flush_values = [&](std::size_t upto) -> sim::Task<Status> {
+      if (chunk.empty()) co_return Status::Ok();
+      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      auto addr = co_await AppendToChain(&value_clusters,
+                                         ZoneType::kSortedValues,
+                                         AsBytes(chunk));
+      if (!addr.ok()) co_return addr.status();
+      std::uint64_t offset = 0;
+      for (std::size_t i = chunk_first; i < upto; ++i) {
+        new_addrs[i] = *addr + offset;
+        offset += (*values)[i].size();
+      }
+      chunk.clear();
+      chunk_first = upto;
+      co_return Status::Ok();
+    };
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (chunk.size() + (*values)[i].size() > config_.output_batch_bytes &&
+          !chunk.empty()) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await flush_values(i));
+      }
+      chunk += (*values)[i];
+    }
+    KVCSD_CO_RETURN_IF_ERROR(co_await flush_values(batch.size()));
+
+    // PIDX entries for the batch, plus fused secondary-key extraction
+    // while the value bytes are in DRAM anyway (no keyspace re-read).
+    if (!fused_specs.empty()) {
+      co_await cpu_.ComputeBytes(batch_value_bytes,
+                                 config_.costs.extract_bytes_per_sec);
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const KlogEntry& e = batch[i];
+      if (pidx_block.size() + wire::PidxEntrySize(e.key) >
+          config_.index_block_size) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await close_pidx_block());
+      }
+      if (pidx_block_count == 0) pidx_pivot = e.key;
+      wire::AppendPidxEntry(&pidx_block, e.key, new_addrs[i], e.value_len);
+      ++pidx_block_count;
+
+      for (std::size_t spec_index = 0; spec_index < fused_specs.size();
+           ++spec_index) {
+        auto skey =
+            ExtractSecondaryKey(Slice((*values)[i]), fused_specs[spec_index]);
+        if (!skey.ok()) co_return skey.status();
+        SidxTuple tuple{std::move(*skey), e.key, new_addrs[i], e.value_len};
+        KVCSD_CO_RETURN_IF_ERROR(
+            co_await SidxAdd(&fused_states[spec_index], std::move(tuple)));
+      }
+    }
+    total_entries += batch.size();
+    batch.clear();
+    batch_value_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  std::uint64_t merged_bytes = 0;
+  while (!readers.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < readers.size(); ++i) {
+      if (readers[i]->head.key < readers[best]->head.key) best = i;
+    }
+    KlogEntry entry = std::move(readers[best]->head);
+    Status s = co_await readers[best]->Advance();
+    if (!s.ok()) co_return s;
+    if (!readers[best]->valid) {
+      readers.erase(readers.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+
+    merged_bytes += entry.key.size() + 12;
+    if (merged_bytes >= MiB(1)) {
+      co_await cpu_.ComputeBytes(merged_bytes,
+                                 config_.costs.merge_bytes_per_sec);
+      merged_bytes = 0;
+    }
+    batch_value_bytes += entry.value_len;
+    batch.push_back(std::move(entry));
+    if (batch_value_bytes >= batch_budget) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await process_batch());
+    }
+  }
+  if (merged_bytes > 0) {
+    co_await cpu_.ComputeBytes(merged_bytes,
+                               config_.costs.merge_bytes_per_sec);
+  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await process_batch());
+  KVCSD_CO_RETURN_IF_ERROR(co_await close_pidx_block());
+  KVCSD_CO_RETURN_IF_ERROR(co_await flush_pending_blocks());
+
+  // ---- Fused secondary indexes: merge their runs into SIDX blocks ----
+  std::map<std::string, SecondaryIndex> fused_indexes;
+  for (std::size_t i = 0; i < fused_specs.size(); ++i) {
+    auto sidx = co_await SidxMergeToBlocks(&fused_states[i], fused_specs[i]);
+    if (!sidx.ok()) co_return sidx.status();
+    fused_indexes[fused_specs[i].name] = std::move(*sidx);
+  }
+
+  // ---- Install results, release inputs and temporaries ----
+  for (ClusterId id : temp_clusters) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
+  }
+  for (ClusterId id : ks->klog_clusters) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
+  }
+  for (ClusterId id : ks->vlog_clusters) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
+  }
+  ks->klog_clusters.clear();
+  ks->vlog_clusters.clear();
+  ks->klog_bytes = 0;
+  ks->vlog_bytes = 0;
+  ks->pidx_clusters = std::move(pidx_clusters);
+  ks->sorted_value_clusters = std::move(value_clusters);
+  ks->pidx_sketch = std::move(sketch);
+  ks->num_kvs = total_entries;
+  ks->secondary_indexes = std::move(fused_indexes);
+  ks->state = KeyspaceState::kCompacted;
+  ++compactions_done_;
+  KVCSD_CO_RETURN_IF_ERROR(co_await keyspace_manager_.Persist());
+  CompactionDone(ks->id)->Set();
+
+  if (ks->pending_delete) {
+    ks->pending_delete = false;
+    co_return co_await DropKeyspace(ks);
+  }
+  co_return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Separate secondary-index construction (the paper's implemented design)
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> Device::BuildSecondaryIndex(
+    Keyspace* ks, const nvme::SecondaryIndexSpec& spec) {
+  if (ks->state != KeyspaceState::kCompacted) {
+    co_return Status::FailedPrecondition(
+        "secondary indexes attach to COMPACTED keyspaces only");
+  }
+  if (spec.name.empty()) {
+    co_return Status::InvalidArgument("secondary index needs a name");
+  }
+  if (ks->secondary_indexes.contains(spec.name)) {
+    co_return Status::AlreadyExists("secondary index exists: " + spec.name);
+  }
+
+  SidxSortState state;
+  state.run_budget = config_.EffectiveSortRunBytes();
+
+  // Step 1 (paper): full scan extracting <skey, pkey> pairs. Walk PIDX
+  // blocks via the sketch; gather values batch-wise; extract.
+  std::vector<ValueRef> batch_refs;
+  std::vector<std::pair<std::string, std::uint64_t>> batch_meta;
+  std::vector<std::uint32_t> batch_lens;
+  std::uint64_t batch_bytes = 0;
+
+  auto process_scan_batch = [&]() -> sim::Task<Status> {
+    if (batch_refs.empty()) co_return Status::Ok();
+    auto values = co_await GatherValues(batch_refs);
+    if (!values.ok()) co_return values.status();
+    co_await cpu_.ComputeBytes(batch_bytes,
+                               config_.costs.extract_bytes_per_sec);
+    for (std::size_t i = 0; i < values->size(); ++i) {
+      auto skey = ExtractSecondaryKey(Slice((*values)[i]), spec);
+      if (!skey.ok()) co_return skey.status();
+      SidxTuple tuple{std::move(*skey), batch_meta[i].first,
+                      batch_meta[i].second, batch_lens[i]};
+      KVCSD_CO_RETURN_IF_ERROR(co_await SidxAdd(&state, std::move(tuple)));
+    }
+    batch_refs.clear();
+    batch_meta.clear();
+    batch_lens.clear();
+    batch_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  for (const SketchEntry& block_ref : ks->pidx_sketch) {
+    auto block = co_await ReadIndexBlock(block_ref);
+    if (!block.ok()) co_return block.status();
+    Slice in(block->data() + 2, block->size() - 2);
+    const std::uint16_t count = DecodeFixed16(block->data());
+    for (std::uint16_t i = 0; i < count; ++i) {
+      wire::PidxEntry entry;
+      if (!wire::ParsePidxEntry(&in, &entry)) {
+        co_return Status::Corruption("bad PIDX entry during sidx scan");
+      }
+      batch_refs.push_back(ValueRef{entry.vaddr, entry.vlen});
+      batch_meta.emplace_back(entry.key.ToString(), entry.vaddr);
+      batch_lens.push_back(entry.vlen);
+      batch_bytes += entry.vlen;
+      if (batch_bytes >= config_.dram_bytes / 4) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await process_scan_batch());
+      }
+    }
+  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await process_scan_batch());
+
+  // Step 2: merge runs into SIDX blocks + sketch.
+  auto sidx = co_await SidxMergeToBlocks(&state, spec);
+  if (!sidx.ok()) co_return sidx.status();
+  ks->secondary_indexes[spec.name] = std::move(*sidx);
+  co_return co_await keyspace_manager_.Persist();
+}
+
+}  // namespace kvcsd::device

@@ -1,0 +1,215 @@
+// The KV-CSD device: the paper's core contribution.
+//
+// A Device models the Sidewinder-100 SoC running the on-device key-value
+// store as an SPDK userspace driver: 4 weak ARM cores (a CpuPool), a DRAM
+// budget that bounds merge-sort runs, and direct NVMe access to the ZNS
+// SSD with a ~3 µs software path per I/O (no filesystem, no kernel).
+//
+// Request flow (paper Fig. 3b/4):
+//   client --PCIe/NVMe--> main loop --> per-command handler coroutine
+//     PUT/bulk PUT  -> 192 KB DRAM write buffer -> KLOG + VLOG clusters
+//                      (keys and values stored separately, §V)
+//     COMPACT       -> asynchronous on-device external merge sort: keys
+//                      first, then values; produces PIDX +
+//                      SORTED_VALUES and the in-memory pivot sketch
+//     SIDX BUILD    -> full scan + extract + external sort -> SIDX blocks
+//     QUERIES       -> sketch -> 4 KB index blocks -> value gather; only
+//                      results cross PCIe back to the host
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hostenv/cost_model.h"
+#include "kvcsd/keyspace_manager.h"
+#include "kvcsd/zone_manager.h"
+#include "nvme/queue.h"
+#include "sim/resources.h"
+#include "sim/sync.h"
+#include "storage/zns.h"
+
+namespace kvcsd::device {
+
+struct DeviceConfig {
+  storage::ZnsConfig zns;
+  ZoneManagerConfig zones;
+  std::uint32_t soc_cores = 4;
+  std::uint64_t dram_bytes = GiB(8);
+  std::uint64_t write_buffer_bytes = KiB(192);  // paper's prototype value
+  std::uint32_t index_block_size = 4096;
+  // Appends to SORTED_VALUES/PIDX/SIDX are batched to this size.
+  std::uint64_t output_batch_bytes = KiB(256);
+  // Merge-sort run size; 0 derives dram_bytes / 4.
+  std::uint64_t sort_run_bytes = 0;
+  hostenv::CostModel costs = hostenv::CostModel::Soc();
+
+  std::uint64_t EffectiveSortRunBytes() const {
+    return sort_run_bytes != 0 ? sort_run_bytes : dram_bytes / 4;
+  }
+};
+
+// An unsorted log entry parsed back from KLOG (key + pointer to VLOG).
+struct KlogEntry {
+  std::string key;
+  std::uint64_t value_addr;
+  std::uint32_t value_len;
+};
+
+// A sorted run spilled to TEMP zone clusters during an external sort: a
+// list of contiguous flash segments, each holding whole serialized entries.
+struct SpilledRun {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> segments;
+  std::uint64_t entries = 0;
+};
+
+class Device {
+ public:
+  Device(sim::Simulation* sim, const DeviceConfig& config,
+         nvme::QueuePair* queue);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  // Spawns the command-service loop. Call once.
+  void Start();
+
+  // Recovers the keyspace table from the metadata zone (for tests that
+  // simulate power loss on a freshly constructed Device over the same SSD).
+  sim::Task<Status> RecoverMetadata();
+
+  KeyspaceManager& keyspaces() { return keyspace_manager_; }
+  ZoneManager& zones() { return zone_manager_; }
+  storage::ZnsSsd& ssd() { return ssd_; }
+  sim::CpuPool& cpu() { return cpu_; }
+  const DeviceConfig& config() const { return config_; }
+
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t compactions_done() const { return compactions_done_; }
+  std::uint64_t queries() const { return queries_; }
+
+ private:
+  // --- plumbing ---
+  sim::Task<void> MainLoop();
+  sim::Task<void> HandleCommand(nvme::QueuePair::Incoming incoming);
+  sim::Task<nvme::Completion> Dispatch(nvme::Command& cmd);
+
+  // Appends to the last cluster of `chain`, allocating a new cluster of
+  // `type` when full.
+  sim::Task<Result<std::uint64_t>> AppendToChain(std::vector<ClusterId>* chain,
+                                                 ZoneType type,
+                                                 std::span<const std::byte>
+                                                     data);
+
+  // --- write path ---
+  struct WriteBuffer {
+    std::vector<std::pair<std::string, std::string>> entries;
+    std::uint64_t bytes = 0;
+  };
+  sim::Task<Status> DoPut(Keyspace* ks, std::string key, std::string value);
+  sim::Task<Status> DoBulkPut(Keyspace* ks, const std::string& frame);
+  sim::Task<Status> FlushBuffer(Keyspace* ks);
+
+  // --- compaction (compactor.cc) ---
+  // Sorts the keyspace; when `fused_specs` is non-empty, also builds those
+  // secondary indexes in the same pass (the paper's §V future-work
+  // optimization) by extracting keys from values already in DRAM.
+  sim::Task<Status> CompactKeyspace(
+      Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs = {});
+  // Reads a whole zone's payload and parses its KLOG entries.
+  sim::Task<Status> ParseKlogZone(std::uint32_t zone,
+                                  std::vector<KlogEntry>* out);
+
+  // --- secondary index (compactor.cc) ---
+  // External sort state for <skey, pkey, value pointer> tuples.
+  struct SidxTuple {
+    std::string skey;
+    std::string pkey;
+    std::uint64_t vaddr;
+    std::uint32_t vlen;
+  };
+  struct SidxSortState {
+    std::vector<ClusterId> temp_clusters;
+    std::vector<SpilledRun> runs;
+    std::vector<SidxTuple> current;
+    std::uint64_t current_bytes = 0;
+    std::uint64_t run_budget = 0;
+  };
+  sim::Task<Status> SidxAdd(SidxSortState* state, SidxTuple tuple);
+  sim::Task<Status> SidxSpill(SidxSortState* state);
+  // Merges the spilled runs into SIDX blocks + sketch and releases the
+  // state's TEMP clusters.
+  sim::Task<Result<SecondaryIndex>> SidxMergeToBlocks(
+      SidxSortState* state, const nvme::SecondaryIndexSpec& spec);
+
+  sim::Task<Status> BuildSecondaryIndex(Keyspace* ks,
+                                        const nvme::SecondaryIndexSpec& spec);
+
+  // --- explicit persistence ---
+  sim::Task<Status> DoSync(Keyspace* ks);
+
+  // --- queries (query.cc) ---
+  sim::Task<Result<std::string>> QueryPoint(Keyspace* ks,
+                                            const std::string& key);
+  sim::Task<Status> QueryPrimaryRange(
+      Keyspace* ks, const std::string& lo, const std::string& hi,
+      std::uint32_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+  sim::Task<Status> QuerySecondaryRange(
+      Keyspace* ks, const std::string& index_name, const std::string& lo,
+      const std::string& hi, std::uint32_t limit,
+      std::vector<std::pair<std::string, std::string>>* out);
+
+  // Reads one 4 KB index block (PIDX or SIDX) given its sketch entry.
+  sim::Task<Result<std::string>> ReadIndexBlock(const SketchEntry& entry);
+
+  // Gathers values for (addr, len) requests, coalescing address-adjacent
+  // reads; results are returned in request order.
+  struct ValueRef {
+    std::uint64_t addr;
+    std::uint32_t len;
+  };
+  sim::Task<Result<std::vector<std::string>>> GatherValues(
+      std::vector<ValueRef> refs);
+
+  // --- deletion ---
+  sim::Task<Status> DropKeyspace(Keyspace* ks);
+  sim::Task<Status> ReleaseAllClusters(Keyspace* ks);
+
+  // Per-keyspace write serialization + compaction-completion events.
+  sim::Semaphore* WriteLock(std::uint64_t keyspace_id);
+  sim::Event* CompactionDone(std::uint64_t keyspace_id);
+
+  sim::Simulation* sim_;
+  DeviceConfig config_;
+  nvme::QueuePair* queue_;
+  storage::ZnsSsd ssd_;
+  ZoneManager zone_manager_;
+  KeyspaceManager keyspace_manager_;
+  sim::CpuPool cpu_;
+
+  std::map<std::uint64_t, WriteBuffer> buffers_;
+  std::map<std::uint64_t, std::unique_ptr<sim::Semaphore>> write_locks_;
+  std::map<std::uint64_t, std::unique_ptr<sim::Event>> compaction_done_;
+  // Flush pipelining: a bounded number of log flushes per keyspace may be
+  // in flight; compaction drains them via the wait group.
+  static constexpr std::uint64_t kMaxInflightFlushes = 4;
+  std::map<std::uint64_t, std::unique_ptr<sim::Semaphore>> flush_slots_;
+  std::map<std::uint64_t, std::unique_ptr<sim::WaitGroup>> flush_inflight_;
+  std::map<std::uint64_t, Status> flush_errors_;
+  sim::Semaphore* FlushSlots(std::uint64_t keyspace_id);
+  sim::WaitGroup* FlushInflight(std::uint64_t keyspace_id);
+  // The timed I/O part of a flush, runs detached per batch.
+  sim::Task<void> FlushIo(Keyspace* ks, WriteBuffer batch);
+
+  std::uint64_t puts_ = 0;
+  std::uint64_t flushes_ = 0;
+  std::uint64_t compactions_done_ = 0;
+  std::uint64_t queries_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace kvcsd::device

@@ -1,0 +1,71 @@
+// Keyspace metadata (paper §IV "Keyspace Manager").
+//
+// A keyspace is a named container of key-value pairs with the lifecycle
+//   EMPTY -> WRITABLE -> COMPACTING -> COMPACTED
+// Only COMPACTED keyspaces are queryable; secondary indexes attach only in
+// the COMPACTED state. The keyspace table also stores the per-block pivot
+// "sketches" that primary and secondary queries start from.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kvcsd/zone_manager.h"
+#include "nvme/command.h"
+
+namespace kvcsd::device {
+
+enum class KeyspaceState : std::uint8_t {
+  kEmpty = 0,
+  kWritable,
+  kCompacting,
+  kCompacted,
+};
+
+std::string_view KeyspaceStateName(KeyspaceState state);
+
+// One entry per 4 KB index block: the block's first (pivot) key and its
+// device address + length. Kept in SoC DRAM as part of the keyspace table.
+struct SketchEntry {
+  std::string pivot;
+  std::uint64_t block_addr = 0;
+  std::uint32_t block_len = 0;
+};
+
+struct SecondaryIndex {
+  nvme::SecondaryIndexSpec spec;
+  std::vector<ClusterId> sidx_clusters;
+  std::vector<SketchEntry> sketch;  // pivot = order-encoded secondary key
+  std::uint64_t entries = 0;
+};
+
+struct Keyspace {
+  std::uint64_t id = 0;
+  std::string name;
+  KeyspaceState state = KeyspaceState::kEmpty;
+
+  std::uint64_t num_kvs = 0;
+  std::string min_key;
+  std::string max_key;
+
+  // WRITABLE-phase storage.
+  std::vector<ClusterId> klog_clusters;
+  std::vector<ClusterId> vlog_clusters;
+  std::uint64_t klog_bytes = 0;
+  std::uint64_t vlog_bytes = 0;
+
+  // COMPACTED-phase storage.
+  std::vector<ClusterId> pidx_clusters;
+  std::vector<ClusterId> sorted_value_clusters;
+  std::vector<SketchEntry> pidx_sketch;
+
+  std::map<std::string, SecondaryIndex> secondary_indexes;
+
+  // Deletion requested while compaction/index build was running (paper:
+  // "deletion may be deferred due to on-going compaction").
+  bool pending_delete = false;
+};
+
+}  // namespace kvcsd::device

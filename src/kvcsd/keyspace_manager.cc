@@ -1,0 +1,251 @@
+#include "kvcsd/keyspace_manager.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace kvcsd::device {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x4b534e41;  // "KSNA"
+
+void PutString(std::string* out, const std::string& s) {
+  PutLengthPrefixedSlice(out, Slice(s));
+}
+
+bool GetString(Slice* in, std::string* out) {
+  Slice s;
+  if (!GetLengthPrefixedSlice(in, &s)) return false;
+  *out = s.ToString();
+  return true;
+}
+
+void PutClusterVec(std::string* out, const std::vector<ClusterId>& v) {
+  PutVarint64(out, v.size());
+  for (ClusterId id : v) PutVarint64(out, id);
+}
+
+bool GetClusterVec(Slice* in, std::vector<ClusterId>* v) {
+  std::uint64_t n = 0;
+  if (!GetVarint64(in, &n)) return false;
+  v->resize(n);
+  for (auto& id : *v) {
+    if (!GetVarint64(in, &id)) return false;
+  }
+  return true;
+}
+
+void PutSketch(std::string* out, const std::vector<SketchEntry>& sketch) {
+  PutVarint64(out, sketch.size());
+  for (const auto& e : sketch) {
+    PutString(out, e.pivot);
+    PutVarint64(out, e.block_addr);
+    PutVarint32(out, e.block_len);
+  }
+}
+
+bool GetSketch(Slice* in, std::vector<SketchEntry>* sketch) {
+  std::uint64_t n = 0;
+  if (!GetVarint64(in, &n)) return false;
+  sketch->resize(n);
+  for (auto& e : *sketch) {
+    if (!GetString(in, &e.pivot) || !GetVarint64(in, &e.block_addr) ||
+        !GetVarint32(in, &e.block_len)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Keyspace*> KeyspaceManager::Create(const std::string& name) {
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("keyspace exists: " + name);
+  }
+  auto ks = std::make_unique<Keyspace>();
+  ks->id = next_id_++;
+  ks->name = name;
+  Keyspace* ptr = ks.get();
+  by_name_[name] = ks->id;
+  by_id_[ks->id] = std::move(ks);
+  return ptr;
+}
+
+Result<Keyspace*> KeyspaceManager::Find(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such keyspace: " + name);
+  }
+  return by_id_.at(it->second).get();
+}
+
+Result<Keyspace*> KeyspaceManager::FindById(std::uint64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("no such keyspace id");
+  }
+  return it->second.get();
+}
+
+Status KeyspaceManager::Erase(std::uint64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return Status::NotFound("no such keyspace id");
+  by_name_.erase(it->second->name);
+  by_id_.erase(it);
+  return Status::Ok();
+}
+
+std::string KeyspaceManager::SerializeTable() const {
+  std::string body;
+  PutVarint64(&body, next_id_);
+  PutVarint64(&body, by_id_.size());
+  for (const auto& [id, ks] : by_id_) {
+    PutVarint64(&body, ks->id);
+    PutString(&body, ks->name);
+    body.push_back(static_cast<char>(ks->state));
+    PutVarint64(&body, ks->num_kvs);
+    PutString(&body, ks->min_key);
+    PutString(&body, ks->max_key);
+    PutClusterVec(&body, ks->klog_clusters);
+    PutClusterVec(&body, ks->vlog_clusters);
+    PutVarint64(&body, ks->klog_bytes);
+    PutVarint64(&body, ks->vlog_bytes);
+    PutClusterVec(&body, ks->pidx_clusters);
+    PutClusterVec(&body, ks->sorted_value_clusters);
+    PutSketch(&body, ks->pidx_sketch);
+    PutVarint64(&body, ks->secondary_indexes.size());
+    for (const auto& [name, sidx] : ks->secondary_indexes) {
+      PutString(&body, sidx.spec.name);
+      PutVarint32(&body, sidx.spec.value_offset);
+      PutVarint32(&body, sidx.spec.value_length);
+      body.push_back(static_cast<char>(sidx.spec.type));
+      PutClusterVec(&body, sidx.sidx_clusters);
+      PutSketch(&body, sidx.sketch);
+      PutVarint64(&body, sidx.entries);
+    }
+  }
+
+  std::string out;
+  PutFixed32(&out, kSnapshotMagic);
+  PutFixed32(&out,
+             crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  PutVarint64(&out, body.size());
+  out += body;
+  return out;
+}
+
+Status KeyspaceManager::DeserializeTable(const std::string& raw) {
+  Slice in(raw);
+  by_id_.clear();
+  by_name_.clear();
+  if (!GetVarint64(&in, &next_id_)) return Status::Corruption("snapshot");
+  std::uint64_t count = 0;
+  if (!GetVarint64(&in, &count)) return Status::Corruption("snapshot");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto ks = std::make_unique<Keyspace>();
+    std::uint64_t sidx_count = 0;
+    bool ok = GetVarint64(&in, &ks->id) && GetString(&in, &ks->name);
+    if (ok && !in.empty()) {
+      ks->state = static_cast<KeyspaceState>(in[0]);
+      in.remove_prefix(1);
+    } else {
+      ok = false;
+    }
+    ok = ok && GetVarint64(&in, &ks->num_kvs) &&
+         GetString(&in, &ks->min_key) && GetString(&in, &ks->max_key) &&
+         GetClusterVec(&in, &ks->klog_clusters) &&
+         GetClusterVec(&in, &ks->vlog_clusters) &&
+         GetVarint64(&in, &ks->klog_bytes) &&
+         GetVarint64(&in, &ks->vlog_bytes) &&
+         GetClusterVec(&in, &ks->pidx_clusters) &&
+         GetClusterVec(&in, &ks->sorted_value_clusters) &&
+         GetSketch(&in, &ks->pidx_sketch) && GetVarint64(&in, &sidx_count);
+    if (!ok) return Status::Corruption("snapshot keyspace entry");
+    for (std::uint64_t j = 0; j < sidx_count; ++j) {
+      SecondaryIndex sidx;
+      if (!GetString(&in, &sidx.spec.name) ||
+          !GetVarint32(&in, &sidx.spec.value_offset) ||
+          !GetVarint32(&in, &sidx.spec.value_length) || in.empty()) {
+        return Status::Corruption("snapshot sidx entry");
+      }
+      sidx.spec.type = static_cast<nvme::SecondaryKeyType>(in[0]);
+      in.remove_prefix(1);
+      if (!GetClusterVec(&in, &sidx.sidx_clusters) ||
+          !GetSketch(&in, &sidx.sketch) ||
+          !GetVarint64(&in, &sidx.entries)) {
+        return Status::Corruption("snapshot sidx entry");
+      }
+      ks->secondary_indexes[sidx.spec.name] = std::move(sidx);
+    }
+    by_name_[ks->name] = ks->id;
+    by_id_[ks->id] = std::move(ks);
+  }
+  return Status::Ok();
+}
+
+sim::Task<Status> KeyspaceManager::Persist() {
+  const std::string snapshot = SerializeTable();
+  // If the metadata zone cannot take another snapshot, reset and start a
+  // fresh log with just the newest state.
+  if (ssd_->write_pointer(metadata_zone_) + snapshot.size() >
+      ssd_->zone_size()) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Reset(metadata_zone_));
+  }
+  auto addr = co_await ssd_->Append(
+      metadata_zone_,
+      std::span<const std::byte>(
+          reinterpret_cast<const std::byte*>(snapshot.data()),
+          snapshot.size()));
+  co_return addr.status();
+}
+
+sim::Task<Result<std::uint64_t>> KeyspaceManager::Recover() {
+  const std::uint64_t written = ssd_->write_pointer(metadata_zone_);
+  if (written == 0) co_return std::uint64_t{0};
+
+  std::string log(written, '\0');
+  KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Read(
+      static_cast<std::uint64_t>(metadata_zone_) * ssd_->zone_size(),
+      std::span<std::byte>(reinterpret_cast<std::byte*>(log.data()),
+                           log.size())));
+
+  // Walk the snapshot log; remember the last intact snapshot body.
+  std::string latest;
+  Slice in(log);
+  while (!in.empty()) {
+    std::uint32_t magic = 0, masked_crc = 0;
+    std::uint64_t len = 0;
+    if (!GetFixed32(&in, &magic) || magic != kSnapshotMagic ||
+        !GetFixed32(&in, &masked_crc) || !GetVarint64(&in, &len) ||
+        in.size() < len) {
+      break;
+    }
+    Slice body(in.data(), len);
+    in.remove_prefix(len);
+    if (crc32c::Unmask(masked_crc) !=
+        crc32c::Value(body.data(), body.size())) {
+      break;
+    }
+    latest = body.ToString();
+  }
+  if (latest.empty()) co_return std::uint64_t{0};
+  KVCSD_CO_RETURN_IF_ERROR(DeserializeTable(latest));
+  co_return static_cast<std::uint64_t>(by_id_.size());
+}
+
+std::string_view KeyspaceStateName(KeyspaceState state) {
+  switch (state) {
+    case KeyspaceState::kEmpty:
+      return "EMPTY";
+    case KeyspaceState::kWritable:
+      return "WRITABLE";
+    case KeyspaceState::kCompacting:
+      return "COMPACTING";
+    case KeyspaceState::kCompacted:
+      return "COMPACTED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace kvcsd::device

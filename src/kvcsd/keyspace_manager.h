@@ -1,0 +1,59 @@
+// Keyspace table: name -> Keyspace, persisted to the reserved metadata
+// zone of the ZNS SSD (paper §IV: "an in-memory keyspace table backed by a
+// metadata zone in the underlying ZNS SSD for data persistence").
+//
+// Persistence model: every mutation appends a full serialized snapshot of
+// the table to the metadata zone; when the zone fills, it is reset and the
+// newest snapshot is rewritten (log-structured metadata over one zone).
+// Recovery loads the last intact snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "kvcsd/keyspace.h"
+#include "kvcsd/zone_manager.h"
+#include "sim/task.h"
+
+namespace kvcsd::device {
+
+class KeyspaceManager {
+ public:
+  KeyspaceManager(storage::ZnsSsd* ssd, std::uint32_t metadata_zone = 0)
+      : ssd_(ssd), metadata_zone_(metadata_zone) {}
+
+  Result<Keyspace*> Create(const std::string& name);
+  Result<Keyspace*> Find(const std::string& name);
+  Result<Keyspace*> FindById(std::uint64_t id);
+  // Removes the in-memory entry (zone clusters are the device's job).
+  Status Erase(std::uint64_t id);
+
+  std::size_t size() const { return by_id_.size(); }
+  const std::map<std::uint64_t, std::unique_ptr<Keyspace>>& all() const {
+    return by_id_;
+  }
+
+  // Appends a table snapshot to the metadata zone (resetting it first if
+  // the snapshot no longer fits).
+  sim::Task<Status> Persist();
+
+  // Rebuilds the table from the newest intact snapshot. Returns the number
+  // of keyspaces recovered. NOTE: zone-cluster maps are restored as ids;
+  // the caller re-wires them against the ZoneManager.
+  sim::Task<Result<std::uint64_t>> Recover();
+
+ private:
+  std::string SerializeTable() const;
+  Status DeserializeTable(const std::string& raw);
+
+  storage::ZnsSsd* ssd_;
+  std::uint32_t metadata_zone_;
+  std::map<std::uint64_t, std::unique_ptr<Keyspace>> by_id_;
+  std::map<std::string, std::uint64_t> by_name_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace kvcsd::device

@@ -1,0 +1,243 @@
+// Offloaded query processing (paper §V "Query Processing").
+//
+// All queries start from the in-memory pivot sketch in the keyspace table:
+// binary-search the sketch, read the covering 4 KB PIDX/SIDX block(s) from
+// flash, then gather exactly the matching values. Because everything runs
+// in the device, only results travel back over PCIe — the mechanism behind
+// the paper's selectivity-dependent speedups (Fig. 12).
+#include <algorithm>
+
+#include "kvcsd/device.h"
+#include "kvcsd/wire.h"
+
+namespace kvcsd::device {
+
+namespace {
+
+// Index of the sketch block that could contain `key`: the last block whose
+// pivot (first key) is <= key. Returns sketch.size() if key precedes all.
+// Only valid when pivots are unique (primary keys); range queries over
+// secondary keys must use SketchRangeStart instead.
+std::size_t SketchLowerBlock(const std::vector<SketchEntry>& sketch,
+                             const std::string& key) {
+  auto it = std::upper_bound(
+      sketch.begin(), sketch.end(), key,
+      [](const std::string& k, const SketchEntry& e) { return k < e.pivot; });
+  if (it == sketch.begin()) return sketch.size();  // key < first pivot
+  return static_cast<std::size_t>(it - sketch.begin()) - 1;
+}
+
+// First block that can contain entries >= lo, correct even when several
+// consecutive blocks share the same pivot (tied secondary keys): position
+// at the FIRST block whose pivot >= lo and step back one block, since the
+// preceding block's tail may still hold keys >= lo.
+std::size_t SketchRangeStart(const std::vector<SketchEntry>& sketch,
+                             const std::string& lo) {
+  auto it = std::lower_bound(
+      sketch.begin(), sketch.end(), lo,
+      [](const SketchEntry& e, const std::string& k) { return e.pivot < k; });
+  if (it != sketch.begin()) --it;
+  return static_cast<std::size_t>(it - sketch.begin());
+}
+
+}  // namespace
+
+sim::Task<Result<std::string>> Device::ReadIndexBlock(
+    const SketchEntry& entry) {
+  std::string block(entry.block_len, '\0');
+  co_await cpu_.Compute(config_.costs.io_path_overhead);
+  KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
+      entry.block_addr,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(block.data()),
+                           block.size())));
+  co_await cpu_.Compute(config_.costs.block_search);
+  co_return block;
+}
+
+sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
+    std::vector<ValueRef> refs) {
+  std::vector<std::string> out(refs.size());
+  if (refs.empty()) co_return out;
+
+  // Read in flash-address order, coalescing requests whose gap is below a
+  // page and which stay inside one zone.
+  std::vector<std::size_t> order(refs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&refs](std::size_t a, std::size_t b) {
+    return refs[a].addr < refs[b].addr;
+  });
+
+  const std::uint64_t zone_size = ssd_.zone_size();
+  constexpr std::uint64_t kMaxGap = 4096;
+  constexpr std::uint64_t kMaxRange = MiB(1);
+
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::uint64_t range_start = refs[order[i]].addr;
+    const std::uint64_t zone_end =
+        (range_start / zone_size + 1) * zone_size;
+    std::uint64_t range_end = range_start + refs[order[i]].len;
+    std::size_t j = i + 1;
+    while (j < order.size()) {
+      const ValueRef& next = refs[order[j]];
+      const std::uint64_t next_end = next.addr + next.len;
+      if (next.addr > range_end + kMaxGap) break;
+      if (next_end > zone_end) break;
+      if (next_end - range_start > kMaxRange) break;
+      range_end = std::max(range_end, next_end);
+      ++j;
+    }
+    std::string buffer(range_end - range_start, '\0');
+    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
+        range_start,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(buffer.data()),
+                             buffer.size())));
+    for (std::size_t k = i; k < j; ++k) {
+      const ValueRef& ref = refs[order[k]];
+      out[order[k]] = buffer.substr(ref.addr - range_start, ref.len);
+    }
+    i = j;
+  }
+  co_return out;
+}
+
+sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
+                                                  const std::string& key) {
+  if (ks->state != KeyspaceState::kCompacted) {
+    co_return Status::FailedPrecondition(
+        "keyspace is not queryable (state " +
+        std::string(KeyspaceStateName(ks->state)) + ")");
+  }
+  const std::size_t pos = SketchLowerBlock(ks->pidx_sketch, key);
+  if (pos >= ks->pidx_sketch.size()) co_return Status::NotFound();
+
+  auto block = co_await ReadIndexBlock(ks->pidx_sketch[pos]);
+  if (!block.ok()) co_return block.status();
+  const std::uint16_t count = DecodeFixed16(block->data());
+  Slice in(block->data() + 2, block->size() - 2);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    wire::PidxEntry entry;
+    if (!wire::ParsePidxEntry(&in, &entry)) {
+      co_return Status::Corruption("bad PIDX block");
+    }
+    if (entry.key == Slice(key)) {
+      std::vector<ValueRef> one;
+      one.push_back(ValueRef{entry.vaddr, entry.vlen});
+      auto values = co_await GatherValues(std::move(one));
+      if (!values.ok()) co_return values.status();
+      co_return std::move((*values)[0]);
+    }
+    if (Slice(key) < entry.key) break;  // sorted: key is absent
+  }
+  co_return Status::NotFound();
+}
+
+sim::Task<Status> Device::QueryPrimaryRange(
+    Keyspace* ks, const std::string& lo, const std::string& hi,
+    std::uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  if (ks->state != KeyspaceState::kCompacted) {
+    co_return Status::FailedPrecondition("keyspace is not queryable");
+  }
+  if (ks->pidx_sketch.empty()) co_return Status::Ok();
+
+  std::size_t pos = SketchRangeStart(ks->pidx_sketch, lo);
+
+  std::vector<std::pair<std::string, ValueRef>> matches;
+  for (; pos < ks->pidx_sketch.size(); ++pos) {
+    if (ks->pidx_sketch[pos].pivot > hi) break;
+    auto block = co_await ReadIndexBlock(ks->pidx_sketch[pos]);
+    if (!block.ok()) co_return block.status();
+    const std::uint16_t count = DecodeFixed16(block->data());
+    Slice in(block->data() + 2, block->size() - 2);
+    bool past_hi = false;
+    for (std::uint16_t i = 0; i < count; ++i) {
+      wire::PidxEntry entry;
+      if (!wire::ParsePidxEntry(&in, &entry)) {
+        co_return Status::Corruption("bad PIDX block");
+      }
+      if (entry.key < Slice(lo)) continue;
+      if (Slice(hi) < entry.key) {
+        past_hi = true;
+        break;
+      }
+      matches.emplace_back(entry.key.ToString(),
+                           ValueRef{entry.vaddr, entry.vlen});
+      if (limit != 0 && matches.size() >= limit) {
+        past_hi = true;
+        break;
+      }
+    }
+    if (past_hi) break;
+  }
+
+  std::vector<ValueRef> refs;
+  refs.reserve(matches.size());
+  for (const auto& [key, ref] : matches) refs.push_back(ref);
+  auto values = co_await GatherValues(std::move(refs));
+  if (!values.ok()) co_return values.status();
+  out->reserve(out->size() + matches.size());
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    out->emplace_back(std::move(matches[i].first), std::move((*values)[i]));
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Device::QuerySecondaryRange(
+    Keyspace* ks, const std::string& index_name, const std::string& lo,
+    const std::string& hi, std::uint32_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  if (ks->state != KeyspaceState::kCompacted) {
+    co_return Status::FailedPrecondition("keyspace is not queryable");
+  }
+  auto sidx_it = ks->secondary_indexes.find(index_name);
+  if (sidx_it == ks->secondary_indexes.end()) {
+    co_return Status::NotFound("no such secondary index: " + index_name);
+  }
+  const SecondaryIndex& sidx = sidx_it->second;
+  if (sidx.sketch.empty()) co_return Status::Ok();
+
+  std::size_t pos = SketchRangeStart(sidx.sketch, lo);
+
+  std::vector<std::pair<std::string, ValueRef>> matches;  // pkey, value ref
+  for (; pos < sidx.sketch.size(); ++pos) {
+    if (sidx.sketch[pos].pivot > hi) break;
+    auto block = co_await ReadIndexBlock(sidx.sketch[pos]);
+    if (!block.ok()) co_return block.status();
+    const std::uint16_t count = DecodeFixed16(block->data());
+    Slice in(block->data() + 2, block->size() - 2);
+    bool past_hi = false;
+    for (std::uint16_t i = 0; i < count; ++i) {
+      wire::SidxEntry entry;
+      if (!wire::ParseSidxEntry(&in, &entry)) {
+        co_return Status::Corruption("bad SIDX block");
+      }
+      if (entry.skey < Slice(lo)) continue;
+      if (Slice(hi) < entry.skey) {
+        past_hi = true;
+        break;
+      }
+      matches.emplace_back(entry.pkey.ToString(),
+                           ValueRef{entry.vaddr, entry.vlen});
+      if (limit != 0 && matches.size() >= limit) {
+        past_hi = true;
+        break;
+      }
+    }
+    if (past_hi) break;
+  }
+
+  std::vector<ValueRef> refs;
+  refs.reserve(matches.size());
+  for (const auto& [pkey, ref] : matches) refs.push_back(ref);
+  auto values = co_await GatherValues(std::move(refs));
+  if (!values.ok()) co_return values.status();
+  out->reserve(out->size() + matches.size());
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    out->emplace_back(std::move(matches[i].first), std::move((*values)[i]));
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace kvcsd::device

@@ -1,0 +1,124 @@
+// On-flash record formats shared by the write path, the compactor, and
+// the query engine.
+//
+//   KLOG entry   := varint32 klen | key | fixed64 vaddr | varint32 vlen
+//   PIDX block   := fixed16 count | count * (varint32 klen | key |
+//                   fixed64 vaddr | varint32 vlen) | zero pad to 4 KB
+//   SIDX block   := fixed16 count | count * (varint32 sklen | skey_enc |
+//                   varint32 pklen | pkey | fixed64 vaddr | varint32 vlen)
+//                   | zero pad to 4 KB
+//
+// skey_enc is the order-preserving encoding of the typed secondary key
+// (common/keys.h), so memcmp order == numeric order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace kvcsd::device::wire {
+
+inline void AppendKlogEntry(std::string* out, const Slice& key,
+                            std::uint64_t vaddr, std::uint32_t vlen) {
+  PutVarint32(out, static_cast<std::uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+  PutFixed64(out, vaddr);
+  PutVarint32(out, vlen);
+}
+
+struct ParsedKlogEntry {
+  Slice key;
+  std::uint64_t vaddr;
+  std::uint32_t vlen;
+};
+
+inline bool ParseKlogEntry(Slice* in, ParsedKlogEntry* out) {
+  std::uint32_t klen = 0;
+  if (!GetVarint32(in, &klen) || in->size() < klen) return false;
+  out->key = Slice(in->data(), klen);
+  in->remove_prefix(klen);
+  return GetFixed64(in, &out->vaddr) && GetVarint32(in, &out->vlen);
+}
+
+// --- PIDX ---
+
+struct PidxEntry {
+  Slice key;
+  std::uint64_t vaddr;
+  std::uint32_t vlen;
+};
+
+inline std::size_t PidxEntrySize(const Slice& key) {
+  return static_cast<std::size_t>(VarintLength(key.size())) + key.size() +
+         8 + 5;  // worst-case vlen varint
+}
+
+inline void AppendPidxEntry(std::string* out, const Slice& key,
+                            std::uint64_t vaddr, std::uint32_t vlen) {
+  PutVarint32(out, static_cast<std::uint32_t>(key.size()));
+  out->append(key.data(), key.size());
+  PutFixed64(out, vaddr);
+  PutVarint32(out, vlen);
+}
+
+inline bool ParsePidxEntry(Slice* in, PidxEntry* out) {
+  std::uint32_t klen = 0;
+  if (!GetVarint32(in, &klen) || in->size() < klen) return false;
+  out->key = Slice(in->data(), klen);
+  in->remove_prefix(klen);
+  return GetFixed64(in, &out->vaddr) && GetVarint32(in, &out->vlen);
+}
+
+// --- SIDX ---
+
+struct SidxEntry {
+  Slice skey;  // order-encoded secondary key
+  Slice pkey;
+  std::uint64_t vaddr;
+  std::uint32_t vlen;
+};
+
+inline std::size_t SidxEntrySize(const Slice& skey, const Slice& pkey) {
+  return static_cast<std::size_t>(VarintLength(skey.size())) + skey.size() +
+         static_cast<std::size_t>(VarintLength(pkey.size())) + pkey.size() +
+         8 + 5;
+}
+
+inline void AppendSidxEntry(std::string* out, const Slice& skey,
+                            const Slice& pkey, std::uint64_t vaddr,
+                            std::uint32_t vlen) {
+  PutVarint32(out, static_cast<std::uint32_t>(skey.size()));
+  out->append(skey.data(), skey.size());
+  PutVarint32(out, static_cast<std::uint32_t>(pkey.size()));
+  out->append(pkey.data(), pkey.size());
+  PutFixed64(out, vaddr);
+  PutVarint32(out, vlen);
+}
+
+inline bool ParseSidxEntry(Slice* in, SidxEntry* out) {
+  std::uint32_t sklen = 0;
+  if (!GetVarint32(in, &sklen) || in->size() < sklen) return false;
+  out->skey = Slice(in->data(), sklen);
+  in->remove_prefix(sklen);
+  std::uint32_t pklen = 0;
+  if (!GetVarint32(in, &pklen) || in->size() < pklen) return false;
+  out->pkey = Slice(in->data(), pklen);
+  in->remove_prefix(pklen);
+  return GetFixed64(in, &out->vaddr) && GetVarint32(in, &out->vlen);
+}
+
+// Index blocks start with a fixed16 entry count.
+inline void BeginIndexBlock(std::string* block) {
+  block->clear();
+  PutFixed16(block, 0);  // patched by FinishIndexBlock
+}
+
+inline void FinishIndexBlock(std::string* block, std::uint16_t count,
+                             std::uint32_t block_size) {
+  EncodeFixed16(block->data(), count);
+  block->resize(block_size, '\0');
+}
+
+}  // namespace kvcsd::device::wire

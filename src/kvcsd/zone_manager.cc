@@ -1,0 +1,92 @@
+#include "kvcsd/zone_manager.h"
+
+#include <algorithm>
+
+namespace kvcsd::device {
+
+ZoneManager::ZoneManager(storage::ZnsSsd* ssd, ZoneManagerConfig config,
+                         std::uint64_t seed)
+    : ssd_(ssd), config_(config), rng_(seed) {
+  free_zones_.reserve(ssd->num_zones());
+  // LIFO pool, highest ids first, so allocation hands out low zone ids in
+  // ascending order (and therefore consecutive channels) per cluster.
+  for (std::uint32_t z = ssd->num_zones(); z-- > config_.reserved_zones;) {
+    free_zones_.push_back(z);
+  }
+}
+
+Result<ClusterId> ZoneManager::AllocateCluster(ZoneType type) {
+  if (free_zones_.size() < config_.zones_per_cluster) {
+    return Status::OutOfSpace("zone pool exhausted");
+  }
+  Cluster cluster;
+  cluster.type = type;
+  cluster.zones.reserve(config_.zones_per_cluster);
+  for (std::uint32_t i = 0; i < config_.zones_per_cluster; ++i) {
+    cluster.zones.push_back(free_zones_.back());
+    free_zones_.pop_back();
+  }
+  // The paper's channel-conflict mitigation: start the write rotation at a
+  // random zone so simultaneous writers land on different channels.
+  cluster.next_zone =
+      static_cast<std::uint32_t>(rng_.Uniform(cluster.zones.size()));
+  const ClusterId id = next_cluster_id_++;
+  clusters_.emplace(id, std::move(cluster));
+  return id;
+}
+
+sim::Task<Status> ZoneManager::ReleaseCluster(ClusterId id) {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    co_return Status::NotFound("no such cluster");
+  }
+  for (std::uint32_t zone : it->second.zones) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Reset(zone));
+    free_zones_.push_back(zone);
+  }
+  clusters_.erase(it);
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::uint64_t>> ZoneManager::Append(
+    ClusterId id, std::span<const std::byte> data) {
+  auto it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    co_return Status::NotFound("no such cluster");
+  }
+  Cluster& cluster = it->second;
+  if (data.size() > ssd_->zone_size()) {
+    co_return Status::InvalidArgument("record larger than a zone");
+  }
+  // Try each zone once, starting at the rotation cursor.
+  for (std::size_t attempt = 0; attempt < cluster.zones.size(); ++attempt) {
+    const std::uint32_t zone = cluster.zones[cluster.next_zone];
+    cluster.next_zone =
+        static_cast<std::uint32_t>((cluster.next_zone + 1) %
+                                   cluster.zones.size());
+    if (ssd_->zone_state(zone) != storage::ZoneState::kFull &&
+        ssd_->write_pointer(zone) + data.size() <= ssd_->zone_size()) {
+      co_return co_await ssd_->Append(zone, data);
+    }
+  }
+  co_return Status::OutOfSpace("cluster full");
+}
+
+ZoneType ZoneManager::cluster_type(ClusterId id) const {
+  return clusters_.at(id).type;
+}
+
+const std::vector<std::uint32_t>& ZoneManager::cluster_zones(
+    ClusterId id) const {
+  return clusters_.at(id).zones;
+}
+
+std::uint64_t ZoneManager::ClusterBytes(ClusterId id) const {
+  std::uint64_t total = 0;
+  for (std::uint32_t zone : clusters_.at(id).zones) {
+    total += ssd_->write_pointer(zone);
+  }
+  return total;
+}
+
+}  // namespace kvcsd::device

@@ -1,0 +1,94 @@
+// Zone manager (paper §IV): allocates ZNS zones in groups called *zone
+// clusters* and spreads writes across a cluster's zones starting at a
+// per-cluster random offset, so concurrent keyspace writers do not pile
+// onto the same SSD channels ("channel conflicts").
+//
+// Five cluster types exist, matching the five zone roles in Fig. 4:
+// KLOG/VLOG for unsorted logs while a keyspace is WRITABLE, and
+// PIDX/SIDX/SORTED_VALUES once it is COMPACTED (plus TEMP clusters holding
+// intermediate merge-sort runs).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sim/task.h"
+#include "storage/zns.h"
+
+namespace kvcsd::device {
+
+enum class ZoneType : std::uint8_t {
+  kKlog = 0,
+  kVlog,
+  kPidx,
+  kSidx,
+  kSortedValues,
+  kTemp,  // intermediate merge-sort output, released after the sort
+};
+
+using ClusterId = std::uint64_t;
+
+struct ZoneManagerConfig {
+  std::uint32_t zones_per_cluster = 4;
+  std::uint32_t reserved_zones = 1;  // zone 0 holds keyspace metadata
+};
+
+class ZoneManager {
+ public:
+  ZoneManager(storage::ZnsSsd* ssd, ZoneManagerConfig config,
+              std::uint64_t seed = 42);
+
+  // Claims `zones_per_cluster` free zones. Fails with kOutOfSpace when the
+  // free pool is exhausted.
+  Result<ClusterId> AllocateCluster(ZoneType type);
+
+  // Resets every zone of the cluster and returns them to the free pool.
+  sim::Task<Status> ReleaseCluster(ClusterId id);
+
+  // Appends a contiguous record to the cluster, rotating the target zone
+  // per append starting at the cluster's random offset. Returns the device
+  // byte address of the record. Fails with kOutOfSpace when no zone in the
+  // cluster can hold the record (caller allocates a follow-up cluster).
+  sim::Task<Result<std::uint64_t>> Append(ClusterId id,
+                                          std::span<const std::byte> data);
+
+  // Reads back exactly `out.size()` bytes from device address `addr`.
+  sim::Task<Status> Read(std::uint64_t addr, std::span<std::byte> out) {
+    return ssd_->Read(addr, out);
+  }
+
+  ZoneType cluster_type(ClusterId id) const;
+  const std::vector<std::uint32_t>& cluster_zones(ClusterId id) const;
+  std::size_t free_zones() const { return free_zones_.size(); }
+  std::size_t live_clusters() const { return clusters_.size(); }
+  // Diagnostic: ids and types of every live cluster.
+  std::vector<std::pair<ClusterId, ZoneType>> LiveClusters() const {
+    std::vector<std::pair<ClusterId, ZoneType>> out;
+    for (const auto& [id, c] : clusters_) out.emplace_back(id, c.type);
+    return out;
+  }
+  storage::ZnsSsd* ssd() { return ssd_; }
+
+  // Total payload bytes a cluster currently stores.
+  std::uint64_t ClusterBytes(ClusterId id) const;
+
+ private:
+  struct Cluster {
+    ZoneType type;
+    std::vector<std::uint32_t> zones;
+    std::uint32_t next_zone;  // rotation cursor, randomly seeded
+  };
+
+  storage::ZnsSsd* ssd_;
+  ZoneManagerConfig config_;
+  Rng rng_;
+  std::vector<std::uint32_t> free_zones_;  // LIFO free pool
+  std::map<ClusterId, Cluster> clusters_;
+  ClusterId next_cluster_id_ = 1;
+};
+
+}  // namespace kvcsd::device

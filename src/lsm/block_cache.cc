@@ -1,0 +1,53 @@
+#include "lsm/block_cache.h"
+
+namespace kvcsd::lsm {
+
+const std::string* BlockCache::Lookup(std::uint64_t file_number,
+                                      std::uint64_t offset) {
+  auto it = map_.find(Key{file_number, offset});
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  return &it->second->block;
+}
+
+void BlockCache::Insert(std::uint64_t file_number, std::uint64_t offset,
+                        std::string block) {
+  const Key key{file_number, offset};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  charge_ += block.size();
+  lru_.push_front(Entry{key, std::move(block)});
+  map_[key] = lru_.begin();
+  while (charge_ > capacity_ && !lru_.empty()) {
+    charge_ -= lru_.back().block.size();
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::EvictFile(std::uint64_t file_number) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.first == file_number) {
+      charge_ -= it->block.size();
+      map_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  charge_ = 0;
+}
+
+}  // namespace kvcsd::lsm

@@ -1,0 +1,56 @@
+// LRU block cache (the RocksDB "block cache"): caches decoded SSTable
+// blocks above the filesystem, keyed by (file number, block offset). This
+// is the client-side caching the paper credits for RocksDB's improving GET
+// latency within a run (Fig. 10, Fig. 12).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace kvcsd::lsm {
+
+class BlockCache {
+ public:
+  explicit BlockCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  // Each Db instance sharing this cache must namespace its file numbers
+  // (RocksDB's per-file "cache id"): two instances both have a file #7.
+  std::uint64_t NewCacheId() { return next_cache_id_++; }
+
+  // Returns the cached block or nullptr. The pointer stays valid until the
+  // entry is evicted; callers use it within one operation only.
+  const std::string* Lookup(std::uint64_t file_number, std::uint64_t offset);
+
+  void Insert(std::uint64_t file_number, std::uint64_t offset,
+              std::string block);
+
+  void EvictFile(std::uint64_t file_number);
+  void Clear();
+
+  std::uint64_t charge() const { return charge_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;  // (file, offset)
+
+  struct Entry {
+    Key key;
+    std::string block;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t next_cache_id_ = 1;
+  std::uint64_t charge_ = 0;
+  std::list<Entry> lru_;  // front = MRU
+  std::map<Key, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace kvcsd::lsm

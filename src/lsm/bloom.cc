@@ -1,0 +1,87 @@
+#include "lsm/bloom.h"
+
+#include <algorithm>
+
+namespace kvcsd::lsm {
+
+std::uint32_t BloomHash(const Slice& key) {
+  // Murmur-inspired one-pass hash (LevelDB's Hash() simplified).
+  const std::uint32_t seed = 0xbc9f1d34;
+  const std::uint32_t m = 0xc6a4a793;
+  std::uint32_t h = seed ^ (static_cast<std::uint32_t>(key.size()) * m);
+  const char* data = key.data();
+  std::size_t n = key.size();
+  while (n >= 4) {
+    std::uint32_t w;
+    std::memcpy(&w, data, 4);
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+    data += 4;
+    n -= 4;
+  }
+  switch (n) {
+    case 3:
+      h += static_cast<unsigned char>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[0]);
+      h *= m;
+      h ^= (h >> 24);
+      break;
+  }
+  return h;
+}
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key) {
+  // k = ln(2) * bits/key, clamped like LevelDB.
+  num_probes_ = static_cast<int>(bits_per_key * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  std::size_t bits = hashes_.size() * static_cast<std::size_t>(bits_per_key_);
+  bits = std::max<std::size_t>(bits, 64);
+  const std::size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string filter(bytes, '\0');
+  for (std::uint32_t h : hashes_) {
+    std::uint32_t delta = (h >> 17) | (h << 15);  // double hashing
+    for (int p = 0; p < num_probes_; ++p) {
+      const std::size_t bit = h % bits;
+      filter[bit / 8] |= static_cast<char>(1 << (bit % 8));
+      h += delta;
+    }
+  }
+  filter.push_back(static_cast<char>(num_probes_));
+  hashes_.clear();
+  return filter;
+}
+
+bool BloomFilterMayContain(const Slice& filter, const Slice& key) {
+  if (filter.size() < 2) return true;  // degenerate: treat as "maybe"
+  const std::size_t bytes = filter.size() - 1;
+  const std::size_t bits = bytes * 8;
+  const int num_probes = static_cast<unsigned char>(filter[bytes]);
+  if (num_probes > 30) return true;  // reserved encodings: be permissive
+
+  std::uint32_t h = BloomHash(key);
+  std::uint32_t delta = (h >> 17) | (h << 15);
+  for (int p = 0; p < num_probes; ++p) {
+    const std::size_t bit = h % bits;
+    if ((filter[bit / 8] & (1 << (bit % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace kvcsd::lsm

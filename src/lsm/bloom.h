@@ -1,0 +1,35 @@
+// Bloom filter over user keys, LevelDB-style double hashing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace kvcsd::lsm {
+
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(const Slice& key);
+
+  // Serializes the filter: bit array followed by a 1-byte probe count.
+  std::string Finish();
+
+  std::size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  int bits_per_key_;
+  int num_probes_;
+  std::vector<std::uint32_t> hashes_;
+};
+
+// True if the key may be in the set; false means definitely absent.
+bool BloomFilterMayContain(const Slice& filter, const Slice& key);
+
+// FNV-1a-flavoured hash used by both sides.
+std::uint32_t BloomHash(const Slice& key);
+
+}  // namespace kvcsd::lsm

@@ -1,0 +1,21 @@
+// Shared environment for all LSM components: where time is charged (host
+// CPU pool), where bytes live (host filesystem), and where statistics go.
+#pragma once
+
+#include "hostenv/cost_model.h"
+#include "hostenv/fs.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+#include "sim/stats.h"
+
+namespace kvcsd::lsm {
+
+struct LsmEnv {
+  sim::Simulation* sim;
+  hostenv::Fs* fs;
+  sim::CpuPool* cpu;
+  hostenv::CostModel costs;
+  sim::Stats* stats;  // usually &sim->stats()
+};
+
+}  // namespace kvcsd::lsm

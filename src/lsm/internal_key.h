@@ -1,0 +1,83 @@
+// Internal key format: user_key ++ fixed64(sequence << 8 | type).
+//
+// Ordering: user key ascending, then sequence DESCENDING (newer first),
+// then type descending — identical to LevelDB/RocksDB, so overwrites and
+// tombstones resolve to the newest visible entry during merges and reads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/slice.h"
+
+namespace kvcsd::lsm {
+
+using SequenceNumber = std::uint64_t;
+constexpr SequenceNumber kMaxSequenceNumber = (1ull << 56) - 1;
+
+enum class ValueType : std::uint8_t {
+  kDeletion = 0,
+  kValue = 1,
+};
+
+inline std::uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  return (seq << 8) | static_cast<std::uint8_t>(t);
+}
+
+inline void AppendInternalKey(std::string* dst, const Slice& user_key,
+                              SequenceNumber seq, ValueType t) {
+  dst->append(user_key.data(), user_key.size());
+  PutFixed64(dst, PackSequenceAndType(seq, t));
+}
+
+inline std::string MakeInternalKey(const Slice& user_key, SequenceNumber seq,
+                                   ValueType t) {
+  std::string key;
+  key.reserve(user_key.size() + 8);
+  AppendInternalKey(&key, user_key, seq, t);
+  return key;
+}
+
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = ValueType::kValue;
+};
+
+inline bool ParseInternalKey(const Slice& internal_key,
+                             ParsedInternalKey* out) {
+  if (internal_key.size() < 8) return false;
+  const std::uint64_t packed =
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  out->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  out->sequence = packed >> 8;
+  const std::uint8_t type_byte = packed & 0xff;
+  if (type_byte > static_cast<std::uint8_t>(ValueType::kValue)) return false;
+  out->type = static_cast<ValueType>(type_byte);
+  return true;
+}
+
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+// Three-way comparison of internal keys per the ordering above.
+inline int CompareInternalKeys(const Slice& a, const Slice& b) {
+  const int user = ExtractUserKey(a).compare(ExtractUserKey(b));
+  if (user != 0) return user;
+  const std::uint64_t pa = DecodeFixed64(a.data() + a.size() - 8);
+  const std::uint64_t pb = DecodeFixed64(b.data() + b.size() - 8);
+  // Higher (seq, type) sorts FIRST.
+  if (pa > pb) return -1;
+  if (pa < pb) return +1;
+  return 0;
+}
+
+struct InternalKeyComparator {
+  int operator()(const Slice& a, const Slice& b) const {
+    return CompareInternalKeys(a, b);
+  }
+};
+
+}  // namespace kvcsd::lsm

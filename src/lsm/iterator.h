@@ -1,0 +1,134 @@
+// Internal iterator interface and the merging iterator used by range scans
+// and compactions. Iteration is in internal-key order (user key asc, seq
+// desc), so the first occurrence of a user key is its newest version.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/internal_key.h"
+#include "lsm/memtable.h"
+#include "lsm/sstable.h"
+#include "sim/task.h"
+
+namespace kvcsd::lsm {
+
+class InternalIterator {
+ public:
+  virtual ~InternalIterator() = default;
+  virtual sim::Task<Status> SeekToFirst() = 0;
+  virtual sim::Task<Status> Seek(const Slice& internal_target) = 0;
+  virtual sim::Task<Status> Next() = 0;
+  virtual bool Valid() const = 0;
+  virtual Slice internal_key() const = 0;
+  virtual Slice value() const = 0;
+};
+
+// Adapter over MemTable::Iterator (memtables never do I/O; the coroutine
+// interface is for uniformity).
+class MemTableIterator final : public InternalIterator {
+ public:
+  explicit MemTableIterator(const MemTable* mem) : iter_(mem) {}
+
+  sim::Task<Status> SeekToFirst() override {
+    iter_.SeekToFirst();
+    co_return Status::Ok();
+  }
+  sim::Task<Status> Seek(const Slice& target) override {
+    iter_.Seek(target);
+    co_return Status::Ok();
+  }
+  sim::Task<Status> Next() override {
+    iter_.Next();
+    co_return Status::Ok();
+  }
+  bool Valid() const override { return iter_.Valid(); }
+  Slice internal_key() const override { return iter_.internal_key(); }
+  Slice value() const override { return iter_.value(); }
+
+ private:
+  MemTable::Iterator iter_;
+};
+
+// Adapter over SstableReader::Iterator.
+class SstableIterator final : public InternalIterator {
+ public:
+  explicit SstableIterator(SstableReader* table, bool fill_cache = true)
+      : iter_(table, fill_cache) {}
+
+  sim::Task<Status> SeekToFirst() override {
+    co_return co_await iter_.SeekToFirst();
+  }
+  sim::Task<Status> Seek(const Slice& target) override {
+    co_return co_await iter_.Seek(target);
+  }
+  sim::Task<Status> Next() override { co_return co_await iter_.Next(); }
+  bool Valid() const override { return iter_.Valid(); }
+  Slice internal_key() const override { return iter_.internal_key(); }
+  Slice value() const override { return iter_.value(); }
+
+ private:
+  SstableReader::Iterator iter_;
+};
+
+// K-way merge of child iterators in internal-key order. Ties (identical
+// internal keys cannot happen; identical user keys differ by sequence) are
+// resolved by the comparator alone.
+class MergingIterator final : public InternalIterator {
+ public:
+  explicit MergingIterator(
+      std::vector<std::unique_ptr<InternalIterator>> children)
+      : children_(std::move(children)) {}
+
+  sim::Task<Status> SeekToFirst() override {
+    for (auto& child : children_) {
+      Status s = co_await child->SeekToFirst();
+      if (!s.ok()) co_return s;
+    }
+    FindSmallest();
+    co_return Status::Ok();
+  }
+
+  sim::Task<Status> Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      Status s = co_await child->Seek(target);
+      if (!s.ok()) co_return s;
+    }
+    FindSmallest();
+    co_return Status::Ok();
+  }
+
+  sim::Task<Status> Next() override {
+    if (current_ == nullptr) {
+      co_return Status::FailedPrecondition("merging iterator not valid");
+    }
+    Status s = co_await current_->Next();
+    if (!s.ok()) co_return s;
+    FindSmallest();
+    co_return Status::Ok();
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+  Slice internal_key() const override { return current_->internal_key(); }
+  Slice value() const override { return current_->value(); }
+
+ private:
+  void FindSmallest() {
+    current_ = nullptr;
+    for (auto& child : children_) {
+      if (!child->Valid()) continue;
+      if (current_ == nullptr ||
+          CompareInternalKeys(child->internal_key(),
+                              current_->internal_key()) < 0) {
+        current_ = child.get();
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<InternalIterator>> children_;
+  InternalIterator* current_ = nullptr;
+};
+
+}  // namespace kvcsd::lsm

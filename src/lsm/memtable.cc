@@ -1,0 +1,98 @@
+#include "lsm/memtable.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace kvcsd::lsm {
+
+namespace {
+
+// Decodes the length-prefixed internal key of an entry.
+Slice GetLengthPrefixed(const char* entry) {
+  Slice in(entry, 5);  // varint32 is at most 5 bytes
+  std::uint32_t len = 0;
+  GetVarint32(&in, &len);
+  return Slice(in.data(), len);
+}
+
+}  // namespace
+
+int detail::MemEntryComparator::operator()(const char* a,
+                                           const char* b) const {
+  return CompareInternalKeys(GetLengthPrefixed(a), GetLengthPrefixed(b));
+}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+                   const Slice& value) {
+  const std::size_t internal_key_size = user_key.size() + 8;
+  const std::size_t encoded_len =
+      static_cast<std::size_t>(VarintLength(internal_key_size)) +
+      internal_key_size +
+      static_cast<std::size_t>(VarintLength(value.size())) + value.size();
+
+  std::string buf;
+  buf.reserve(encoded_len);
+  PutVarint32(&buf, static_cast<std::uint32_t>(internal_key_size));
+  AppendInternalKey(&buf, user_key, seq, type);
+  PutVarint32(&buf, static_cast<std::uint32_t>(value.size()));
+  buf.append(value.data(), value.size());
+
+  char* mem = arena_.Allocate(buf.size());
+  std::memcpy(mem, buf.data(), buf.size());
+  table_.Insert(mem);
+}
+
+Status MemTable::Get(const Slice& user_key, SequenceNumber snapshot,
+                     std::string* value, bool* found) const {
+  *found = false;
+  SkipList<detail::MemEntryComparator>::Iterator iter(&table_);
+  const std::string lookup =
+      MakeInternalKey(user_key, snapshot, ValueType::kValue);
+  std::string target;
+  PutVarint32(&target, static_cast<std::uint32_t>(lookup.size()));
+  target += lookup;
+  iter.Seek(target.data());
+  if (!iter.Valid()) return Status::NotFound();
+
+  Slice entry_key = GetLengthPrefixed(iter.key());
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(entry_key, &parsed)) {
+    return Status::Corruption("bad memtable entry");
+  }
+  if (parsed.user_key != user_key) return Status::NotFound();
+
+  *found = true;
+  if (parsed.type == ValueType::kDeletion) return Status::NotFound();
+
+  // Value follows the internal key in the entry buffer.
+  const char* value_start = entry_key.data() + entry_key.size();
+  Slice in(value_start, 5);
+  std::uint32_t value_len = 0;
+  GetVarint32(&in, &value_len);
+  value->assign(in.data(), value_len);
+  return Status::Ok();
+}
+
+void MemTable::Iterator::Seek(const Slice& internal_key) {
+  seek_scratch_.clear();
+  PutVarint32(&seek_scratch_,
+              static_cast<std::uint32_t>(internal_key.size()));
+  seek_scratch_.append(internal_key.data(), internal_key.size());
+  iter_.Seek(seek_scratch_.data());
+}
+
+Slice MemTable::Iterator::internal_key() const {
+  return GetLengthPrefixed(iter_.key());
+}
+
+Slice MemTable::Iterator::value() const {
+  Slice ikey = GetLengthPrefixed(iter_.key());
+  const char* value_start = ikey.data() + ikey.size();
+  Slice in(value_start, 5);
+  std::uint32_t value_len = 0;
+  GetVarint32(&in, &value_len);
+  return Slice(in.data(), value_len);
+}
+
+}  // namespace kvcsd::lsm

@@ -1,0 +1,72 @@
+// In-memory write buffer: a skiplist of length-prefixed entries, exactly
+// the LevelDB memtable layout:
+//
+//   entry := varint32 internal_key_len | internal_key | varint32 val_len
+//            | value
+//
+// Lookups resolve the newest entry <= the requested snapshot; tombstones
+// surface as NotFound.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "lsm/arena.h"
+#include "lsm/internal_key.h"
+#include "lsm/skiplist.h"
+
+namespace kvcsd::lsm {
+
+namespace detail {
+// Compares two arena entries by their length-prefixed internal keys.
+struct MemEntryComparator {
+  int operator()(const char* a, const char* b) const;
+};
+}  // namespace detail
+
+class MemTable {
+ public:
+  MemTable() : table_(detail::MemEntryComparator{}, &arena_) {}
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  // kOk with *value filled, kNotFound if a tombstone hides the key, or
+  // kNotFound with found=false if the key is absent entirely. `found`
+  // distinguishes "this memtable has an authoritative answer" from "keep
+  // looking in older tables".
+  Status Get(const Slice& user_key, SequenceNumber snapshot,
+             std::string* value, bool* found) const;
+
+  std::size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  std::size_t num_entries() const { return table_.size(); }
+
+  // Iterates entries in internal-key order (user key asc, seq desc).
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mem) : iter_(&mem->table_) {}
+    bool Valid() const { return iter_.Valid(); }
+    void SeekToFirst() { iter_.SeekToFirst(); }
+    void Seek(const Slice& internal_key);
+    void Next() { iter_.Next(); }
+    Slice internal_key() const;
+    Slice value() const;
+
+   private:
+    SkipList<detail::MemEntryComparator>::Iterator iter_;
+    mutable std::string seek_scratch_;
+  };
+
+ private:
+  friend class Iterator;
+
+  Arena arena_;
+  SkipList<detail::MemEntryComparator> table_;
+};
+
+}  // namespace kvcsd::lsm

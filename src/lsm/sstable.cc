@@ -1,0 +1,340 @@
+#include "lsm/sstable.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "lsm/bloom.h"
+
+namespace kvcsd::lsm {
+
+namespace {
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size());
+}
+
+}  // namespace
+
+SstableBuilder::SstableBuilder(LsmEnv* env, hostenv::FileHandle file,
+                               const SstableOptions& options)
+    : env_(env),
+      file_(file),
+      options_(options),
+      bloom_(options.bloom_bits_per_key) {}
+
+sim::Task<Status> SstableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) co_return Status::Ok();
+  // Index entry: last internal key in the block + extent.
+  PutVarint32(&index_block_, static_cast<std::uint32_t>(last_key_.size()));
+  index_block_ += last_key_;
+  PutFixed64(&index_block_, offset_);
+  PutFixed64(&index_block_, data_block_.size());
+
+  co_await env_->cpu->ComputeBytes(data_block_.size(),
+                                   env_->costs.checksum_bytes_per_sec);
+  Status s = co_await env_->fs->Append(file_, AsBytes(data_block_));
+  if (!s.ok()) co_return s;
+  offset_ += data_block_.size();
+  data_block_.clear();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> SstableBuilder::Add(const Slice& internal_key,
+                                      const Slice& value) {
+  if (finished_) co_return Status::FailedPrecondition("builder finished");
+  if (!last_key_.empty() &&
+      CompareInternalKeys(internal_key, Slice(last_key_)) <= 0) {
+    co_return Status::InvalidArgument("keys not in increasing order");
+  }
+  if (smallest_.empty()) smallest_ = internal_key.ToString();
+  largest_ = internal_key.ToString();
+  last_key_ = internal_key.ToString();
+
+  bloom_.AddKey(ExtractUserKey(internal_key));
+  PutVarint32(&data_block_, static_cast<std::uint32_t>(internal_key.size()));
+  data_block_.append(internal_key.data(), internal_key.size());
+  PutVarint32(&data_block_, static_cast<std::uint32_t>(value.size()));
+  data_block_.append(value.data(), value.size());
+  ++num_entries_;
+
+  if (data_block_.size() >= options_.block_size) {
+    co_return co_await FlushDataBlock();
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> SstableBuilder::Finish() {
+  if (finished_) co_return Status::FailedPrecondition("already finished");
+  finished_ = true;
+  Status s = co_await FlushDataBlock();
+  if (!s.ok()) co_return s;
+
+  const std::uint64_t filter_offset = offset_;
+  std::string filter = bloom_.Finish();
+  s = co_await env_->fs->Append(file_, AsBytes(filter));
+  if (!s.ok()) co_return s;
+  offset_ += filter.size();
+
+  const std::uint64_t index_offset = offset_;
+  s = co_await env_->fs->Append(file_, AsBytes(index_block_));
+  if (!s.ok()) co_return s;
+  offset_ += index_block_.size();
+
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index_block_.size());
+  PutFixed64(&footer, filter_offset);
+  PutFixed64(&footer, filter.size());
+  PutFixed64(&footer, num_entries_);
+  PutFixed32(&footer, kSstMagic);
+  s = co_await env_->fs->Append(file_, AsBytes(footer));
+  if (!s.ok()) co_return s;
+  offset_ += footer.size();
+
+  co_return co_await env_->fs->Sync(file_);
+}
+
+sim::Task<Result<std::unique_ptr<SstableReader>>> SstableReader::Open(
+    LsmEnv* env, BlockCache* block_cache, std::uint64_t file_number,
+    const std::string& file_name, const SstableOptions& options) {
+  auto size = env->fs->FileSize(file_name);
+  if (!size.ok()) co_return size.status();
+  if (*size < kSstFooterSize) co_return Status::Corruption("table too small");
+  auto handle = env->fs->Open(file_name);
+  if (!handle.ok()) co_return handle.status();
+
+  std::unique_ptr<SstableReader> reader(
+      new SstableReader(env, block_cache, file_number, *handle));
+  reader->options_ = options;
+  reader->file_size_ = *size;
+
+  std::string footer(kSstFooterSize, '\0');
+  Status s = co_await env->fs->Pread(
+      *handle, *size - kSstFooterSize,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(footer.data()),
+                           footer.size()));
+  if (!s.ok()) co_return s;
+
+  Slice in(footer);
+  std::uint64_t index_offset, index_size, filter_offset, filter_size;
+  std::uint32_t magic;
+  GetFixed64(&in, &index_offset);
+  GetFixed64(&in, &index_size);
+  GetFixed64(&in, &filter_offset);
+  GetFixed64(&in, &filter_size);
+  GetFixed64(&in, &reader->num_entries_);
+  GetFixed32(&in, &magic);
+  if (magic != kSstMagic) co_return Status::Corruption("bad table magic");
+  if (index_offset + index_size > *size ||
+      filter_offset + filter_size > *size) {
+    co_return Status::Corruption("footer extents out of range");
+  }
+
+  reader->filter_.resize(filter_size);
+  if (filter_size > 0) {
+    s = co_await env->fs->Pread(
+        *handle, filter_offset,
+        std::span<std::byte>(
+            reinterpret_cast<std::byte*>(reader->filter_.data()),
+            filter_size));
+    if (!s.ok()) co_return s;
+  }
+
+  std::string index_raw(index_size, '\0');
+  if (index_size > 0) {
+    s = co_await env->fs->Pread(
+        *handle, index_offset,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(index_raw.data()),
+                             index_size));
+    if (!s.ok()) co_return s;
+  }
+  Slice idx(index_raw);
+  while (!idx.empty()) {
+    IndexEntry e;
+    e.index_file_offset =
+        index_offset + (index_raw.size() - idx.size());
+    std::uint32_t klen = 0;
+    if (!GetVarint32(&idx, &klen) || idx.size() < klen + 16) {
+      co_return Status::Corruption("bad index entry");
+    }
+    e.last_key.assign(idx.data(), klen);
+    idx.remove_prefix(klen);
+    GetFixed64(&idx, &e.offset);
+    GetFixed64(&idx, &e.size);
+    reader->index_.push_back(std::move(e));
+  }
+  co_return reader;
+}
+
+std::size_t SstableReader::FindBlock(const Slice& target) const {
+  // First block whose last key >= target holds the candidate.
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), target,
+      [](const IndexEntry& e, const Slice& t) {
+        return CompareInternalKeys(Slice(e.last_key), t) < 0;
+      });
+  return static_cast<std::size_t>(it - index_.begin());
+}
+
+sim::Task<Result<std::string>> SstableReader::ReadBlock(std::uint64_t offset,
+                                                        std::uint64_t size,
+                                                        bool fill_cache) {
+  if (!fill_cache) {
+    // Compaction-style bulk read: skips the block cache entirely and
+    // bypasses the page cache (RocksDB fadvises compaction inputs away),
+    // so this traffic always reaches the device.
+    std::string direct(size, '\0');
+    Status s = co_await env_->fs->PreadDirect(
+        file_, offset,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(direct.data()),
+                             size));
+    if (!s.ok()) co_return s;
+    co_return direct;
+  }
+  if (const std::string* cached = block_cache_->Lookup(file_number_, offset);
+      cached != nullptr) {
+    // Block cache hit: no filesystem traffic, trivial CPU.
+    co_await env_->cpu->Compute(env_->costs.syscall_overhead);
+    co_return *cached;
+  }
+  std::string block(size, '\0');
+  Status s = co_await env_->fs->Pread(
+      file_, offset,
+      std::span<std::byte>(reinterpret_cast<std::byte*>(block.data()),
+                           size));
+  if (!s.ok()) co_return s;
+  block_cache_->Insert(file_number_, offset, block);
+  co_return block;
+}
+
+sim::Task<Status> SstableReader::Get(const Slice& user_key,
+                                     SequenceNumber snapshot,
+                                     std::string* value, bool* found) {
+  *found = false;
+  co_await env_->cpu->Compute(env_->costs.bloom_check);
+  if (!BloomFilterMayContain(Slice(filter_), user_key)) {
+    co_return Status::NotFound();
+  }
+
+  const std::string target =
+      MakeInternalKey(user_key, snapshot, ValueType::kValue);
+  const std::size_t pos = FindBlock(Slice(target));
+  if (pos >= index_.size()) co_return Status::NotFound();
+
+  if (!options_.pin_index_blocks) {
+    // Fetch the 4 KB index page covering this entry through the block
+    // cache (the contents are already parsed in memory; this charges the
+    // I/O and cache behaviour RocksDB's unpinned index blocks have).
+    const std::uint64_t page =
+        index_[pos].index_file_offset / options_.block_size *
+        options_.block_size;
+    const std::uint64_t page_len =
+        std::min<std::uint64_t>(options_.block_size, file_size_ - page);
+    auto index_page = co_await ReadBlock(page, page_len);
+    if (!index_page.ok()) co_return index_page.status();
+  }
+  auto block = co_await ReadBlock(index_[pos].offset, index_[pos].size);
+  if (!block.ok()) co_return block.status();
+  co_await env_->cpu->Compute(env_->costs.block_search);
+
+  // Entries are variable-length: scan for the first entry >= target, then
+  // check user-key equality and visibility.
+  Slice in(*block);
+  while (!in.empty()) {
+    std::uint32_t klen = 0;
+    if (!GetVarint32(&in, &klen) || in.size() < klen) {
+      co_return Status::Corruption("bad data block");
+    }
+    Slice ikey(in.data(), klen);
+    in.remove_prefix(klen);
+    std::uint32_t vlen = 0;
+    if (!GetVarint32(&in, &vlen) || in.size() < vlen) {
+      co_return Status::Corruption("bad data block");
+    }
+    Slice val(in.data(), vlen);
+    in.remove_prefix(vlen);
+
+    if (CompareInternalKeys(ikey, Slice(target)) >= 0) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(ikey, &parsed)) {
+        co_return Status::Corruption("bad internal key");
+      }
+      if (parsed.user_key != user_key) co_return Status::NotFound();
+      *found = true;
+      if (parsed.type == ValueType::kDeletion) co_return Status::NotFound();
+      value->assign(val.data(), val.size());
+      co_return Status::Ok();
+    }
+  }
+  co_return Status::NotFound();
+}
+
+// ---- Iterator ----
+
+sim::Task<Status> SstableReader::Iterator::LoadBlock(std::size_t index_pos) {
+  valid_ = false;
+  block_index_ = index_pos;
+  block_.clear();
+  entry_offset_ = 0;
+  if (index_pos >= table_->index_.size()) co_return Status::Ok();  // end
+  auto block = co_await table_->ReadBlock(table_->index_[index_pos].offset,
+                                          table_->index_[index_pos].size,
+                                          fill_cache_);
+  if (!block.ok()) co_return block.status();
+  block_ = std::move(*block);
+  co_return Status::Ok();
+}
+
+bool SstableReader::Iterator::ParseCurrentEntry() {
+  if (entry_offset_ >= block_.size()) return false;
+  Slice in(block_.data() + entry_offset_, block_.size() - entry_offset_);
+  std::uint32_t klen = 0;
+  if (!GetVarint32(&in, &klen) || in.size() < klen) return false;
+  key_.assign(in.data(), klen);
+  in.remove_prefix(klen);
+  std::uint32_t vlen = 0;
+  if (!GetVarint32(&in, &vlen) || in.size() < vlen) return false;
+  value_.assign(in.data(), vlen);
+  in.remove_prefix(vlen);
+  entry_offset_ = block_.size() - in.size();
+  valid_ = true;
+  return true;
+}
+
+sim::Task<Status> SstableReader::Iterator::SeekToFirst() {
+  Status s = co_await LoadBlock(0);
+  if (!s.ok()) co_return s;
+  if (block_index_ == 0 && !block_.empty()) ParseCurrentEntry();
+  co_return Status::Ok();
+}
+
+sim::Task<Status> SstableReader::Iterator::Seek(const Slice& target) {
+  const std::size_t pos = table_->FindBlock(target);
+  Status s = co_await LoadBlock(pos);
+  if (!s.ok()) co_return s;
+  if (pos >= table_->index_.size()) co_return Status::Ok();  // end
+  // Advance within the block to the first entry >= target.
+  while (ParseCurrentEntry()) {
+    if (CompareInternalKeys(Slice(key_), target) >= 0) co_return Status::Ok();
+    valid_ = false;
+  }
+  // Target is greater than everything in this block (can happen only if it
+  // is greater than the block's last key, i.e. pos was the end).
+  co_return Status::Ok();
+}
+
+sim::Task<Status> SstableReader::Iterator::Next() {
+  if (!valid_) co_return Status::FailedPrecondition("iterator not valid");
+  valid_ = false;
+  if (ParseCurrentEntry()) co_return Status::Ok();
+  // Block exhausted: move to the next one.
+  Status s = co_await LoadBlock(block_index_ + 1);
+  if (!s.ok()) co_return s;
+  if (block_index_ < table_->index_.size() && !block_.empty()) {
+    ParseCurrentEntry();
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace kvcsd::lsm

@@ -1,0 +1,28 @@
+#include "nvme/command.h"
+
+namespace kvcsd::nvme {
+
+namespace {
+constexpr std::uint64_t kSqeSize = 64;  // NVMe submission queue entry
+constexpr std::uint64_t kCqeSize = 16;  // NVMe completion queue entry
+}  // namespace
+
+std::uint64_t CommandWireSize(const Command& cmd) {
+  std::uint64_t size = kSqeSize + cmd.name.size() + cmd.key.size() +
+                       cmd.key_end.size() + cmd.value.size() +
+                       cmd.sidx.name.size();
+  for (const auto& spec : cmd.sidx_list) {
+    size += spec.name.size() + 9;  // offset/length/type descriptor
+  }
+  return size;
+}
+
+std::uint64_t CompletionWireSize(const Completion& cpl) {
+  std::uint64_t size = kCqeSize + cpl.value.size();
+  for (const auto& [key, value] : cpl.results) {
+    size += key.size() + value.size();
+  }
+  return size;
+}
+
+}  // namespace kvcsd::nvme

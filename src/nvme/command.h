@@ -1,0 +1,90 @@
+// NVMe-flavoured command set for KV-CSD.
+//
+// The paper (§III "NVMe") says KV-CSD speaks the standard NVMe key-value
+// command set between the client library and the device, extended with
+// vendor commands for what the standard lacks: keyspace management,
+// compaction, and secondary-index operations. We encode commands as typed
+// structs carried over the queue pair; payloads (keys/values/results) ride
+// along as byte strings whose transfer cost is charged to the PCIe link.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kvcsd::nvme {
+
+enum class Opcode : std::uint8_t {
+  // NVMe KV command set.
+  kKvStore = 0x01,
+  kKvRetrieve = 0x02,
+  kKvDelete = 0x10,
+  // KV-CSD vendor extensions.
+  kKeyspaceCreate = 0xc0,
+  kKeyspaceOpen = 0xc1,
+  kKeyspaceDrop = 0xc2,
+  kBulkStore = 0xc3,
+  kCompact = 0xc4,          // trigger deferred compaction (async)
+  kCompactWait = 0xc5,      // block until compaction completes
+  kSecondaryBuild = 0xc6,   // build a secondary index (blocks until done)
+  kQueryPrimaryRange = 0xc7,
+  kQuerySecondaryRange = 0xc8,
+  kKeyspaceStat = 0xc9,
+  // Persists the keyspace's DRAM write buffer to its log zones (the
+  // paper's explicit "fsync", §VI).
+  kSync = 0xca,
+  // Future-work extension the paper sketches in §V: compaction and
+  // secondary-index construction fused into one pass, trading SoC DRAM
+  // for not re-reading the keyspace during index builds.
+  kCompactWithIndexes = 0xcb,
+};
+
+// Secondary index key type (paper §V: applications give a byte range of
+// the value and its type).
+enum class SecondaryKeyType : std::uint8_t {
+  kU32 = 0,
+  kU64 = 1,
+  kI32 = 2,
+  kF32 = 3,
+  kF64 = 4,
+  kBytes = 5,  // raw memcmp-ordered bytes
+};
+
+struct SecondaryIndexSpec {
+  std::string name;
+  std::uint32_t value_offset = 0;
+  std::uint32_t value_length = 0;
+  SecondaryKeyType type = SecondaryKeyType::kBytes;
+};
+
+// One command submission. Exactly the fields the opcode needs are set.
+struct Command {
+  Opcode opcode = Opcode::kKvStore;
+  std::uint64_t keyspace_id = 0;   // resolved keyspace handle
+  std::string name;                // keyspace name (create/open/drop)
+  std::string key;                 // single-key ops / range start
+  std::string key_end;             // range end (inclusive)
+  std::string value;               // store payload / bulk-put frame
+  std::uint32_t limit = 0;         // max results for range queries (0 = all)
+  SecondaryIndexSpec sidx;         // secondary build / query target
+  // kCompactWithIndexes: every index to build during the fused pass.
+  std::vector<SecondaryIndexSpec> sidx_list;
+};
+
+// Completion posted back to the host.
+struct Completion {
+  Status status;
+  std::uint64_t keyspace_id = 0;              // create/open result
+  std::string value;                          // retrieve result
+  std::vector<std::pair<std::string, std::string>> results;  // range query
+  std::uint64_t count = 0;                    // stat result / rows matched
+};
+
+// Payload size used for PCIe transfer accounting on the submission side.
+std::uint64_t CommandWireSize(const Command& cmd);
+// And on the completion side.
+std::uint64_t CompletionWireSize(const Completion& cpl);
+
+}  // namespace kvcsd::nvme

@@ -1,0 +1,75 @@
+// Order-preserving secondary-key encodings shared by the device (index
+// construction) and the client (query bound construction). The encoded
+// form compares with memcmp in the same order as the typed value.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/coding.h"
+#include "common/keys.h"
+#include "common/status.h"
+#include "nvme/command.h"
+
+namespace kvcsd::nvme {
+
+inline std::string EncodeSecondaryU32(std::uint32_t v) {
+  std::string out;
+  AppendBigEndian32(&out, v);
+  return out;
+}
+inline std::string EncodeSecondaryU64(std::uint64_t v) {
+  std::string out;
+  AppendBigEndian64(&out, v);
+  return out;
+}
+inline std::string EncodeSecondaryI32(std::int32_t v) {
+  std::string out;
+  AppendBigEndian32(&out, OrderEncodeI32(v));
+  return out;
+}
+inline std::string EncodeSecondaryF32(float v) {
+  std::string out;
+  AppendBigEndian32(&out, OrderEncodeF32(v));
+  return out;
+}
+inline std::string EncodeSecondaryF64(double v) {
+  std::string out;
+  AppendBigEndian64(&out, OrderEncodeF64(v));
+  return out;
+}
+
+// Encodes the raw little-endian bytes of a stored value's key range (what
+// the device extracts during index construction).
+inline Result<std::string> EncodeSecondaryKeyBytes(
+    const Slice& raw, const SecondaryIndexSpec& spec) {
+  auto need = [&raw, &spec](std::uint32_t n) {
+    return spec.value_length == n && raw.size() == n;
+  };
+  switch (spec.type) {
+    case SecondaryKeyType::kU32:
+      if (!need(4)) return Status::InvalidArgument("u32 key needs 4 bytes");
+      return EncodeSecondaryU32(DecodeFixed32(raw.data()));
+    case SecondaryKeyType::kU64:
+      if (!need(8)) return Status::InvalidArgument("u64 key needs 8 bytes");
+      return EncodeSecondaryU64(DecodeFixed64(raw.data()));
+    case SecondaryKeyType::kI32:
+      if (!need(4)) return Status::InvalidArgument("i32 key needs 4 bytes");
+      return EncodeSecondaryI32(
+          static_cast<std::int32_t>(DecodeFixed32(raw.data())));
+    case SecondaryKeyType::kF32:
+      if (!need(4)) return Status::InvalidArgument("f32 key needs 4 bytes");
+      return EncodeSecondaryF32(std::bit_cast<float>(
+          DecodeFixed32(raw.data())));
+    case SecondaryKeyType::kF64:
+      if (!need(8)) return Status::InvalidArgument("f64 key needs 8 bytes");
+      return EncodeSecondaryF64(std::bit_cast<double>(
+          DecodeFixed64(raw.data())));
+    case SecondaryKeyType::kBytes:
+      return raw.ToString();
+  }
+  return Status::InvalidArgument("unknown secondary key type");
+}
+
+}  // namespace kvcsd::nvme

@@ -1,0 +1,67 @@
+#include "sim/simulation.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace kvcsd::sim {
+
+// Self-destroying fire-and-forget coroutine used to host spawned processes.
+struct Simulation::DetachedRunner {
+  struct promise_type {
+    DetachedRunner get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {
+      // Library code reports failures via Status; an exception reaching a
+      // detached process root is a programming error we cannot recover
+      // from deterministically.
+      std::fprintf(stderr,
+                   "kvcsd::sim: unhandled exception in detached process\n");
+      std::terminate();
+    }
+  };
+};
+
+namespace {
+
+Simulation::DetachedRunner RunDetached(Simulation* sim, Task<void> task,
+                                       std::size_t* live) {
+  // Queue the start so spawn order == start order at the current tick.
+  co_await sim->Delay(0);
+  co_await std::move(task);
+  --*live;
+}
+
+}  // namespace
+
+void Simulation::Spawn(Task<void> task) {
+  ++live_processes_;
+  RunDetached(this, std::move(task), &live_processes_);
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.when;
+  ev.handle.resume();
+  return true;
+}
+
+Tick Simulation::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+Tick Simulation::RunUntil(Tick deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace kvcsd::sim

@@ -1,0 +1,82 @@
+#include "sim/stats.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace kvcsd::sim {
+
+namespace {
+
+int BucketFor(std::uint64_t v) {
+  // 0 -> 0, [2^(k-1), 2^k) -> k; values with the top bit set share the
+  // last bucket (bit_width(UINT64_MAX) == 64 would otherwise overflow).
+  return v == 0 ? 0 : std::min(static_cast<int>(std::bit_width(v)), 63);
+}
+
+}  // namespace
+
+void Histogram::Record(std::uint64_t v) {
+  ++buckets_[static_cast<std::size_t>(BucketFor(v))];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
+      const double hi = static_cast<double>(
+          b == 0 ? 1ull : (b >= 63 ? UINT64_MAX : (1ull << b)));
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return std::clamp(lo + frac * (hi - lo), static_cast<double>(min()),
+                        static_cast<double>(max()));
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+void Stats::Reset() {
+  for (auto& [name, c] : counters_) c.Reset();
+  for (auto& [name, h] : histograms_) h.Reset();
+}
+
+std::string Stats::ToString(std::string_view prefix) const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters_) {
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    std::snprintf(line, sizeof(line), "%-48s = %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "%-48s : n=%llu mean=%.1f p50=%.0f p99=%.0f max=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.mean(), h.Percentile(50), h.Percentile(99),
+                  static_cast<unsigned long long>(h.max()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace kvcsd::sim

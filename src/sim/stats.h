@@ -1,0 +1,87 @@
+// Simulation-wide statistics registry: named monotonic counters and
+// log2-bucketed histograms. These back the paper's "I/O statistics" plots
+// (Fig. 7b, Fig. 10b): every storage, filesystem, and interconnect layer
+// counts the bytes and operations that pass through it.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kvcsd::sim {
+
+class Counter {
+ public:
+  void Add(std::uint64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Histogram with power-of-two buckets; tracks count/sum/min/max and
+// approximate percentiles (sufficient for latency reporting).
+class Histogram {
+ public:
+  void Record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  // Approximate p-th percentile (0 < p <= 100) by linear interpolation
+  // within the containing power-of-two bucket.
+  double Percentile(double p) const;
+  void Reset();
+
+ private:
+  static constexpr int kBuckets = 64;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+// Name-keyed registry. References returned by counter()/histogram() stay
+// valid for the registry's lifetime (std::map nodes are stable).
+class Stats {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  // Read-only lookup; returns 0 / empty histogram stats for unknown names.
+  std::uint64_t counter_value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+  }
+  bool has_counter(const std::string& name) const {
+    return counters_.contains(name);
+  }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  void Reset();
+
+  // Multi-line "name = value" dump, optionally filtered by prefix.
+  std::string ToString(std::string_view prefix = {}) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace kvcsd::sim

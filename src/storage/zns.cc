@@ -1,0 +1,97 @@
+#include "storage/zns.h"
+
+#include <cstring>
+#include <string>
+
+namespace kvcsd::storage {
+
+ZnsSsd::ZnsSsd(sim::Simulation* sim, const ZnsConfig& config)
+    : sim_(sim), config_(config), nand_(sim, config.nand, "zns"),
+      zones_(config.num_zones) {}
+
+Status ZnsSsd::CheckZoneId(std::uint32_t zone) const {
+  if (zone >= config_.num_zones) {
+    return Status::InvalidArgument("zone id " + std::to_string(zone) +
+                                   " out of range");
+  }
+  return Status::Ok();
+}
+
+sim::Task<Result<std::uint64_t>> ZnsSsd::Append(
+    std::uint32_t zone, std::span<const std::byte> data) {
+  if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
+  Zone& z = zones_[zone];
+  if (z.state == ZoneState::kFull) {
+    co_return Status::FailedPrecondition("append to full zone");
+  }
+  if (data.empty()) {
+    co_return Status::InvalidArgument("empty append");
+  }
+  if (z.write_pointer + data.size() > config_.zone_size) {
+    co_return Status::OutOfSpace("append exceeds zone capacity");
+  }
+
+  const std::uint64_t addr =
+      static_cast<std::uint64_t>(zone) * config_.zone_size + z.write_pointer;
+  z.data.insert(z.data.end(), data.begin(), data.end());
+  z.write_pointer += data.size();
+  z.state = z.write_pointer == config_.zone_size ? ZoneState::kFull
+                                                 : ZoneState::kOpen;
+  bytes_written_ += data.size();
+
+  co_await nand_.Program(ChannelOf(zone), data.size());
+  co_return addr;
+}
+
+sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out) {
+  const std::uint32_t zone =
+      static_cast<std::uint32_t>(addr / config_.zone_size);
+  if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
+  const Zone& z = zones_[zone];
+  const std::uint64_t offset = addr % config_.zone_size;
+  if (offset + out.size() > z.write_pointer) {
+    co_return Status::InvalidArgument(
+        "read beyond write pointer (zone " + std::to_string(zone) + ")");
+  }
+  std::memcpy(out.data(), z.data.data() + offset, out.size());
+  bytes_read_ += out.size();
+  co_await nand_.Read(ChannelOf(zone), out.size());
+  co_return Status::Ok();
+}
+
+sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone) {
+  if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
+  Zone& z = zones_[zone];
+  const bool had_data = z.write_pointer > 0;
+  z.state = ZoneState::kEmpty;
+  z.write_pointer = 0;
+  z.data.clear();
+  z.data.shrink_to_fit();
+  ++resets_;
+  if (had_data) {
+    // NAND erase-blocks must be erased before reuse; resetting a
+    // never-written zone only rewinds the write pointer.
+    co_await nand_.Erase(ChannelOf(zone));
+  }
+  co_return Status::Ok();
+}
+
+Status ZnsSsd::Finish(std::uint32_t zone) {
+  KVCSD_RETURN_IF_ERROR(CheckZoneId(zone));
+  Zone& z = zones_[zone];
+  if (z.state == ZoneState::kEmpty) {
+    return Status::FailedPrecondition("finish on empty zone");
+  }
+  z.state = ZoneState::kFull;
+  return Status::Ok();
+}
+
+ZoneState ZnsSsd::zone_state(std::uint32_t zone) const {
+  return zones_[zone].state;
+}
+
+std::uint64_t ZnsSsd::write_pointer(std::uint32_t zone) const {
+  return zones_[zone].write_pointer;
+}
+
+}  // namespace kvcsd::storage

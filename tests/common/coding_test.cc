@@ -1,0 +1,144 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kvcsd {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  for (std::uint32_t v : {0u, 1u, 255u, 256u, 0xdeadbeefu,
+                          std::numeric_limits<std::uint32_t>::max()}) {
+    s.clear();
+    PutFixed32(&s, v);
+    ASSERT_EQ(s.size(), 4u);
+    Slice in(s);
+    std::uint32_t out = 0;
+    ASSERT_TRUE(GetFixed32(&in, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1},
+        std::uint64_t{0xdeadbeefcafef00dull},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    s.clear();
+    PutFixed64(&s, v);
+    Slice in(s);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(GetFixed64(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  // Each 7-bit boundary changes the encoded length.
+  std::string s;
+  for (int bits = 0; bits < 64; ++bits) {
+    const std::uint64_t v = 1ull << bits;
+    s.clear();
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+    Slice in(s);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, VarintRandomRoundTrip) {
+  Rng rng(7);
+  std::string buf;
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix of magnitudes so all lengths occur.
+    std::uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice in(buf);
+  for (std::uint64_t expected : values) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string s;
+  PutVarint64(&s, 1ull << 40);
+  Slice in(s);
+  std::uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, TruncatedInputFails) {
+  std::string s;
+  PutVarint64(&s, 1ull << 42);
+  for (std::size_t cut = 0; cut + 1 < s.size(); ++cut) {
+    Slice in(s.data(), cut);
+    std::uint64_t out = 0;
+    EXPECT_FALSE(GetVarint64(&in, &out)) << "cut=" << cut;
+  }
+  Slice short32(s.data(), 2);
+  std::uint32_t f32 = 0;
+  EXPECT_FALSE(GetFixed32(&short32, &f32) && short32.size() >= 4);
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello");
+  PutLengthPrefixedSlice(&s, "");
+  PutLengthPrefixedSlice(&s, std::string(300, 'z'));
+  Slice in(s);
+  Slice out;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &out));
+  EXPECT_EQ(out, Slice("hello"));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(GetLengthPrefixedSlice(&in, &out));
+  EXPECT_EQ(out.size(), 300u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, LengthPrefixedSliceShortBufferFails) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, "hello world");
+  Slice in(s.data(), s.size() - 3);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&in, &out));
+}
+
+TEST(SliceTest, CompareIsLexicographic) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abcd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("").compare(Slice("a")), 0);
+  EXPECT_TRUE(Slice("abc") < Slice("abd"));
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").starts_with("abc"));
+  EXPECT_FALSE(Slice("ab").starts_with("abc"));
+  EXPECT_TRUE(Slice("x").starts_with(""));
+}
+
+TEST(SliceTest, EmbeddedNulCompares) {
+  std::string a("a\0b", 3);
+  std::string b("a\0c", 3);
+  EXPECT_TRUE(Slice(a) < Slice(b));
+  EXPECT_EQ(Slice(a).size(), 3u);
+}
+
+}  // namespace
+}  // namespace kvcsd

@@ -1,0 +1,98 @@
+#include "common/keys.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace kvcsd {
+namespace {
+
+TEST(KeysTest, BigEndian64PreservesOrder) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t a = rng.Next(), b = rng.Next();
+    std::string ea, eb;
+    AppendBigEndian64(&ea, a);
+    AppendBigEndian64(&eb, b);
+    EXPECT_EQ(a < b, Slice(ea) < Slice(eb));
+    EXPECT_EQ(ReadBigEndian64(ea.data()), a);
+  }
+}
+
+TEST(KeysTest, BigEndian32RoundTrip) {
+  for (std::uint32_t v : {0u, 1u, 0x12345678u, 0xffffffffu}) {
+    std::string e;
+    AppendBigEndian32(&e, v);
+    EXPECT_EQ(ReadBigEndian32(e.data()), v);
+  }
+}
+
+TEST(KeysTest, SignedIntEncodingPreservesOrder) {
+  std::vector<std::int32_t> values = {
+      std::numeric_limits<std::int32_t>::min(), -100, -1, 0, 1, 100,
+      std::numeric_limits<std::int32_t>::max()};
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LT(OrderEncodeI32(values[i]), OrderEncodeI32(values[i + 1]));
+    EXPECT_EQ(OrderDecodeI32(OrderEncodeI32(values[i])), values[i]);
+  }
+  EXPECT_LT(OrderEncodeI64(-5), OrderEncodeI64(3));
+  EXPECT_EQ(OrderDecodeI64(OrderEncodeI64(-123456789ll)), -123456789ll);
+}
+
+TEST(KeysTest, FloatEncodingPreservesOrder) {
+  std::vector<float> values = {-std::numeric_limits<float>::infinity(),
+                               -1e30f, -1.5f, -0.0f, 0.0f, 1e-20f, 2.5f,
+                               1e30f, std::numeric_limits<float>::infinity()};
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_LE(OrderEncodeF32(values[i]), OrderEncodeF32(values[i + 1]))
+        << values[i] << " vs " << values[i + 1];
+  }
+  for (float f : values) {
+    EXPECT_EQ(OrderDecodeF32(OrderEncodeF32(f)), f);
+  }
+}
+
+TEST(KeysTest, DoubleEncodingRandomOrderProperty) {
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.Normal(0, 1e6);
+    double b = rng.Normal(0, 1e6);
+    if (a == b) continue;
+    EXPECT_EQ(a < b, OrderEncodeF64(a) < OrderEncodeF64(b));
+    EXPECT_EQ(OrderDecodeF64(OrderEncodeF64(a)), a);
+  }
+}
+
+TEST(KeysTest, FixedKeyHasRequestedWidthAndOrder) {
+  std::string k1 = MakeFixedKey(1);
+  std::string k2 = MakeFixedKey(2);
+  EXPECT_EQ(k1.size(), 16u);
+  EXPECT_TRUE(Slice(k1) < Slice(k2));
+  EXPECT_EQ(FixedKeyId(k2), 2u);
+
+  std::string w8 = MakeFixedKey(77, 8);
+  EXPECT_EQ(w8.size(), 8u);
+  EXPECT_EQ(FixedKeyId(w8), 77u);
+}
+
+TEST(KeysTest, FixedKeySortsLikeIds) {
+  Rng rng(31);
+  std::vector<std::uint64_t> ids;
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(rng.Next());
+    keys.push_back(MakeFixedKey(ids.back()));
+  }
+  std::sort(ids.begin(), ids.end());
+  std::sort(keys.begin(), keys.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(FixedKeyId(keys[i]), ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace kvcsd

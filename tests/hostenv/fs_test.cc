@@ -1,0 +1,149 @@
+#include "hostenv/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "../testutil.h"
+
+namespace kvcsd::hostenv {
+namespace {
+
+struct FsFixture {
+  sim::Simulation sim;
+  sim::CpuPool cpu{&sim, "host", 4};
+  storage::BlockSsd ssd{&sim, storage::BlockSsdConfig{}};
+  PageCache cache{MiB(64)};
+  Fs fs{&sim, &cpu, &ssd, &cache, CostModel::Host()};
+
+  std::span<const std::byte> Bytes(const std::string& s) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(s.data()), s.size());
+  }
+};
+
+TEST(FsTest, CreateOpenExists) {
+  FsFixture f;
+  auto h = f.fs.Create("000001.sst");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(f.fs.Exists("000001.sst"));
+  EXPECT_FALSE(f.fs.Exists("other"));
+  EXPECT_TRUE(f.fs.Open("000001.sst").ok());
+  EXPECT_EQ(f.fs.Open("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.fs.Create("000001.sst").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(FsTest, AppendThenReadBack) {
+  FsFixture f;
+  auto h = f.fs.Create("wal").value();
+  const std::string payload = "record-one|record-two|record-three";
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(payload))).ok());
+  EXPECT_EQ(f.fs.FileSize("wal").value(), payload.size());
+
+  std::string out(10, '\0');
+  ASSERT_TRUE(testutil::RunSim(
+                  f.sim, f.fs.Pread(h, 11, std::span<std::byte>(
+                                               reinterpret_cast<std::byte*>(
+                                                   out.data()),
+                                               out.size())))
+                  .ok());
+  EXPECT_EQ(out, "record-two");
+}
+
+TEST(FsTest, PreadBeyondEofFails) {
+  FsFixture f;
+  auto h = f.fs.Create("x").value();
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes("abc"))).ok());
+  std::byte buf[8];
+  auto s = testutil::RunSim(f.sim, f.fs.Pread(h, 0, std::span(buf)));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FsTest, SyncWritesBackAndCommitsJournal) {
+  FsFixture f;
+  auto h = f.fs.Create("table").value();
+  std::string data(KiB(100), 'd');
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(data))).ok());
+  EXPECT_EQ(f.fs.device_bytes_written(), 0u);  // below writeback threshold
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Sync(h)).ok());
+  EXPECT_EQ(f.fs.device_bytes_written(), KiB(100));
+  EXPECT_EQ(f.fs.journal_commits(), 1u);
+}
+
+TEST(FsTest, LargeAppendTriggersWriteback) {
+  FsFixture f;
+  auto h = f.fs.Create("big").value();
+  std::string chunk(MiB(4), 'z');
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(chunk))).ok());
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(chunk))).ok());
+  // 8 MiB dirty hits the writeback threshold.
+  EXPECT_GE(f.fs.device_bytes_written(), MiB(8));
+}
+
+TEST(FsTest, CachedReadAvoidsDevice) {
+  FsFixture f;
+  auto h = f.fs.Create("t").value();
+  std::string data(KiB(16), 'q');
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(data))).ok());
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Sync(h)).ok());
+  // Freshly written pages are cached: this read is free of device traffic.
+  const std::uint64_t before = f.fs.device_bytes_read();
+  std::byte buf[4096];
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Pread(h, 0, std::span(buf))).ok());
+  EXPECT_EQ(f.fs.device_bytes_read(), before);
+
+  // After dropping the cache the same read hits the device.
+  f.cache.DropAll();
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Pread(h, 0, std::span(buf))).ok());
+  EXPECT_GT(f.fs.device_bytes_read(), before);
+}
+
+TEST(FsTest, ReadAmplificationIsBlockGranular) {
+  FsFixture f;
+  auto h = f.fs.Create("t").value();
+  std::string data(KiB(64), 'a');
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(data))).ok());
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Sync(h)).ok());
+  f.cache.DropAll();
+  // Reading 48 bytes pulls a whole 4 KiB page from the device.
+  std::byte tiny[48];
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Pread(h, 100, std::span(tiny))).ok());
+  EXPECT_EQ(f.fs.device_bytes_read(), 4096u);
+}
+
+TEST(FsTest, DeleteInvalidatesHandleAndName) {
+  FsFixture f;
+  auto h = f.fs.Create("gone").value();
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes("abc"))).ok());
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Delete("gone")).ok());
+  EXPECT_FALSE(f.fs.Exists("gone"));
+  std::byte buf[1];
+  auto s = testutil::RunSim(f.sim, f.fs.Pread(h, 0, std::span(buf)));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  auto s2 = testutil::RunSim(f.sim, f.fs.Delete("gone"));
+  EXPECT_EQ(s2.code(), StatusCode::kNotFound);
+}
+
+TEST(FsTest, ListFilesIsSorted) {
+  FsFixture f;
+  (void)f.fs.Create("b").value();
+  (void)f.fs.Create("a").value();
+  (void)f.fs.Create("c").value();
+  EXPECT_EQ(f.fs.ListFiles(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(FsTest, UnflushedTailReadNeedsNoDevice) {
+  FsFixture f;
+  auto h = f.fs.Create("t").value();
+  std::string data(KiB(4), 'm');
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Append(h, f.Bytes(data))).ok());
+  f.cache.DropAll();
+  std::byte buf[128];
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.fs.Pread(h, 0, std::span(buf))).ok());
+  EXPECT_EQ(f.fs.device_bytes_read(), 0u);  // data only in memory
+}
+
+}  // namespace
+}  // namespace kvcsd::hostenv

@@ -1,0 +1,65 @@
+#include "hostenv/page_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace kvcsd::hostenv {
+namespace {
+
+TEST(PageCacheTest, MissThenHit) {
+  PageCache cache(MiB(1));
+  EXPECT_FALSE(cache.Lookup(1, 0));
+  cache.Insert(1, 0);
+  EXPECT_TRUE(cache.Lookup(1, 0));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCacheTest, DistinctFilesDoNotCollide) {
+  PageCache cache(MiB(1));
+  cache.Insert(1, 7);
+  EXPECT_FALSE(cache.Lookup(2, 7));
+  EXPECT_TRUE(cache.Lookup(1, 7));
+}
+
+TEST(PageCacheTest, EvictsLeastRecentlyUsed) {
+  PageCache cache(4 * 4096);  // 4 pages
+  for (std::uint64_t b = 0; b < 4; ++b) cache.Insert(1, b);
+  EXPECT_TRUE(cache.Lookup(1, 0));  // touch 0 -> MRU
+  cache.Insert(1, 4);               // evicts block 1 (LRU)
+  EXPECT_TRUE(cache.Lookup(1, 0));
+  EXPECT_FALSE(cache.Lookup(1, 1));
+  EXPECT_TRUE(cache.Lookup(1, 2));
+  EXPECT_TRUE(cache.Lookup(1, 4));
+}
+
+TEST(PageCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  PageCache cache(4 * 4096);
+  cache.Insert(1, 0);
+  cache.Insert(1, 0);
+  EXPECT_EQ(cache.resident_pages(), 1u);
+}
+
+TEST(PageCacheTest, InvalidateFileRemovesOnlyThatFile) {
+  PageCache cache(MiB(1));
+  cache.Insert(1, 0);
+  cache.Insert(1, 1);
+  cache.Insert(2, 0);
+  cache.InvalidateFile(1);
+  EXPECT_FALSE(cache.Lookup(1, 0));
+  EXPECT_FALSE(cache.Lookup(1, 1));
+  EXPECT_TRUE(cache.Lookup(2, 0));
+}
+
+TEST(PageCacheTest, DropAllEmptiesCache) {
+  PageCache cache(MiB(1));
+  for (std::uint64_t b = 0; b < 100; ++b) cache.Insert(3, b);
+  EXPECT_EQ(cache.resident_pages(), 100u);
+  cache.DropAll();
+  EXPECT_EQ(cache.resident_pages(), 0u);
+  EXPECT_FALSE(cache.Lookup(3, 50));
+}
+
+}  // namespace
+}  // namespace kvcsd::hostenv

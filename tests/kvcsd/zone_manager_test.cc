@@ -1,0 +1,139 @@
+#include "kvcsd/zone_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../testutil.h"
+
+namespace kvcsd::device {
+namespace {
+
+struct ZmFixture {
+  sim::Simulation sim;
+  storage::ZnsSsd ssd{&sim, MakeConfig()};
+  ZoneManager zm{&ssd, ZoneManagerConfig{}};
+
+  static storage::ZnsConfig MakeConfig() {
+    storage::ZnsConfig c;
+    c.zone_size = KiB(64);
+    c.num_zones = 64;
+    c.nand.channels = 8;
+    return c;
+  }
+
+  std::span<const std::byte> Bytes(const std::string& s) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(s.data()), s.size());
+  }
+};
+
+TEST(ZoneManagerTest, AllocateClaimsZonesFromPool) {
+  ZmFixture f;
+  const std::size_t before = f.zm.free_zones();
+  auto cluster = f.zm.AllocateCluster(ZoneType::kKlog);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ(f.zm.free_zones(), before - 4);
+  EXPECT_EQ(f.zm.cluster_zones(*cluster).size(), 4u);
+  EXPECT_EQ(f.zm.cluster_type(*cluster), ZoneType::kKlog);
+  // Reserved metadata zone never appears in clusters.
+  for (std::uint32_t z : f.zm.cluster_zones(*cluster)) EXPECT_NE(z, 0u);
+}
+
+TEST(ZoneManagerTest, ExhaustionReported) {
+  ZmFixture f;
+  // 63 allocatable zones / 4 per cluster = 15 clusters.
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(f.zm.AllocateCluster(ZoneType::kVlog).ok()) << i;
+  }
+  auto last = f.zm.AllocateCluster(ZoneType::kVlog);
+  EXPECT_EQ(last.status().code(), StatusCode::kOutOfSpace);
+}
+
+TEST(ZoneManagerTest, AppendRotatesAcrossZones) {
+  ZmFixture f;
+  auto cluster = f.zm.AllocateCluster(ZoneType::kKlog).value();
+  std::string record(KiB(1), 'r');
+  std::set<std::uint32_t> zones_touched;
+  for (int i = 0; i < 8; ++i) {
+    auto addr = testutil::RunSim(f.sim, f.zm.Append(cluster,
+                                                    f.Bytes(record)));
+    ASSERT_TRUE(addr.ok());
+    zones_touched.insert(
+        static_cast<std::uint32_t>(*addr / f.ssd.zone_size()));
+  }
+  // 8 appends over a 4-zone cluster touch all 4 zones (round-robin).
+  EXPECT_EQ(zones_touched.size(), 4u);
+}
+
+TEST(ZoneManagerTest, AppendDataReadableAtReturnedAddress) {
+  ZmFixture f;
+  auto cluster = f.zm.AllocateCluster(ZoneType::kVlog).value();
+  const std::string record = "payload-123456";
+  auto addr = testutil::RunSim(f.sim, f.zm.Append(cluster, f.Bytes(record)));
+  ASSERT_TRUE(addr.ok());
+  std::string back(record.size(), '\0');
+  ASSERT_TRUE(
+      testutil::RunSim(
+          f.sim, f.zm.Read(*addr, std::span<std::byte>(
+                                      reinterpret_cast<std::byte*>(
+                                          back.data()),
+                                      back.size())))
+          .ok());
+  EXPECT_EQ(back, record);
+}
+
+TEST(ZoneManagerTest, ClusterFullWhenAllZonesFull) {
+  ZmFixture f;
+  auto cluster = f.zm.AllocateCluster(ZoneType::kKlog).value();
+  std::string big(KiB(64), 'x');  // exactly one zone
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        testutil::RunSim(f.sim, f.zm.Append(cluster, f.Bytes(big))).ok());
+  }
+  auto overflow = testutil::RunSim(f.sim, f.zm.Append(cluster, f.Bytes(big)));
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfSpace);
+}
+
+TEST(ZoneManagerTest, ReleaseResetsZonesAndRefillsPool) {
+  ZmFixture f;
+  auto cluster = f.zm.AllocateCluster(ZoneType::kTemp).value();
+  std::string record(KiB(4), 't');
+  ASSERT_TRUE(
+      testutil::RunSim(f.sim, f.zm.Append(cluster, f.Bytes(record))).ok());
+  const std::size_t free_before = f.zm.free_zones();
+  ASSERT_TRUE(testutil::RunSim(f.sim, f.zm.ReleaseCluster(cluster)).ok());
+  EXPECT_EQ(f.zm.free_zones(), free_before + 4);
+  EXPECT_EQ(f.zm.live_clusters(), 0u);
+  EXPECT_GE(f.ssd.total_resets(), 4u);
+}
+
+TEST(ZoneManagerTest, RecordLargerThanZoneRejected) {
+  ZmFixture f;
+  auto cluster = f.zm.AllocateCluster(ZoneType::kVlog).value();
+  std::string huge(KiB(65), 'h');
+  auto r = testutil::RunSim(f.sim, f.zm.Append(cluster, f.Bytes(huge)));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ZoneManagerTest, OpsOnUnknownClusterFail) {
+  ZmFixture f;
+  auto r = testutil::RunSim(f.sim, f.zm.Append(999, f.Bytes("x")));
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  auto s = testutil::RunSim(f.sim, f.zm.ReleaseCluster(999));
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(ZoneManagerTest, ClusterBytesTracksPayload) {
+  ZmFixture f;
+  auto cluster = f.zm.AllocateCluster(ZoneType::kKlog).value();
+  std::string record(1000, 'b');
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        testutil::RunSim(f.sim, f.zm.Append(cluster, f.Bytes(record))).ok());
+  }
+  EXPECT_EQ(f.zm.ClusterBytes(cluster), 5000u);
+}
+
+}  // namespace
+}  // namespace kvcsd::device

@@ -1,0 +1,97 @@
+#include "lsm/bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/keys.h"
+
+namespace kvcsd::lsm {
+namespace {
+
+std::string BuildFilter(int n, int bits_per_key = 10) {
+  BloomFilterBuilder builder(bits_per_key);
+  for (int i = 0; i < n; ++i) {
+    builder.AddKey(MakeFixedKey(static_cast<std::uint64_t>(i)));
+  }
+  return builder.Finish();
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    std::string filter = BuildFilter(n);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_TRUE(BloomFilterMayContain(
+          Slice(filter), MakeFixedKey(static_cast<std::uint64_t>(i))))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateIsReasonable) {
+  const int n = 10000;
+  std::string filter = BuildFilter(n);
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    if (BloomFilterMayContain(
+            Slice(filter),
+            MakeFixedKey(static_cast<std::uint64_t>(1000000 + i)))) {
+      ++false_positives;
+    }
+  }
+  // 10 bits/key gives ~1% theoretical; accept up to 3%.
+  EXPECT_LT(false_positives, probes * 3 / 100)
+      << "fp rate " << 100.0 * false_positives / probes << "%";
+}
+
+TEST(BloomTest, EmptyFilterIsPermissive) {
+  BloomFilterBuilder builder;
+  std::string filter = builder.Finish();
+  // No keys added: tiny filter; must not crash and any answer is legal,
+  // but an all-zero filter should reject.
+  EXPECT_FALSE(BloomFilterMayContain(Slice(filter), "anything"));
+}
+
+TEST(BloomTest, DegenerateFilterSlicesAreSafe) {
+  EXPECT_TRUE(BloomFilterMayContain(Slice(""), "k"));
+  EXPECT_TRUE(BloomFilterMayContain(Slice("x"), "k"));
+}
+
+TEST(BloomTest, MoreBitsFewerFalsePositives) {
+  const int n = 5000;
+  auto fp_rate = [n](int bits) {
+    std::string filter = BuildFilter(n, bits);
+    int fp = 0;
+    for (int i = 0; i < 5000; ++i) {
+      fp += BloomFilterMayContain(
+          Slice(filter), MakeFixedKey(static_cast<std::uint64_t>(900000 + i)));
+    }
+    return fp;
+  };
+  EXPECT_GT(fp_rate(4), fp_rate(16));
+}
+
+TEST(BloomTest, HashSpreadsKeys) {
+  // Adjacent keys should not collide systematically.
+  std::uint32_t h0 = BloomHash(MakeFixedKey(0));
+  std::uint32_t h1 = BloomHash(MakeFixedKey(1));
+  std::uint32_t h2 = BloomHash(MakeFixedKey(2));
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(BloomTest, VariableLengthKeys) {
+  BloomFilterBuilder builder;
+  std::vector<std::string> keys = {"", "a", "ab", "abc", "abcd",
+                                   std::string(1000, 'z')};
+  for (const auto& k : keys) builder.AddKey(k);
+  std::string filter = builder.Finish();
+  for (const auto& k : keys) {
+    EXPECT_TRUE(BloomFilterMayContain(Slice(filter), k));
+  }
+}
+
+}  // namespace
+}  // namespace kvcsd::lsm

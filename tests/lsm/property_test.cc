@@ -1,0 +1,132 @@
+// Property sweeps over RocksLite against a std::map reference model:
+// whatever the compaction mode, value size, and overwrite/delete mix, the
+// DB must agree with the model on every lookup and scan.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "../testutil.h"
+#include "common/keys.h"
+#include "common/random.h"
+#include "lsm/db.h"
+
+namespace kvcsd::lsm {
+namespace {
+
+struct LsmCase {
+  CompactionMode mode;
+  std::uint32_t value_bytes;
+  std::uint64_t operations;
+  bool manual_compact_at_end;
+};
+
+void PrintTo(const LsmCase& c, std::ostream* os) {
+  *os << "mode=" << static_cast<int>(c.mode) << " value=" << c.value_bytes
+      << " ops=" << c.operations
+      << " manual=" << c.manual_compact_at_end;
+}
+
+class LsmPropertyTest : public ::testing::TestWithParam<LsmCase> {};
+
+TEST_P(LsmPropertyTest, MatchesReferenceModel) {
+  const LsmCase& param = GetParam();
+
+  sim::Simulation simulation;
+  sim::CpuPool cpu(&simulation, "host", 8);
+  storage::BlockSsd ssd(&simulation, storage::BlockSsdConfig{});
+  hostenv::PageCache page_cache(MiB(128));
+  hostenv::Fs fs(&simulation, &cpu, &ssd, &page_cache,
+                 hostenv::CostModel::Host());
+  LsmEnv env{&simulation, &fs, &cpu, hostenv::CostModel::Host(),
+             &simulation.stats()};
+  BlockCache block_cache(MiB(16));
+
+  DbOptions options;
+  options.memtable_size = KiB(64);
+  options.level_base_size = KiB(512);
+  options.max_file_size = KiB(128);
+  options.compaction_mode = param.mode;
+
+  auto db = testutil::RunSim(simulation,
+                             Db::Open(&env, &block_cache, options));
+  ASSERT_TRUE(db.ok());
+
+  // Reference model mirrors a mixed put/overwrite/delete stream with a
+  // bounded key population so that collisions actually occur.
+  std::map<std::string, std::string> model;
+  Rng rng(param.operations * 7 + param.value_bytes);
+
+  testutil::RunSim(
+      simulation,
+      [](Db* d, const LsmCase* c, Rng* r,
+         std::map<std::string, std::string>* m) -> sim::Task<void> {
+        const std::uint64_t population = c->operations / 2 + 16;
+        for (std::uint64_t op = 0; op < c->operations; ++op) {
+          const std::string key = MakeFixedKey(r->Uniform(population));
+          if (r->OneIn(8)) {
+            EXPECT_TRUE((co_await d->Delete(key)).ok());
+            m->erase(key);
+          } else {
+            std::string value(c->value_bytes, 'v');
+            const std::uint64_t tag = r->Next();
+            for (std::size_t i = 0; i < 8 && i < value.size(); ++i) {
+              value[i] = static_cast<char>('a' + ((tag >> (i * 4)) & 0xf));
+            }
+            EXPECT_TRUE((co_await d->Put(key, value)).ok());
+            (*m)[key] = value;
+          }
+        }
+        if (c->manual_compact_at_end) {
+          EXPECT_TRUE((co_await d->CompactRange()).ok());
+        } else {
+          EXPECT_TRUE((co_await d->Flush()).ok());
+          co_await d->WaitForIdle();
+        }
+
+        // Every key in the model must read back exactly; deleted keys and
+        // never-written keys must be absent.
+        std::string value;
+        for (const auto& [key, expected] : *m) {
+          Status s = co_await d->Get(key, &value);
+          EXPECT_TRUE(s.ok()) << "lost key";
+          if (s.ok()) {
+            EXPECT_EQ(value, expected);
+          }
+        }
+        for (int probe = 0; probe < 50; ++probe) {
+          const std::string key =
+              MakeFixedKey(1ull << 40 | static_cast<std::uint64_t>(probe));
+          EXPECT_TRUE((co_await d->Get(key, &value)).IsNotFound());
+        }
+
+        // Full scan equals the model (ordered, tombstones invisible).
+        std::vector<std::pair<std::string, std::string>> scanned;
+        EXPECT_TRUE((co_await d->RangeScan(MakeFixedKey(0),
+                                           MakeFixedKey(~0ull), 0,
+                                           &scanned))
+                        .ok());
+        EXPECT_EQ(scanned.size(), m->size());
+        auto it = m->begin();
+        for (std::size_t i = 0; i < scanned.size() && it != m->end();
+             ++i, ++it) {
+          EXPECT_EQ(scanned[i].first, it->first);
+          EXPECT_EQ(scanned[i].second, it->second);
+        }
+        EXPECT_TRUE((co_await d->Close()).ok());
+      }(db->get(), &param, &rng, &model));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LsmPropertyTest,
+    ::testing::Values(
+        LsmCase{CompactionMode::kAuto, 32, 4000, false},
+        LsmCase{CompactionMode::kAuto, 32, 20000, false},
+        LsmCase{CompactionMode::kAuto, 256, 4000, false},
+        LsmCase{CompactionMode::kDeferred, 32, 8000, true},
+        LsmCase{CompactionMode::kDeferred, 128, 4000, true},
+        LsmCase{CompactionMode::kNone, 32, 8000, false},
+        LsmCase{CompactionMode::kNone, 512, 2000, false}));
+
+}  // namespace
+}  // namespace kvcsd::lsm

@@ -1,0 +1,142 @@
+#include "nvme/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+#include "nvme/skey.h"
+
+namespace kvcsd::nvme {
+namespace {
+
+TEST(CommandTest, WireSizesCountPayloads) {
+  Command cmd;
+  cmd.opcode = Opcode::kKvStore;
+  cmd.key = std::string(16, 'k');
+  cmd.value = std::string(100, 'v');
+  EXPECT_EQ(CommandWireSize(cmd), 64u + 16 + 100);
+
+  Completion cpl;
+  cpl.value = std::string(32, 'r');
+  cpl.results.emplace_back(std::string(16, 'a'), std::string(48, 'b'));
+  EXPECT_EQ(CompletionWireSize(cpl), 16u + 32 + 16 + 48);
+}
+
+TEST(QueuePairTest, SubmitReceivesDeviceReply) {
+  sim::Simulation sim;
+  QueuePair qp(&sim, PcieConfig{});
+
+  // Echo device: completes each command with its key as the value.
+  sim.Spawn([](QueuePair* queue) -> sim::Task<void> {
+    for (int i = 0; i < 2; ++i) {
+      auto incoming = co_await queue->NextCommand();
+      Completion reply;
+      reply.status = Status::Ok();
+      reply.value = "echo:" + incoming.command.key;
+      co_await queue->Complete(std::move(incoming), std::move(reply));
+    }
+  }(&qp));
+
+  std::vector<std::string> replies;
+  sim.Spawn([](QueuePair* queue, std::vector<std::string>* out)
+                -> sim::Task<void> {
+    for (int i = 0; i < 2; ++i) {
+      Command cmd;
+      cmd.opcode = Opcode::kKvRetrieve;
+      cmd.key = "k" + std::to_string(i);
+      Completion reply = co_await queue->Submit(std::move(cmd));
+      out->push_back(reply.value);
+    }
+  }(&qp, &replies));
+
+  sim.Run();
+  EXPECT_EQ(replies, (std::vector<std::string>{"echo:k0", "echo:k1"}));
+  EXPECT_EQ(qp.submitted(), 2u);
+  EXPECT_EQ(qp.completed(), 2u);
+}
+
+TEST(QueuePairTest, TransferTimeScalesWithPayload) {
+  sim::Simulation sim;
+  PcieConfig pcie;
+  pcie.bytes_per_sec = 1e9;
+  pcie.request_latency = Microseconds(10);
+  pcie.completion_latency = Microseconds(10);
+  QueuePair qp(&sim, pcie);
+
+  sim.Spawn([](QueuePair* queue) -> sim::Task<void> {
+    auto incoming = co_await queue->NextCommand();
+    // NOTE: named + std::move, never a prvalue temporary — see the
+    // "GCC 12 pitfall" note in sim/task.h.
+    Completion reply;
+    co_await queue->Complete(std::move(incoming), std::move(reply));
+  }(&qp));
+
+  Tick done = 0;
+  sim.Spawn([](sim::Simulation* s, QueuePair* queue,
+               Tick* out) -> sim::Task<void> {
+    Command cmd;
+    cmd.opcode = Opcode::kBulkStore;
+    cmd.value = std::string(MiB(1), 'x');
+    (void)co_await queue->Submit(std::move(cmd));
+    *out = s->Now();
+  }(&sim, &qp, &done));
+  sim.Run();
+
+  // >= 1 MiB at 1 GB/s plus both latencies.
+  EXPECT_GE(done, TransferTicks(MiB(1), 1e9) + Microseconds(20));
+  EXPECT_GT(qp.host_to_device_bytes(), MiB(1));
+  EXPECT_EQ(qp.device_to_host_bytes(), 16u);  // bare CQE
+}
+
+TEST(QueuePairTest, ConcurrentSubmittersEachGetTheirReply) {
+  sim::Simulation sim;
+  QueuePair qp(&sim, PcieConfig{});
+
+  sim.Spawn([](QueuePair* queue) -> sim::Task<void> {
+    for (int i = 0; i < 8; ++i) {
+      auto incoming = co_await queue->NextCommand();
+      Completion reply;
+      reply.value = incoming.command.key;
+      co_await queue->Complete(std::move(incoming), std::move(reply));
+    }
+  }(&qp));
+
+  int correct = 0;
+  for (int t = 0; t < 8; ++t) {
+    sim.Spawn([](QueuePair* queue, int id, int* ok_count) -> sim::Task<void> {
+      Command cmd;
+      cmd.key = "key-" + std::to_string(id);
+      Completion reply = co_await queue->Submit(std::move(cmd));
+      if (reply.value == "key-" + std::to_string(id)) ++*ok_count;
+    }(&qp, t, &correct));
+  }
+  sim.Run();
+  EXPECT_EQ(correct, 8);
+}
+
+TEST(SkeyTest, TypedEncodersPreserveOrder) {
+  EXPECT_LT(EncodeSecondaryF32(1.5f), EncodeSecondaryF32(2.5f));
+  EXPECT_LT(EncodeSecondaryF32(-3.0f), EncodeSecondaryF32(-1.0f));
+  EXPECT_LT(EncodeSecondaryF32(-1.0f), EncodeSecondaryF32(1.0f));
+  EXPECT_LT(EncodeSecondaryI32(-5), EncodeSecondaryI32(7));
+  EXPECT_LT(EncodeSecondaryU64(10), EncodeSecondaryU64(200));
+  EXPECT_LT(EncodeSecondaryF64(-0.1), EncodeSecondaryF64(0.1));
+}
+
+TEST(SkeyTest, EncodeSecondaryKeyBytesDispatchesOnType) {
+  SecondaryIndexSpec spec;
+  spec.type = SecondaryKeyType::kF32;
+  spec.value_length = 4;
+  float f = 42.5f;
+  std::string raw(reinterpret_cast<const char*>(&f), 4);
+  auto encoded = EncodeSecondaryKeyBytes(Slice(raw), spec);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(*encoded, EncodeSecondaryF32(42.5f));
+
+  // Length mismatch rejected.
+  spec.value_length = 8;
+  auto bad = EncodeSecondaryKeyBytes(Slice(raw), spec);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace kvcsd::nvme

@@ -1,0 +1,133 @@
+#include "sim/resources.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sync.h"
+
+namespace kvcsd::sim {
+namespace {
+
+TEST(BandwidthResourceTest, SingleTransferTime) {
+  Simulation sim;
+  // 1 GB/s, 2us latency; 1 MiB transfer -> 1048576ns service + 2000ns.
+  BandwidthResource pipe(&sim, "pipe", 1e9, Microseconds(2));
+  Tick done = 0;
+  sim.Spawn([](Simulation* s, BandwidthResource* p, Tick* out) -> Task<void> {
+    co_await p->Transfer(MiB(1));
+    *out = s->Now();
+  }(&sim, &pipe, &done));
+  sim.Run();
+  EXPECT_EQ(done, Microseconds(2) + 1048576u);
+  EXPECT_EQ(pipe.total_bytes(), MiB(1));
+  EXPECT_EQ(pipe.total_ops(), 1u);
+}
+
+TEST(BandwidthResourceTest, ConcurrentTransfersSerialize) {
+  Simulation sim;
+  BandwidthResource pipe(&sim, "pipe", 1e9, 0);
+  std::vector<Tick> done_times;
+  auto xfer = [](Simulation* s, BandwidthResource* p,
+                 std::vector<Tick>* log) -> Task<void> {
+    co_await p->Transfer(1000);  // 1000 ns service at 1 GB/s
+    log->push_back(s->Now());
+  };
+  for (int i = 0; i < 4; ++i) sim.Spawn(xfer(&sim, &pipe, &done_times));
+  sim.Run();
+  EXPECT_EQ(done_times, (std::vector<Tick>{1000, 2000, 3000, 4000}));
+  EXPECT_EQ(pipe.busy_time(), 4000u);
+}
+
+TEST(BandwidthResourceTest, LatencyPipelines) {
+  // With a large per-op latency, back-to-back small transfers should pay
+  // the latency concurrently: completion gap equals the service time.
+  Simulation sim;
+  BandwidthResource pipe(&sim, "pipe", 1e9, Microseconds(100));
+  std::vector<Tick> done_times;
+  auto xfer = [](Simulation* s, BandwidthResource* p,
+                 std::vector<Tick>* log) -> Task<void> {
+    co_await p->Transfer(1000);
+    log->push_back(s->Now());
+  };
+  for (int i = 0; i < 3; ++i) sim.Spawn(xfer(&sim, &pipe, &done_times));
+  sim.Run();
+  ASSERT_EQ(done_times.size(), 3u);
+  EXPECT_EQ(done_times[1] - done_times[0], 1000u);
+  EXPECT_EQ(done_times[2] - done_times[1], 1000u);
+  EXPECT_EQ(done_times[0], Microseconds(100) + 1000u);
+}
+
+TEST(BandwidthResourceTest, ZeroByteTransferPaysOnlyLatency) {
+  Simulation sim;
+  BandwidthResource pipe(&sim, "pipe", 1e9, Microseconds(5));
+  Tick done = 0;
+  sim.Spawn([](Simulation* s, BandwidthResource* p, Tick* out) -> Task<void> {
+    co_await p->Transfer(0);
+    *out = s->Now();
+  }(&sim, &pipe, &done));
+  sim.Run();
+  EXPECT_EQ(done, Microseconds(5));
+}
+
+TEST(CpuPoolTest, ParallelSpeedup) {
+  // 8 jobs of 100ns: on 1 core -> 800ns; on 4 cores -> 200ns.
+  for (auto [cores, expected] :
+       std::vector<std::pair<std::uint32_t, Tick>>{{1, 800}, {4, 200},
+                                                   {8, 100}, {16, 100}}) {
+    Simulation sim;
+    CpuPool pool(&sim, "cpu", cores);
+    auto job = [](CpuPool* p) -> Task<void> { co_await p->Compute(100); };
+    for (int i = 0; i < 8; ++i) sim.Spawn(job(&pool));
+    sim.Run();
+    EXPECT_EQ(sim.Now(), expected) << "cores=" << cores;
+  }
+}
+
+TEST(CpuPoolTest, BusyTimeAccounting) {
+  Simulation sim;
+  CpuPool pool(&sim, "cpu", 2);
+  auto job = [](CpuPool* p, Tick cost) -> Task<void> {
+    co_await p->Compute(cost);
+  };
+  sim.Spawn(job(&pool, 100));
+  sim.Spawn(job(&pool, 300));
+  sim.Run();
+  EXPECT_EQ(pool.busy_time(), 400u);
+  EXPECT_EQ(sim.Now(), 300u);
+  EXPECT_DOUBLE_EQ(pool.average_load(), 400.0 / 300.0);
+}
+
+TEST(CpuPoolTest, ComputeBytesUsesRate) {
+  Simulation sim;
+  CpuPool pool(&sim, "cpu", 1);
+  sim.Spawn([](CpuPool* p) -> Task<void> {
+    co_await p->ComputeBytes(1000, 1e9);  // 1000 bytes at 1 GB/s = 1000ns
+  }(&pool));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 1000u);
+}
+
+TEST(CpuPoolTest, ForegroundBlockedByBackgroundSharingPool) {
+  // The write-stall mechanism in miniature: a background task hogging the
+  // only core delays a foreground task; with a second core it does not.
+  for (auto [cores, expected_fg] :
+       std::vector<std::pair<std::uint32_t, Tick>>{{1, 1100}, {2, 150}}) {
+    Simulation sim;
+    CpuPool pool(&sim, "cpu", cores);
+    Tick fg_done = 0;
+    sim.Spawn([](CpuPool* p) -> Task<void> {
+      co_await p->Compute(1000);  // background hog
+    }(&pool));
+    sim.Spawn([](Simulation* s, CpuPool* p, Tick* out) -> Task<void> {
+      co_await s->Delay(50);  // arrives while background is running
+      co_await p->Compute(100);
+      *out = s->Now();
+    }(&sim, &pool, &fg_done));
+    sim.Run();
+    EXPECT_EQ(fg_done, expected_fg) << "cores=" << cores;
+  }
+}
+
+}  // namespace
+}  // namespace kvcsd::sim

@@ -1,0 +1,85 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace kvcsd::sim {
+namespace {
+
+TEST(CounterTest, AccumulatesAndResets) {
+  Counter c;
+  c.Add(10);
+  c.Increment();
+  EXPECT_EQ(c.value(), 11u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (std::uint64_t v : {1u, 2u, 3u, 4u, 5u}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 15u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(HistogramTest, PercentilesBracketed) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<std::uint64_t>(i));
+  // log2 buckets give coarse percentiles; check they are sane.
+  EXPECT_GE(h.Percentile(50), 256.0);
+  EXPECT_LE(h.Percentile(50), 1000.0);
+  EXPECT_GE(h.Percentile(99), h.Percentile(50));
+  EXPECT_LE(h.Percentile(100), 1000.0);
+}
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, ZeroAndHugeValues) {
+  Histogram h;
+  h.Record(0);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST(StatsTest, RegistryIsStableAndNamed) {
+  Stats stats;
+  Counter& a = stats.counter("ssd.bytes_written");
+  a.Add(4096);
+  Counter& again = stats.counter("ssd.bytes_written");
+  EXPECT_EQ(&a, &again);
+  EXPECT_EQ(stats.counter_value("ssd.bytes_written"), 4096u);
+  EXPECT_EQ(stats.counter_value("missing"), 0u);
+  EXPECT_TRUE(stats.has_counter("ssd.bytes_written"));
+  EXPECT_FALSE(stats.has_counter("missing"));
+}
+
+TEST(StatsTest, ToStringFiltersByPrefix) {
+  Stats stats;
+  stats.counter("fs.reads").Add(1);
+  stats.counter("ssd.reads").Add(2);
+  std::string fs_only = stats.ToString("fs.");
+  EXPECT_NE(fs_only.find("fs.reads"), std::string::npos);
+  EXPECT_EQ(fs_only.find("ssd.reads"), std::string::npos);
+}
+
+TEST(StatsTest, ResetClearsEverything) {
+  Stats stats;
+  stats.counter("x").Add(5);
+  stats.histogram("h").Record(9);
+  stats.Reset();
+  EXPECT_EQ(stats.counter_value("x"), 0u);
+  EXPECT_EQ(stats.histogram("h").count(), 0u);
+}
+
+}  // namespace
+}  // namespace kvcsd::sim

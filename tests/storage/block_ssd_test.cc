@@ -1,0 +1,76 @@
+#include "storage/block_ssd.h"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.h"
+
+namespace kvcsd::storage {
+namespace {
+
+BlockSsdConfig SmallBlockSsd() {
+  BlockSsdConfig c;
+  c.nand.channels = 4;
+  c.stripe_size = KiB(128);
+  return c;
+}
+
+TEST(BlockSsdTest, LargeSequentialWriteUsesAllChannels) {
+  sim::Simulation sim;
+  BlockSsd ssd(&sim, SmallBlockSsd());
+  // 1 MiB = 8 stripes over 4 channels -> 2 stripes (256 KiB) per channel.
+  testutil::RunSim(sim, ssd.Write(0, MiB(1)));
+  const Tick per_channel = TransferTicks(KiB(256), 500e6);
+  EXPECT_EQ(sim.Now(), per_channel + NandConfig{}.program_latency);
+  EXPECT_EQ(ssd.total_bytes_written(), MiB(1));
+}
+
+TEST(BlockSsdTest, SmallReadTouchesOneChannel) {
+  sim::Simulation sim;
+  BlockSsd ssd(&sim, SmallBlockSsd());
+  testutil::RunSim(sim, ssd.Read(KiB(128) * 5, 4096));
+  EXPECT_EQ(sim.Now(), TransferTicks(4096, 500e6) + NandConfig{}.read_latency);
+  EXPECT_EQ(ssd.total_read_ops(), 1u);
+}
+
+TEST(BlockSsdTest, UnalignedRequestSpansStripes) {
+  sim::Simulation sim;
+  BlockSsd ssd(&sim, SmallBlockSsd());
+  // Start 4 KiB before a stripe boundary, read 8 KiB: two channels.
+  testutil::RunSim(sim, ssd.Read(KiB(128) - 4096, 8192));
+  // Both chunks are 4 KiB on distinct channels -> time of one.
+  EXPECT_EQ(sim.Now(), TransferTicks(4096, 500e6) + NandConfig{}.read_latency);
+}
+
+TEST(BlockSsdTest, ZeroByteIoIsFree) {
+  sim::Simulation sim;
+  BlockSsd ssd(&sim, SmallBlockSsd());
+  testutil::RunSim(sim, ssd.Write(0, 0));
+  EXPECT_EQ(sim.Now(), 0u);
+}
+
+TEST(BlockSsdTest, FlushIsShortBarrier) {
+  sim::Simulation sim;
+  BlockSsd ssd(&sim, SmallBlockSsd());
+  testutil::RunSim(sim, ssd.Flush());
+  EXPECT_EQ(sim.Now(), Microseconds(20));
+}
+
+TEST(BlockSsdTest, RandomReadsOnSameStripeSerialize) {
+  sim::Simulation sim;
+  BlockSsd ssd(&sim, SmallBlockSsd());
+  sim::WaitGroup wg(&sim);
+  wg.Add(2);
+  auto read = [](BlockSsd* s, sim::WaitGroup* g,
+                 std::uint64_t off) -> sim::Task<void> {
+    co_await s->Read(off, 4096);
+    g->Done();
+  };
+  sim.Spawn(read(&ssd, &wg, 0));
+  sim.Spawn(read(&ssd, &wg, 8192));  // same stripe 0 -> same channel
+  sim.Run();
+  EXPECT_EQ(sim.Now(),
+            2 * TransferTicks(4096, 500e6) + NandConfig{}.read_latency);
+}
+
+}  // namespace
+}  // namespace kvcsd::storage

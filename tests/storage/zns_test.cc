@@ -1,0 +1,155 @@
+#include "storage/zns.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "../testutil.h"
+
+namespace kvcsd::storage {
+namespace {
+
+ZnsConfig SmallZns() {
+  ZnsConfig c;
+  c.nand.channels = 4;
+  c.zone_size = KiB(64);
+  c.num_zones = 16;
+  return c;
+}
+
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size());
+}
+
+TEST(ZnsTest, AppendReturnsDeviceAddress) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  auto addr = testutil::RunSim(sim, ssd.Append(2, AsBytes("hello")));
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(*addr, 2 * KiB(64));
+  auto addr2 = testutil::RunSim(sim, ssd.Append(2, AsBytes("world")));
+  ASSERT_TRUE(addr2.ok());
+  EXPECT_EQ(*addr2, 2 * KiB(64) + 5);
+  EXPECT_EQ(ssd.write_pointer(2), 10u);
+  EXPECT_EQ(ssd.zone_state(2), ZoneState::kOpen);
+}
+
+TEST(ZnsTest, ReadBackReturnsExactBytes) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+  auto addr = testutil::RunSim(sim, ssd.Append(0, AsBytes(payload)));
+  ASSERT_TRUE(addr.ok());
+
+  std::string out(payload.size(), '\0');
+  auto status = testutil::RunSim(
+      sim, ssd.Read(*addr, std::span<std::byte>(
+                               reinterpret_cast<std::byte*>(out.data()),
+                               out.size())));
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(out, payload);
+
+  // Partial read at an offset.
+  std::string mid(5, '\0');
+  status = testutil::RunSim(
+      sim, ssd.Read(*addr + 4, std::span<std::byte>(
+                                   reinterpret_cast<std::byte*>(mid.data()),
+                                   mid.size())));
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(mid, "quick");
+}
+
+TEST(ZnsTest, ReadBeyondWritePointerFails) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  testutil::RunSim(sim, ssd.Append(0, AsBytes("abc"))).value();
+  std::byte buf[8];
+  auto status = testutil::RunSim(sim, ssd.Read(0, std::span<std::byte>(buf)));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ZnsTest, AppendBeyondCapacityFails) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  std::string big(KiB(64), 'x');
+  auto ok = testutil::RunSim(sim, ssd.Append(1, AsBytes(big)));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ssd.zone_state(1), ZoneState::kFull);
+  auto overflow = testutil::RunSim(sim, ssd.Append(1, AsBytes("y")));
+  EXPECT_EQ(overflow.status().code(), StatusCode::kFailedPrecondition);
+
+  // A partially filled zone rejects appends that do not fit.
+  std::string most(KiB(60), 'x');
+  ASSERT_TRUE(testutil::RunSim(sim, ssd.Append(2, AsBytes(most))).ok());
+  std::string toobig(KiB(8), 'y');
+  auto nofit = testutil::RunSim(sim, ssd.Append(2, AsBytes(toobig)));
+  EXPECT_EQ(nofit.status().code(), StatusCode::kOutOfSpace);
+}
+
+TEST(ZnsTest, ResetRewindsAndAllowsRewrite) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  testutil::RunSim(sim, ssd.Append(3, AsBytes("old data"))).value();
+  ASSERT_TRUE(testutil::RunSim(sim, ssd.Reset(3)).ok());
+  EXPECT_EQ(ssd.zone_state(3), ZoneState::kEmpty);
+  EXPECT_EQ(ssd.write_pointer(3), 0u);
+  EXPECT_EQ(ssd.total_resets(), 1u);
+
+  auto addr = testutil::RunSim(sim, ssd.Append(3, AsBytes("new")));
+  ASSERT_TRUE(addr.ok());
+  EXPECT_EQ(*addr, 3 * KiB(64));
+}
+
+TEST(ZnsTest, FinishMakesZoneReadonly) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  testutil::RunSim(sim, ssd.Append(4, AsBytes("data"))).value();
+  ASSERT_TRUE(ssd.Finish(4).ok());
+  EXPECT_EQ(ssd.zone_state(4), ZoneState::kFull);
+  auto denied = testutil::RunSim(sim, ssd.Append(4, AsBytes("more")));
+  EXPECT_EQ(denied.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ssd.Finish(5).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ZnsTest, InvalidZoneIdsRejected) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  auto bad_append = testutil::RunSim(sim, ssd.Append(99, AsBytes("x")));
+  EXPECT_EQ(bad_append.status().code(), StatusCode::kInvalidArgument);
+  auto bad_reset = testutil::RunSim(sim, ssd.Reset(99));
+  EXPECT_EQ(bad_reset.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ZnsTest, EmptyAppendRejected) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  auto r = testutil::RunSim(
+      sim, ssd.Append(0, std::span<const std::byte>()));
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ZnsTest, ZoneChannelMappingIsModular) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  EXPECT_EQ(ssd.ChannelOf(0), 0u);
+  EXPECT_EQ(ssd.ChannelOf(5), 1u);
+  EXPECT_EQ(ssd.ChannelOf(15), 3u);
+}
+
+TEST(ZnsTest, TrafficCountersTrackPayloadBytes) {
+  sim::Simulation sim;
+  ZnsSsd ssd(&sim, SmallZns());
+  testutil::RunSim(sim, ssd.Append(0, AsBytes("0123456789"))).value();
+  std::byte buf[4];
+  ASSERT_TRUE(testutil::RunSim(sim, ssd.Read(0, std::span<std::byte>(buf))).ok());
+  EXPECT_EQ(ssd.total_bytes_written(), 10u);
+  EXPECT_EQ(ssd.total_bytes_read(), 4u);
+  // NAND sees page-rounded traffic.
+  EXPECT_EQ(ssd.nand().bytes_written(), 4096u);
+  EXPECT_EQ(ssd.nand().bytes_read(), 4096u);
+}
+
+}  // namespace
+}  // namespace kvcsd::storage

@@ -1,0 +1,37 @@
+// Test helpers shared across suites: run a coroutine on a simulation and
+// return its result after the event queue drains.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <utility>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace kvcsd::testutil {
+
+template <typename T>
+T RunSim(sim::Simulation& simulation, sim::Task<T> task) {
+  std::optional<T> result;
+  simulation.Spawn([](sim::Task<T> t, std::optional<T>* out)
+                       -> sim::Task<void> {
+    out->emplace(co_await std::move(t));
+  }(std::move(task), &result));
+  simulation.Run();
+  EXPECT_TRUE(result.has_value()) << "coroutine did not complete";
+  return std::move(*result);
+}
+
+inline void RunSim(sim::Simulation& simulation, sim::Task<void> task) {
+  bool done = false;
+  simulation.Spawn([](sim::Task<void> t, bool* flag) -> sim::Task<void> {
+    co_await std::move(t);
+    *flag = true;
+  }(std::move(task), &done));
+  simulation.Run();
+  EXPECT_TRUE(done) << "coroutine did not complete";
+}
+
+}  // namespace kvcsd::testutil
