@@ -55,6 +55,18 @@ std::string FormatCount(std::uint64_t n) {
   return buf;
 }
 
+void PrintCompactionStats(const std::string& title,
+                          const device::CompactionStats& stats) {
+  Table table(title, {"counter", "value"});
+  table.AddRow({"flash bytes read", FormatBytes(stats.bytes_read)});
+  table.AddRow({"flash bytes written", FormatBytes(stats.bytes_written)});
+  table.AddRow({"runs spilled", FormatCount(stats.runs_spilled)});
+  table.AddRow({"max merge fan-in", FormatCount(stats.max_merge_fanin)});
+  table.AddRow({"phase-1 (run generation)", FormatSeconds(stats.phase1_ticks)});
+  table.AddRow({"phase-2 (merge + index)", FormatSeconds(stats.phase2_ticks)});
+  table.Print();
+}
+
 Table::Table(std::string title, std::vector<std::string> columns)
     : title_(std::move(title)), columns_(std::move(columns)) {}
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "kvcsd/device.h"
 
 namespace kvcsd::harness {
 
@@ -14,6 +15,11 @@ std::string FormatSeconds(Tick ticks);          // "12.34 s" / "56.7 ms"
 std::string FormatBytes(std::uint64_t bytes);   // "1.5 GiB"
 std::string FormatRatio(double ratio);          // "4.2x"
 std::string FormatCount(std::uint64_t n);       // "32M" / "1.0B"
+
+// Renders the device's cumulative compaction counters (device.h) as a
+// two-column table, e.g. after a bench's compaction phase.
+void PrintCompactionStats(const std::string& title,
+                          const device::CompactionStats& stats);
 
 class Table {
  public:

@@ -9,22 +9,48 @@
 // the SORTED_VALUES + PIDX clusters and an in-memory pivot sketch (one
 // entry per 4 KB PIDX block) kept in the keyspace table.
 //
+// Both steps are pipelined across the SoC cores (DESIGN.md §7):
+//
+//  * Phase 1 fans run generation out over the KLOG zones with
+//    sim::ParallelFor — each worker streams its zone in bounded chunks,
+//    sorts, and spills independently. The sort budget is split into a
+//    FIXED number of shares (kRunGenShares), not `soc_cores`, so the run
+//    layout — and therefore the merged output — is identical no matter
+//    how many cores execute the fan-out; core count changes timing only.
+//  * Phase 2 merges the runs through a loser tree over double-buffered
+//    TEMP readers (merge.h) and hands each gathered value batch to a
+//    concurrent index-build stage over a bounded channel, so PIDX
+//    building + fused extraction of batch N overlap the value gather and
+//    sorted-value writes of batch N+1.
+//
 // Secondary indexes are built either separately (the paper's implemented
 // design: a full scan of the compacted keyspace, extract, external sort)
 // or fused into the compaction pass (the paper's §V future-work variant:
 // keys are extracted while the values are already in DRAM during phase 2,
-// skipping the re-read at the cost of extra DRAM pressure).
+// skipping the re-read at the cost of extra DRAM pressure). Fused per-spec
+// merges run concurrently in a TaskGroup.
 #include <algorithm>
 #include <cstring>
+#include <memory>
+#include <utility>
 
 #include "common/keys.h"
 #include "kvcsd/device.h"
+#include "kvcsd/merge.h"
 #include "kvcsd/wire.h"
 #include "nvme/skey.h"
+#include "sim/parallel.h"
 
 namespace kvcsd::device {
 
 namespace {
+
+// The phase-1 sort budget divides into this many fixed shares; each
+// concurrent run-generation worker owns one share, and the worker count
+// is min(soc_cores, kRunGenShares) so at most `run_budget` bytes of
+// run-building state exist at once. A fixed divisor (rather than
+// `soc_cores`) keeps the run layout independent of the core count.
+constexpr std::uint64_t kRunGenShares = 4;
 
 std::span<const std::byte> AsBytes(const std::string& s) {
   return std::span<const std::byte>(
@@ -41,27 +67,138 @@ Result<std::string> ExtractSecondaryKey(const Slice& value,
       Slice(value.data() + spec.value_offset, spec.value_length), spec);
 }
 
+// Streams one KLOG zone's written extent in `chunk_bytes`-sized reads,
+// so the device never holds more than a chunk (plus a partial-record
+// carry) in DRAM — the old code read the whole extent, up to a full
+// zone, into one allocation. A record split across a chunk boundary is
+// carried over and completed by the next read.
+class KlogZoneStream {
+ public:
+  KlogZoneStream(storage::ZnsSsd* ssd, std::uint32_t zone,
+                 std::uint64_t chunk_bytes, std::uint64_t* bytes_read)
+      : ssd_(ssd),
+        chunk_bytes_(std::max<std::uint64_t>(chunk_bytes, 512)),
+        base_(static_cast<std::uint64_t>(zone) * ssd->zone_size()),
+        extent_(ssd->write_pointer(zone)),
+        bytes_read_(bytes_read) {}
+
+  // Appends the next chunk's worth of entries to *out. Returns false once
+  // the zone is exhausted (nothing appended).
+  sim::Task<Result<bool>> NextBatch(std::vector<KlogEntry>* out) {
+    if (offset_ >= extent_ && carry_.empty()) co_return false;
+    if (offset_ < extent_) {
+      const std::uint64_t len = std::min(chunk_bytes_, extent_ - offset_);
+      const std::size_t old_size = carry_.size();
+      carry_.resize(old_size + len);
+      KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Read(
+          base_ + offset_,
+          std::span<std::byte>(
+              reinterpret_cast<std::byte*>(carry_.data()) + old_size, len)));
+      offset_ += len;
+      if (bytes_read_ != nullptr) *bytes_read_ += len;
+    }
+    Slice in(carry_);
+    while (!in.empty()) {
+      Slice probe = in;
+      wire::ParsedKlogEntry entry;
+      if (!wire::ParseKlogEntry(&probe, &entry)) {
+        if (offset_ >= extent_) {
+          co_return Status::Corruption("bad KLOG entry");
+        }
+        break;  // record continues in the next chunk
+      }
+      out->push_back(KlogEntry{entry.key.ToString(), entry.vaddr, entry.vlen});
+      in = probe;
+    }
+    std::string tail(in.data(), in.size());
+    carry_ = std::move(tail);
+    co_return true;
+  }
+
+ private:
+  storage::ZnsSsd* ssd_;
+  std::uint64_t chunk_bytes_;
+  std::uint64_t base_;
+  std::uint64_t extent_;
+  std::uint64_t* bytes_read_;
+  std::uint64_t offset_ = 0;
+  std::string carry_;  // unparsed tail of the previous chunk
+};
+
 }  // namespace
 
-sim::Task<Status> Device::ParseKlogZone(std::uint32_t zone,
-                                        std::vector<KlogEntry>* out) {
-  const std::uint64_t extent = ssd_.write_pointer(zone);
-  if (extent == 0) co_return Status::Ok();
-  std::string payload(extent, '\0');
-  KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
-      static_cast<std::uint64_t>(zone) * ssd_.zone_size(),
-      std::span<std::byte>(reinterpret_cast<std::byte*>(payload.data()),
-                           payload.size())));
-  Slice in(payload);
-  while (!in.empty()) {
-    wire::ParsedKlogEntry entry;
-    if (!wire::ParseKlogEntry(&in, &entry)) {
-      co_return Status::Corruption("bad KLOG entry");
+// ---------------------------------------------------------------------------
+// Phase 1: parallel run generation
+// ---------------------------------------------------------------------------
+
+// Runs and TEMP clusters produced from one KLOG zone. Each worker owns its
+// output slot, so the fan-out shares no mutable state.
+struct Device::RunGenOutput {
+  std::vector<SpilledRun> runs;
+  std::vector<ClusterId> temp_clusters;
+};
+
+sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
+                                           std::uint64_t run_budget,
+                                           RunGenOutput* out) {
+  std::vector<KlogEntry> current;
+  std::uint64_t current_bytes = 0;
+
+  auto spill_current = [&]() -> sim::Task<Status> {
+    if (current.empty()) co_return Status::Ok();
+    co_await cpu_.ComputeBytes(current_bytes,
+                               config_.costs.merge_bytes_per_sec);
+    std::sort(current.begin(), current.end(),
+              [](const KlogEntry& a, const KlogEntry& b) {
+                return a.key < b.key;
+              });
+    SpilledRun spilled;
+    std::string chunk;
+    chunk.reserve(config_.output_batch_bytes);
+    auto flush_chunk = [&]() -> sim::Task<Status> {
+      if (chunk.empty()) co_return Status::Ok();
+      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      auto addr = co_await AppendToChain(&out->temp_clusters, ZoneType::kTemp,
+                                         AsBytes(chunk));
+      if (!addr.ok()) co_return addr.status();
+      compaction_stats_.bytes_written += chunk.size();
+      spilled.segments.emplace_back(*addr,
+                                    static_cast<std::uint32_t>(chunk.size()));
+      chunk.clear();
+      co_return Status::Ok();
+    };
+    for (const KlogEntry& e : current) {
+      if (chunk.size() + e.key.size() + 20 > config_.output_batch_bytes) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+      }
+      wire::AppendKlogEntry(&chunk, e.key, e.value_addr, e.value_len);
+      ++spilled.entries;
     }
-    out->push_back(
-        KlogEntry{entry.key.ToString(), entry.vaddr, entry.vlen});
+    KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+    ++compaction_stats_.runs_spilled;
+    out->runs.push_back(std::move(spilled));
+    current.clear();
+    current_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  KlogZoneStream stream(&ssd_, zone, config_.output_batch_bytes,
+                        &compaction_stats_.bytes_read);
+  std::vector<KlogEntry> parsed;
+  for (;;) {
+    parsed.clear();
+    auto more = co_await stream.NextBatch(&parsed);
+    if (!more.ok()) co_return more.status();
+    if (!*more) break;
+    for (KlogEntry& e : parsed) {
+      current_bytes += e.key.size() + 12;
+      current.push_back(std::move(e));
+      if (current_bytes >= run_budget) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await spill_current());
+      }
+    }
   }
-  co_return Status::Ok();
+  co_return co_await spill_current();
 }
 
 // ---------------------------------------------------------------------------
@@ -85,6 +222,7 @@ sim::Task<Status> Device::SidxSpill(SidxSortState* state) {
     auto addr = co_await AppendToChain(&state->temp_clusters,
                                        ZoneType::kTemp, AsBytes(chunk));
     if (!addr.ok()) co_return addr.status();
+    compaction_stats_.bytes_written += chunk.size();
     spilled.segments.emplace_back(*addr,
                                   static_cast<std::uint32_t>(chunk.size()));
     chunk.clear();
@@ -99,6 +237,7 @@ sim::Task<Status> Device::SidxSpill(SidxSortState* state) {
     ++spilled.entries;
   }
   KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
+  ++compaction_stats_.runs_spilled;
   state->runs.push_back(std::move(spilled));
   state->current.clear();
   state->current_bytes = 0;
@@ -118,50 +257,11 @@ sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
     SidxSortState* state, const nvme::SecondaryIndexSpec& spec) {
   KVCSD_CO_RETURN_IF_ERROR(co_await SidxSpill(state));
 
-  struct RunReader {
-    Device* device;
-    const SpilledRun* run;
-    std::size_t segment = 0;
-    std::string buffer;
-    Slice cursor;
-    SidxTuple head;
-    bool valid = false;
-
-    sim::Task<Status> Advance() {
-      while (true) {
-        if (!cursor.empty()) {
-          wire::SidxEntry e;
-          if (!wire::ParseSidxEntry(&cursor, &e)) {
-            co_return Status::Corruption("bad TEMP sidx entry");
-          }
-          head = SidxTuple{e.skey.ToString(), e.pkey.ToString(), e.vaddr,
-                           e.vlen};
-          valid = true;
-          co_return Status::Ok();
-        }
-        if (segment >= run->segments.size()) {
-          valid = false;
-          co_return Status::Ok();
-        }
-        const auto [addr, len] = run->segments[segment++];
-        buffer.assign(len, '\0');
-        KVCSD_CO_RETURN_IF_ERROR(co_await device->ssd_.Read(
-            addr, std::span<std::byte>(
-                      reinterpret_cast<std::byte*>(buffer.data()),
-                      buffer.size())));
-        cursor = Slice(buffer);
-      }
-    }
-  };
-
-  std::vector<std::unique_ptr<RunReader>> readers;
-  for (const SpilledRun& run : state->runs) {
-    auto reader = std::make_unique<RunReader>();
-    reader->device = this;
-    reader->run = &run;
-    KVCSD_CO_RETURN_IF_ERROR(co_await reader->Advance());
-    if (reader->valid) readers.push_back(std::move(reader));
-  }
+  compaction_stats_.max_merge_fanin = std::max<std::uint64_t>(
+      compaction_stats_.max_merge_fanin, state->runs.size());
+  RunMerger<SidxMergeTraits> merger(sim_, &ssd_);
+  KVCSD_CO_RETURN_IF_ERROR(
+      co_await merger.Init(state->runs, &compaction_stats_.bytes_read));
 
   SecondaryIndex sidx;
   sidx.spec = spec;
@@ -181,6 +281,7 @@ sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
     auto addr = co_await AppendToChain(&sidx.sidx_clusters, ZoneType::kSidx,
                                        AsBytes(blob));
     if (!addr.ok()) co_return addr.status();
+    compaction_stats_.bytes_written += blob.size();
     for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
       sidx.sketch.push_back(SketchEntry{
           pending_blocks[i].first,
@@ -206,21 +307,9 @@ sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
   };
 
   std::uint64_t merged = 0;
-  while (!readers.empty()) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < readers.size(); ++i) {
-      if (readers[i]->head.skey < readers[best]->head.skey ||
-          (readers[i]->head.skey == readers[best]->head.skey &&
-           readers[i]->head.pkey < readers[best]->head.pkey)) {
-        best = i;
-      }
-    }
-    SidxTuple t = std::move(readers[best]->head);
-    Status s = co_await readers[best]->Advance();
-    if (!s.ok()) co_return s;
-    if (!readers[best]->valid) {
-      readers.erase(readers.begin() + static_cast<std::ptrdiff_t>(best));
-    }
+  while (!merger.Empty()) {
+    SidxTuple t;
+    KVCSD_CO_RETURN_IF_ERROR(co_await merger.Pop(&t));
 
     merged += t.skey.size() + t.pkey.size() + 12;
     if (merged >= MiB(1)) {
@@ -250,6 +339,130 @@ sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
   co_return sidx;
 }
 
+sim::Task<Status> Device::FusedMergeTask(SidxSortState* state,
+                                         const nvme::SecondaryIndexSpec* spec,
+                                         SecondaryIndex* out) {
+  auto sidx = co_await SidxMergeToBlocks(state, *spec);
+  if (!sidx.ok()) co_return sidx.status();
+  *out = std::move(*sidx);
+  co_return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: merge + value permutation, pipelined with index building
+// ---------------------------------------------------------------------------
+
+// One unit of hand-off between the gather/write stage and the index-build
+// stage: a run of merged entries with their gathered values and the
+// addresses the values were rewritten to.
+struct Device::ValueBatch {
+  std::vector<KlogEntry> entries;
+  std::vector<std::string> values;
+  std::vector<std::uint64_t> new_addrs;
+  std::uint64_t value_bytes = 0;
+};
+
+struct Device::PidxPipeline {
+  sim::BoundedChannel<std::unique_ptr<ValueBatch>>* channel = nullptr;
+  const std::vector<nvme::SecondaryIndexSpec>* specs = nullptr;
+  std::vector<SidxSortState>* sidx_states = nullptr;
+  std::vector<SketchEntry> sketch;
+  std::vector<ClusterId> pidx_clusters;
+  std::uint64_t entries_total = 0;
+  // Set when the consumer fails; the producer stops feeding new batches.
+  bool failed = false;
+};
+
+sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
+  std::string block;
+  wire::BeginIndexBlock(&block);
+  std::uint16_t block_count = 0;
+  std::string block_pivot;
+  std::vector<std::pair<std::string, std::string>> pending_blocks;
+  std::uint64_t pending_bytes = 0;
+
+  auto flush_blocks = [&]() -> sim::Task<Status> {
+    if (pending_blocks.empty()) co_return Status::Ok();
+    std::string blob;
+    blob.reserve(pending_bytes);
+    for (const auto& [pivot, b] : pending_blocks) blob += b;
+    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    auto addr = co_await AppendToChain(&pipe->pidx_clusters, ZoneType::kPidx,
+                                       AsBytes(blob));
+    if (!addr.ok()) co_return addr.status();
+    compaction_stats_.bytes_written += blob.size();
+    for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
+      pipe->sketch.push_back(SketchEntry{
+          pending_blocks[i].first,
+          *addr + i * config_.index_block_size, config_.index_block_size});
+    }
+    pending_blocks.clear();
+    pending_bytes = 0;
+    co_return Status::Ok();
+  };
+
+  auto close_block = [&]() -> sim::Task<Status> {
+    if (block_count == 0) co_return Status::Ok();
+    wire::FinishIndexBlock(&block, block_count, config_.index_block_size);
+    pending_blocks.emplace_back(std::move(block_pivot), std::move(block));
+    pending_bytes += config_.index_block_size;
+    wire::BeginIndexBlock(&block);
+    block_count = 0;
+    block_pivot.clear();
+    if (pending_bytes >= config_.output_batch_bytes) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await flush_blocks());
+    }
+    co_return Status::Ok();
+  };
+
+  auto process = [&](ValueBatch& b) -> sim::Task<Status> {
+    // Fused secondary-key extraction touches every value byte while the
+    // batch sits in DRAM anyway (no keyspace re-read).
+    if (!pipe->specs->empty()) {
+      co_await cpu_.ComputeBytes(b.value_bytes,
+                                 config_.costs.extract_bytes_per_sec);
+    }
+    for (std::size_t i = 0; i < b.entries.size(); ++i) {
+      const KlogEntry& e = b.entries[i];
+      if (block.size() + wire::PidxEntrySize(e.key) >
+          config_.index_block_size) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await close_block());
+      }
+      if (block_count == 0) block_pivot = e.key;
+      wire::AppendPidxEntry(&block, e.key, b.new_addrs[i], e.value_len);
+      ++block_count;
+
+      for (std::size_t spec_index = 0; spec_index < pipe->specs->size();
+           ++spec_index) {
+        auto skey = ExtractSecondaryKey(Slice(b.values[i]),
+                                        (*pipe->specs)[spec_index]);
+        if (!skey.ok()) co_return skey.status();
+        SidxTuple tuple{std::move(*skey), e.key, b.new_addrs[i], e.value_len};
+        KVCSD_CO_RETURN_IF_ERROR(co_await SidxAdd(
+            &(*pipe->sidx_states)[spec_index], std::move(tuple)));
+      }
+    }
+    pipe->entries_total += b.entries.size();
+    co_return Status::Ok();
+  };
+
+  Status result = Status::Ok();
+  for (;;) {
+    auto item = co_await pipe->channel->Pop();
+    if (!item.has_value()) break;
+    if (!result.ok()) continue;  // drain so a blocked producer always wakes
+    Status s = co_await process(**item);
+    if (!s.ok()) {
+      result = s;
+      pipe->failed = true;
+    }
+  }
+  if (result.ok()) result = co_await close_block();
+  if (result.ok()) result = co_await flush_blocks();
+  if (!result.ok()) pipe->failed = true;
+  co_return result;
+}
+
 // ---------------------------------------------------------------------------
 // Compaction (optionally fused with secondary-index construction)
 // ---------------------------------------------------------------------------
@@ -276,180 +489,85 @@ sim::Task<Status> Device::CompactKeyspace(
   const std::uint64_t budget_shares = 1 + fused_specs.size();
   const std::uint64_t run_budget =
       config_.EffectiveSortRunBytes() / budget_shares;
-  std::vector<ClusterId> temp_clusters;
 
   std::vector<SidxSortState> fused_states(fused_specs.size());
   for (auto& state : fused_states) state.run_budget = run_budget;
 
-  // ---- Phase 1: sort the keys (external merge sort) ----
-  std::vector<SpilledRun> runs;
-  std::vector<KlogEntry> current;
-  std::uint64_t current_bytes = 0;
-
-  auto spill_current = [&]() -> sim::Task<Status> {
-    if (current.empty()) co_return Status::Ok();
-    co_await cpu_.ComputeBytes(current_bytes,
-                               config_.costs.merge_bytes_per_sec);
-    std::sort(current.begin(), current.end(),
-              [](const KlogEntry& a, const KlogEntry& b) {
-                return a.key < b.key;
-              });
-    SpilledRun spilled;
-    std::string chunk;
-    chunk.reserve(config_.output_batch_bytes);
-    auto flush_chunk = [&]() -> sim::Task<Status> {
-      if (chunk.empty()) co_return Status::Ok();
-      co_await cpu_.Compute(config_.costs.io_path_overhead);
-      auto addr = co_await AppendToChain(&temp_clusters, ZoneType::kTemp,
-                                         AsBytes(chunk));
-      if (!addr.ok()) co_return addr.status();
-      spilled.segments.emplace_back(*addr,
-                                    static_cast<std::uint32_t>(chunk.size()));
-      chunk.clear();
-      co_return Status::Ok();
-    };
-    for (const KlogEntry& e : current) {
-      if (chunk.size() + e.key.size() + 20 > config_.output_batch_bytes) {
-        KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
-      }
-      wire::AppendKlogEntry(&chunk, e.key, e.value_addr, e.value_len);
-      ++spilled.entries;
-    }
-    KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
-    runs.push_back(std::move(spilled));
-    current.clear();
-    current_bytes = 0;
-    co_return Status::Ok();
-  };
-
+  // ---- Phase 1: parallel run generation over the KLOG zones ----
+  const Tick phase1_start = sim_->Now();
+  std::vector<std::uint32_t> klog_zones;
   for (ClusterId cluster : ks->klog_clusters) {
     for (std::uint32_t zone : zone_manager_.cluster_zones(cluster)) {
-      std::vector<KlogEntry> zone_entries;
-      KVCSD_CO_RETURN_IF_ERROR(co_await ParseKlogZone(zone, &zone_entries));
-      for (KlogEntry& e : zone_entries) {
-        current_bytes += e.key.size() + 12;
-        current.push_back(std::move(e));
-        if (current_bytes >= run_budget) {
-          KVCSD_CO_RETURN_IF_ERROR(co_await spill_current());
-        }
-      }
+      klog_zones.push_back(zone);
     }
   }
-  KVCSD_CO_RETURN_IF_ERROR(co_await spill_current());
 
-  // ---- Merge the key runs while streaming phase 2 ----
-  struct RunReader {
-    Device* device;
-    const SpilledRun* run;
-    std::size_t segment = 0;
-    std::string buffer;
-    Slice cursor;
-    KlogEntry head;
-    bool valid = false;
+  const std::uint64_t gen_budget =
+      std::max<std::uint64_t>(run_budget / kRunGenShares, KiB(4));
+  const std::uint32_t gen_workers = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(std::max<std::uint32_t>(config_.soc_cores, 1),
+                              kRunGenShares));
 
-    sim::Task<Status> Advance() {
-      while (true) {
-        if (!cursor.empty()) {
-          wire::ParsedKlogEntry e;
-          if (!wire::ParseKlogEntry(&cursor, &e)) {
-            co_return Status::Corruption("bad TEMP run entry");
-          }
-          head = KlogEntry{e.key.ToString(), e.vaddr, e.vlen};
-          valid = true;
-          co_return Status::Ok();
-        }
-        if (segment >= run->segments.size()) {
-          valid = false;
-          co_return Status::Ok();
-        }
-        const auto [addr, len] = run->segments[segment++];
-        buffer.assign(len, '\0');
-        KVCSD_CO_RETURN_IF_ERROR(co_await device->ssd_.Read(
-            addr, std::span<std::byte>(
-                      reinterpret_cast<std::byte*>(buffer.data()),
-                      buffer.size())));
-        cursor = Slice(buffer);
-      }
-    }
+  std::vector<RunGenOutput> gen_outputs(klog_zones.size());
+  auto gen_fn = [&](std::size_t i) -> sim::Task<Status> {
+    return GenerateZoneRuns(klog_zones[i], gen_budget, &gen_outputs[i]);
   };
+  KVCSD_CO_RETURN_IF_ERROR(
+      co_await sim::ParallelFor(sim_, klog_zones.size(), gen_workers, gen_fn));
 
-  std::vector<std::unique_ptr<RunReader>> readers;
-  for (const SpilledRun& run : runs) {
-    auto reader = std::make_unique<RunReader>();
-    reader->device = this;
-    reader->run = &run;
-    KVCSD_CO_RETURN_IF_ERROR(co_await reader->Advance());
-    if (reader->valid) readers.push_back(std::move(reader));
+  // Concatenate in zone order — NOT completion order — so run indexes
+  // (the merge tie-break) are reproducible across core counts.
+  std::vector<SpilledRun> runs;
+  std::vector<ClusterId> temp_clusters;
+  for (RunGenOutput& out : gen_outputs) {
+    for (SpilledRun& run : out.runs) runs.push_back(std::move(run));
+    temp_clusters.insert(temp_clusters.end(), out.temp_clusters.begin(),
+                         out.temp_clusters.end());
   }
+  compaction_stats_.phase1_ticks += sim_->Now() - phase1_start;
 
-  // ---- Phase 2 state: batched value permutation + output building ----
-  std::vector<SketchEntry> sketch;
-  std::vector<ClusterId> pidx_clusters;
+  // ---- Phase 2: loser-tree merge feeding the index-build stage ----
+  const Tick phase2_start = sim_->Now();
+  compaction_stats_.max_merge_fanin =
+      std::max<std::uint64_t>(compaction_stats_.max_merge_fanin, runs.size());
+
+  RunMerger<KlogMergeTraits> merger(sim_, &ssd_);
+  KVCSD_CO_RETURN_IF_ERROR(
+      co_await merger.Init(runs, &compaction_stats_.bytes_read));
+
   std::vector<ClusterId> value_clusters;
-  std::uint64_t total_entries = 0;
+  sim::BoundedChannel<std::unique_ptr<ValueBatch>> batches(sim_, 1);
+  PidxPipeline pipe;
+  pipe.channel = &batches;
+  pipe.specs = &fused_specs;
+  pipe.sidx_states = &fused_states;
+  sim::TaskGroup index_stage(sim_);
+  index_stage.Spawn(IndexBuildStage(&pipe));
 
-  std::vector<KlogEntry> batch;
-  std::uint64_t batch_value_bytes = 0;
-  const std::uint64_t batch_budget = config_.dram_bytes / 4 / budget_shares;
+  // Up to three batches can be DRAM-resident at once (one being built,
+  // one queued, one being indexed), so each takes a third of the budget.
+  const std::uint64_t batch_budget = std::max<std::uint64_t>(
+      config_.dram_bytes / 4 / budget_shares / 3, KiB(64));
 
-  std::string pidx_block;
-  wire::BeginIndexBlock(&pidx_block);
-  std::uint16_t pidx_block_count = 0;
-  std::string pidx_pivot;
-  std::vector<std::pair<std::string, std::string>> pending_blocks;
-  std::uint64_t pending_blocks_bytes = 0;
-
-  auto flush_pending_blocks = [&]() -> sim::Task<Status> {
-    if (pending_blocks.empty()) co_return Status::Ok();
-    std::string blob;
-    blob.reserve(pending_blocks_bytes);
-    for (const auto& [pivot, block] : pending_blocks) blob += block;
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
-    auto addr = co_await AppendToChain(&pidx_clusters, ZoneType::kPidx,
-                                       AsBytes(blob));
-    if (!addr.ok()) co_return addr.status();
-    for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
-      sketch.push_back(SketchEntry{
-          pending_blocks[i].first,
-          *addr + i * config_.index_block_size, config_.index_block_size});
-    }
-    pending_blocks.clear();
-    pending_blocks_bytes = 0;
-    co_return Status::Ok();
-  };
-
-  auto close_pidx_block = [&]() -> sim::Task<Status> {
-    if (pidx_block_count == 0) co_return Status::Ok();
-    wire::FinishIndexBlock(&pidx_block, pidx_block_count,
-                           config_.index_block_size);
-    pending_blocks.emplace_back(std::move(pidx_pivot),
-                                std::move(pidx_block));
-    pending_blocks_bytes += config_.index_block_size;
-    wire::BeginIndexBlock(&pidx_block);
-    pidx_block_count = 0;
-    pidx_pivot.clear();
-    if (pending_blocks_bytes >= config_.output_batch_bytes) {
-      KVCSD_CO_RETURN_IF_ERROR(co_await flush_pending_blocks());
-    }
-    co_return Status::Ok();
-  };
-
-  auto process_batch = [&]() -> sim::Task<Status> {
-    if (batch.empty()) co_return Status::Ok();
+  // Gathers the batch's values, rewrites them in key order (recording the
+  // new addresses), and hands the batch to the index-build stage.
+  auto emit_batch = [&](std::unique_ptr<ValueBatch> b) -> sim::Task<Status> {
+    if (b->entries.empty()) co_return Status::Ok();
     std::vector<ValueRef> refs;
-    refs.reserve(batch.size());
-    for (const KlogEntry& e : batch) {
+    refs.reserve(b->entries.size());
+    for (const KlogEntry& e : b->entries) {
       refs.push_back(ValueRef{e.value_addr, e.value_len});
     }
     auto values = co_await GatherValues(std::move(refs));
     if (!values.ok()) co_return values.status();
-    co_await cpu_.ComputeBytes(batch_value_bytes,
+    compaction_stats_.bytes_read += b->value_bytes;
+    co_await cpu_.ComputeBytes(b->value_bytes,
                                config_.costs.memcpy_bytes_per_sec);
+    b->values = std::move(*values);
+    b->new_addrs.assign(b->entries.size(), 0);
 
-    // Emit values in key order, packing whole values per append.
     std::string chunk;
     chunk.reserve(config_.output_batch_bytes);
-    std::vector<std::uint64_t> new_addrs(batch.size());
     std::size_t chunk_first = 0;
     auto flush_values = [&](std::size_t upto) -> sim::Task<Status> {
       if (chunk.empty()) co_return Status::Ok();
@@ -458,96 +576,87 @@ sim::Task<Status> Device::CompactKeyspace(
                                          ZoneType::kSortedValues,
                                          AsBytes(chunk));
       if (!addr.ok()) co_return addr.status();
+      compaction_stats_.bytes_written += chunk.size();
       std::uint64_t offset = 0;
       for (std::size_t i = chunk_first; i < upto; ++i) {
-        new_addrs[i] = *addr + offset;
-        offset += (*values)[i].size();
+        b->new_addrs[i] = *addr + offset;
+        offset += b->values[i].size();
       }
       chunk.clear();
       chunk_first = upto;
       co_return Status::Ok();
     };
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (chunk.size() + (*values)[i].size() > config_.output_batch_bytes &&
+    for (std::size_t i = 0; i < b->entries.size(); ++i) {
+      if (chunk.size() + b->values[i].size() > config_.output_batch_bytes &&
           !chunk.empty()) {
         KVCSD_CO_RETURN_IF_ERROR(co_await flush_values(i));
       }
-      chunk += (*values)[i];
+      chunk += b->values[i];
     }
-    KVCSD_CO_RETURN_IF_ERROR(co_await flush_values(batch.size()));
+    KVCSD_CO_RETURN_IF_ERROR(co_await flush_values(b->entries.size()));
 
-    // PIDX entries for the batch, plus fused secondary-key extraction
-    // while the value bytes are in DRAM anyway (no keyspace re-read).
-    if (!fused_specs.empty()) {
-      co_await cpu_.ComputeBytes(batch_value_bytes,
-                                 config_.costs.extract_bytes_per_sec);
-    }
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const KlogEntry& e = batch[i];
-      if (pidx_block.size() + wire::PidxEntrySize(e.key) >
-          config_.index_block_size) {
-        KVCSD_CO_RETURN_IF_ERROR(co_await close_pidx_block());
-      }
-      if (pidx_block_count == 0) pidx_pivot = e.key;
-      wire::AppendPidxEntry(&pidx_block, e.key, new_addrs[i], e.value_len);
-      ++pidx_block_count;
-
-      for (std::size_t spec_index = 0; spec_index < fused_specs.size();
-           ++spec_index) {
-        auto skey =
-            ExtractSecondaryKey(Slice((*values)[i]), fused_specs[spec_index]);
-        if (!skey.ok()) co_return skey.status();
-        SidxTuple tuple{std::move(*skey), e.key, new_addrs[i], e.value_len};
-        KVCSD_CO_RETURN_IF_ERROR(
-            co_await SidxAdd(&fused_states[spec_index], std::move(tuple)));
-      }
-    }
-    total_entries += batch.size();
-    batch.clear();
-    batch_value_bytes = 0;
+    co_await batches.Push(std::move(b));
     co_return Status::Ok();
   };
 
-  std::uint64_t merged_bytes = 0;
-  while (!readers.empty()) {
-    std::size_t best = 0;
-    for (std::size_t i = 1; i < readers.size(); ++i) {
-      if (readers[i]->head.key < readers[best]->head.key) best = i;
+  Status pipeline_status = Status::Ok();
+  {
+    auto batch = std::make_unique<ValueBatch>();
+    std::uint64_t merged_bytes = 0;
+    while (!merger.Empty() && !pipe.failed) {
+      KlogEntry entry;
+      Status s = co_await merger.Pop(&entry);
+      if (!s.ok()) {
+        pipeline_status = s;
+        break;
+      }
+      merged_bytes += entry.key.size() + 12;
+      if (merged_bytes >= MiB(1)) {
+        co_await cpu_.ComputeBytes(merged_bytes,
+                                   config_.costs.merge_bytes_per_sec);
+        merged_bytes = 0;
+      }
+      batch->value_bytes += entry.value_len;
+      batch->entries.push_back(std::move(entry));
+      if (batch->value_bytes >= batch_budget) {
+        Status emitted = co_await emit_batch(std::move(batch));
+        batch = std::make_unique<ValueBatch>();
+        if (!emitted.ok()) {
+          pipeline_status = emitted;
+          break;
+        }
+      }
     }
-    KlogEntry entry = std::move(readers[best]->head);
-    Status s = co_await readers[best]->Advance();
-    if (!s.ok()) co_return s;
-    if (!readers[best]->valid) {
-      readers.erase(readers.begin() + static_cast<std::ptrdiff_t>(best));
-    }
-
-    merged_bytes += entry.key.size() + 12;
-    if (merged_bytes >= MiB(1)) {
-      co_await cpu_.ComputeBytes(merged_bytes,
-                                 config_.costs.merge_bytes_per_sec);
-      merged_bytes = 0;
-    }
-    batch_value_bytes += entry.value_len;
-    batch.push_back(std::move(entry));
-    if (batch_value_bytes >= batch_budget) {
-      KVCSD_CO_RETURN_IF_ERROR(co_await process_batch());
+    if (pipeline_status.ok() && !pipe.failed) {
+      if (merged_bytes > 0) {
+        co_await cpu_.ComputeBytes(merged_bytes,
+                                   config_.costs.merge_bytes_per_sec);
+      }
+      pipeline_status = co_await emit_batch(std::move(batch));
     }
   }
-  if (merged_bytes > 0) {
-    co_await cpu_.ComputeBytes(merged_bytes,
-                               config_.costs.merge_bytes_per_sec);
-  }
-  KVCSD_CO_RETURN_IF_ERROR(co_await process_batch());
-  KVCSD_CO_RETURN_IF_ERROR(co_await close_pidx_block());
-  KVCSD_CO_RETURN_IF_ERROR(co_await flush_pending_blocks());
+  // Always close + join: the consumer must see end-of-stream even on the
+  // error paths, or one side would wait forever.
+  batches.Close();
+  Status index_status = co_await index_stage.Wait();
+  KVCSD_CO_RETURN_IF_ERROR(pipeline_status);
+  KVCSD_CO_RETURN_IF_ERROR(index_status);
 
-  // ---- Fused secondary indexes: merge their runs into SIDX blocks ----
+  // ---- Fused secondary indexes: concurrent per-spec merges ----
   std::map<std::string, SecondaryIndex> fused_indexes;
-  for (std::size_t i = 0; i < fused_specs.size(); ++i) {
-    auto sidx = co_await SidxMergeToBlocks(&fused_states[i], fused_specs[i]);
-    if (!sidx.ok()) co_return sidx.status();
-    fused_indexes[fused_specs[i].name] = std::move(*sidx);
+  if (!fused_specs.empty()) {
+    std::vector<SecondaryIndex> fused_out(fused_specs.size());
+    sim::TaskGroup merges(sim_);
+    for (std::size_t i = 0; i < fused_specs.size(); ++i) {
+      merges.Spawn(FusedMergeTask(&fused_states[i], &fused_specs[i],
+                                  &fused_out[i]));
+    }
+    KVCSD_CO_RETURN_IF_ERROR(co_await merges.Wait());
+    for (std::size_t i = 0; i < fused_specs.size(); ++i) {
+      fused_indexes[fused_specs[i].name] = std::move(fused_out[i]);
+    }
   }
+  compaction_stats_.phase2_ticks += sim_->Now() - phase2_start;
 
   // ---- Install results, release inputs and temporaries ----
   for (ClusterId id : temp_clusters) {
@@ -563,10 +672,10 @@ sim::Task<Status> Device::CompactKeyspace(
   ks->vlog_clusters.clear();
   ks->klog_bytes = 0;
   ks->vlog_bytes = 0;
-  ks->pidx_clusters = std::move(pidx_clusters);
+  ks->pidx_clusters = std::move(pipe.pidx_clusters);
   ks->sorted_value_clusters = std::move(value_clusters);
-  ks->pidx_sketch = std::move(sketch);
-  ks->num_kvs = total_entries;
+  ks->pidx_sketch = std::move(pipe.sketch);
+  ks->num_kvs = pipe.entries_total;
   ks->secondary_indexes = std::move(fused_indexes);
   ks->state = KeyspaceState::kCompacted;
   ++compactions_done_;

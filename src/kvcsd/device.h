@@ -66,6 +66,30 @@ struct SpilledRun {
   std::uint64_t entries = 0;
 };
 
+// One record of a secondary-index external sort: the order-encoded
+// secondary key, the primary key, and the value pointer.
+struct SidxTuple {
+  std::string skey;
+  std::string pkey;
+  std::uint64_t vaddr;
+  std::uint32_t vlen;
+};
+
+// Compaction observability, cumulative across every compaction and
+// secondary-index build the device has run. Byte counters cover the
+// compaction path only (KLOG parsing, TEMP spills and re-reads, value
+// gather/rewrite, index-block output), so they separate compaction I/O
+// from foreground traffic. Phase ticks are summed wall intervals; they
+// can overlap when several keyspaces compact concurrently.
+struct CompactionStats {
+  std::uint64_t bytes_read = 0;       // flash bytes read by compaction
+  std::uint64_t bytes_written = 0;    // flash bytes written by compaction
+  std::uint64_t runs_spilled = 0;     // sorted runs spilled to TEMP zones
+  std::uint64_t max_merge_fanin = 0;  // widest k-way merge observed
+  Tick phase1_ticks = 0;  // run generation: KLOG parse + sort + spill
+  Tick phase2_ticks = 0;  // merge + value permutation + index build
+};
+
 class Device {
  public:
   Device(sim::Simulation* sim, const DeviceConfig& config,
@@ -90,6 +114,7 @@ class Device {
   std::uint64_t flushes() const { return flushes_; }
   std::uint64_t compactions_done() const { return compactions_done_; }
   std::uint64_t queries() const { return queries_; }
+  const CompactionStats& compaction_stats() const { return compaction_stats_; }
 
  private:
   // --- plumbing ---
@@ -117,20 +142,31 @@ class Device {
   // Sorts the keyspace; when `fused_specs` is non-empty, also builds those
   // secondary indexes in the same pass (the paper's §V future-work
   // optimization) by extracting keys from values already in DRAM.
+  //
+  // The implementation is a multi-core pipeline (see DESIGN.md §7): run
+  // generation fans out across the CpuPool, the key merge runs on a loser
+  // tree over double-buffered TEMP readers, and PIDX building + fused
+  // extraction of one value batch overlaps the gather/write of the next.
   sim::Task<Status> CompactKeyspace(
       Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs = {});
-  // Reads a whole zone's payload and parses its KLOG entries.
-  sim::Task<Status> ParseKlogZone(std::uint32_t zone,
-                                  std::vector<KlogEntry>* out);
+
+  // Phase 1 worker: streams one KLOG zone in bounded chunks, accumulates
+  // entries up to `run_budget` bytes, and spills sorted runs to TEMP
+  // clusters owned by *out. Independent per zone, safe to fan out.
+  struct RunGenOutput;
+  sim::Task<Status> GenerateZoneRuns(std::uint32_t zone,
+                                     std::uint64_t run_budget,
+                                     RunGenOutput* out);
+
+  // Phase 2 consumer stage: pops gathered value batches off a bounded
+  // channel and builds PIDX blocks plus fused secondary-key tuples while
+  // the producer gathers and writes the next batch.
+  struct ValueBatch;
+  struct PidxPipeline;
+  sim::Task<Status> IndexBuildStage(PidxPipeline* pipe);
 
   // --- secondary index (compactor.cc) ---
   // External sort state for <skey, pkey, value pointer> tuples.
-  struct SidxTuple {
-    std::string skey;
-    std::string pkey;
-    std::uint64_t vaddr;
-    std::uint32_t vlen;
-  };
   struct SidxSortState {
     std::vector<ClusterId> temp_clusters;
     std::vector<SpilledRun> runs;
@@ -144,6 +180,11 @@ class Device {
   // state's TEMP clusters.
   sim::Task<Result<SecondaryIndex>> SidxMergeToBlocks(
       SidxSortState* state, const nvme::SecondaryIndexSpec& spec);
+  // Wrapper so the per-spec fused merges can run concurrently in a
+  // TaskGroup, each landing its result in a caller-owned slot.
+  sim::Task<Status> FusedMergeTask(SidxSortState* state,
+                                   const nvme::SecondaryIndexSpec* spec,
+                                   SecondaryIndex* out);
 
   sim::Task<Status> BuildSecondaryIndex(Keyspace* ks,
                                         const nvme::SecondaryIndexSpec& spec);
@@ -209,6 +250,7 @@ class Device {
   std::uint64_t flushes_ = 0;
   std::uint64_t compactions_done_ = 0;
   std::uint64_t queries_ = 0;
+  CompactionStats compaction_stats_;
   bool started_ = false;
 };
 

@@ -1,0 +1,155 @@
+// Fan-out/fan-in helpers for simulation processes: structured task groups,
+// a bounded-concurrency parallel for-loop, and a bounded hand-off channel
+// for producer/consumer pipelines.
+//
+// These wrap the detached-spawn machinery so that callers get *structured*
+// concurrency: every helper joins all of the work it started before
+// returning, which keeps coroutine frames (and anything they reference)
+// alive for the duration of the parallel section. Like everything in
+// sim/, concurrency is virtual and deterministic: spawn order == start
+// order, so the same inputs always produce the same event interleaving.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace kvcsd::sim {
+
+// Spawns Status-returning tasks as detached processes and joins them.
+// Wait() blocks until every spawned task finished and returns the first
+// non-OK status (in completion order), or OK. The group must outlive all
+// spawned tasks; Wait() before destruction guarantees that.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Simulation* sim) : sim_(sim), wg_(sim) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Spawn(Task<Status> task) {
+    wg_.Add(1);
+    sim_->Spawn(Run(this, std::move(task)));
+  }
+
+  Task<Status> Wait() {
+    co_await wg_.Wait();
+    co_return first_error_;
+  }
+
+  std::int64_t pending() const { return wg_.count(); }
+
+ private:
+  static Task<void> Run(TaskGroup* group, Task<Status> task) {
+    Status s = co_await std::move(task);
+    if (!s.ok() && group->first_error_.ok()) group->first_error_ = s;
+    group->wg_.Done();
+  }
+
+  Simulation* sim_;
+  WaitGroup wg_;
+  Status first_error_;
+};
+
+namespace detail {
+
+template <typename Fn>
+struct ParallelForState {
+  std::size_t next = 0;
+  std::size_t n = 0;
+  Fn* fn = nullptr;
+  bool failed = false;
+};
+
+template <typename Fn>
+Task<Status> ParallelForWorker(ParallelForState<Fn>* state) {
+  while (!state->failed && state->next < state->n) {
+    const std::size_t i = state->next++;
+    Status s = co_await (*state->fn)(i);
+    if (!s.ok()) {
+      state->failed = true;
+      co_return s;
+    }
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace detail
+
+// Runs fn(0), fn(1), ..., fn(n-1) with at most `workers` instances in
+// flight. Indexes are claimed in order, so with workers == 1 this is a
+// plain sequential loop. On the first failure no further indexes are
+// claimed (in-flight iterations still complete) and the error is
+// returned. `fn` is a callable returning Task<Status>; it must stay valid
+// until ParallelFor returns, which the join guarantees for lambdas living
+// in the caller's frame.
+template <typename Fn>
+Task<Status> ParallelFor(Simulation* sim, std::size_t n, std::uint32_t workers,
+                         Fn fn) {
+  detail::ParallelForState<Fn> state;
+  state.n = n;
+  state.fn = &fn;
+  const std::size_t count =
+      std::min<std::size_t>(std::max<std::uint32_t>(workers, 1), n);
+  TaskGroup group(sim);
+  for (std::size_t i = 0; i < count; ++i) {
+    group.Spawn(detail::ParallelForWorker(&state));
+  }
+  co_return co_await group.Wait();
+}
+
+// Bounded hand-off queue connecting pipeline stages. Push() suspends while
+// `capacity` items are unconsumed (backpressure bounds the DRAM the
+// pipeline can hold); Pop() suspends while the queue is empty. After
+// Close(), Pop() returns nullopt once the queue drains; consumers should
+// keep popping until then so a blocked producer is always released.
+template <typename T>
+class BoundedChannel {
+ public:
+  BoundedChannel(Simulation* sim, std::size_t capacity)
+      : slots_(sim, capacity == 0 ? 1 : capacity), avail_(sim, 0) {}
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  Task<void> Push(T item) {
+    co_await slots_.Acquire();
+    items_.push_back(std::move(item));
+    avail_.Release();
+  }
+
+  Task<std::optional<T>> Pop() {
+    co_await avail_.Acquire();
+    if (items_.empty()) {
+      // Woken by Close(): re-release so any other popper also wakes.
+      avail_.Release();
+      co_return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    slots_.Release();
+    co_return item;
+  }
+
+  void Close() {
+    closed_ = true;
+    avail_.Release();
+  }
+
+  bool closed() const { return closed_; }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  Semaphore slots_;
+  Semaphore avail_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace kvcsd::sim

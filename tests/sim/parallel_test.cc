@@ -1,0 +1,196 @@
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace kvcsd::sim {
+namespace {
+
+TEST(TaskGroupTest, WaitJoinsAllSpawnedTasks) {
+  Simulation sim;
+  std::vector<Tick> finished;
+  sim.Spawn([](Simulation* s, std::vector<Tick>* log) -> Task<void> {
+    TaskGroup group(s);
+    auto worker = [](Simulation* sm, Tick delay,
+                     std::vector<Tick>* out) -> Task<Status> {
+      co_await sm->Delay(delay);
+      out->push_back(sm->Now());
+      co_return Status::Ok();
+    };
+    group.Spawn(worker(s, 300, log));
+    group.Spawn(worker(s, 100, log));
+    group.Spawn(worker(s, 200, log));
+    Status result = co_await group.Wait();
+    EXPECT_TRUE(result.ok());
+    // Join happened after the slowest worker.
+    EXPECT_EQ(s->Now(), 300u);
+  }(&sim, &finished));
+  sim.Run();
+  ASSERT_EQ(finished.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(finished.begin(), finished.end()));
+}
+
+TEST(TaskGroupTest, FirstErrorIsReported) {
+  Simulation sim;
+  sim.Spawn([](Simulation* s) -> Task<void> {
+    TaskGroup group(s);
+    auto worker = [](Simulation* sm, Tick delay, Status st) -> Task<Status> {
+      co_await sm->Delay(delay);
+      co_return st;
+    };
+    group.Spawn(worker(s, 50, Status::Ok()));
+    group.Spawn(worker(s, 20, Status::IoError("second")));
+    group.Spawn(worker(s, 10, Status::Corruption("first")));
+    Status result = co_await group.Wait();
+    // First error in completion order wins.
+    EXPECT_EQ(result.code(), StatusCode::kCorruption);
+  }(&sim));
+  sim.Run();
+}
+
+TEST(ParallelForTest, VisitsEveryIndexAndBoundsConcurrency) {
+  Simulation sim;
+  struct State {
+    Simulation* sim = nullptr;
+    int active = 0;
+    int max_active = 0;
+    std::vector<std::size_t> visited;
+  } state;
+  state.sim = &sim;
+  sim.Spawn([](State* st) -> Task<void> {
+    auto fn = [st](std::size_t i) -> Task<Status> {
+      ++st->active;
+      st->max_active = std::max(st->max_active, st->active);
+      co_await st->sim->Delay(10);
+      st->visited.push_back(i);
+      --st->active;
+      co_return Status::Ok();
+    };
+    Status s = co_await ParallelFor(st->sim, 10, 3, fn);
+    EXPECT_TRUE(s.ok());
+  }(&state));
+  sim.Run();
+  EXPECT_EQ(state.visited.size(), 10u);
+  EXPECT_EQ(state.max_active, 3);
+  std::vector<std::size_t> sorted = state.visited;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ParallelForTest, SingleWorkerRunsSequentiallyInOrder) {
+  Simulation sim;
+  struct State {
+    Simulation* sim = nullptr;
+    std::vector<std::size_t> visited;
+  } state;
+  state.sim = &sim;
+  sim.Spawn([](State* st) -> Task<void> {
+    auto fn = [st](std::size_t i) -> Task<Status> {
+      co_await st->sim->Delay(1);
+      st->visited.push_back(i);
+      co_return Status::Ok();
+    };
+    EXPECT_TRUE((co_await ParallelFor(st->sim, 5, 1, fn)).ok());
+  }(&state));
+  sim.Run();
+  EXPECT_EQ(state.visited, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ErrorStopsClaimingFurtherIndexes) {
+  Simulation sim;
+  struct State {
+    Simulation* sim = nullptr;
+    std::vector<std::size_t> started;
+  } state;
+  state.sim = &sim;
+  sim.Spawn([](State* st) -> Task<void> {
+    auto fn = [st](std::size_t i) -> Task<Status> {
+      st->started.push_back(i);
+      co_await st->sim->Delay(1);
+      if (i == 2) co_return Status::IoError("boom");
+      co_return Status::Ok();
+    };
+    Status s = co_await ParallelFor(st->sim, 100, 1, fn);
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }(&state));
+  sim.Run();
+  // Sequential worker: indexes 0..2 ran, everything after the failure was
+  // never claimed.
+  EXPECT_EQ(state.started, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BoundedChannelTest, PushBlocksAtCapacity) {
+  Simulation sim;
+  struct State {
+    Simulation* sim = nullptr;
+    BoundedChannel<int>* ch = nullptr;
+    std::vector<Tick> push_times;
+    std::vector<int> popped;
+  } state;
+  BoundedChannel<int> ch(&sim, 1);
+  state.sim = &sim;
+  state.ch = &ch;
+  sim.Spawn([](State* st) -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      co_await st->ch->Push(i);
+      st->push_times.push_back(st->sim->Now());
+    }
+    st->ch->Close();
+  }(&state));
+  sim.Spawn([](State* st) -> Task<void> {
+    for (;;) {
+      co_await st->sim->Delay(100);
+      auto item = co_await st->ch->Pop();
+      if (!item.has_value()) break;
+      st->popped.push_back(*item);
+    }
+  }(&state));
+  sim.Run();
+  EXPECT_EQ(state.popped, (std::vector<int>{0, 1, 2}));
+  ASSERT_EQ(state.push_times.size(), 3u);
+  // First push is immediate; each later push had to wait for a pop.
+  EXPECT_EQ(state.push_times[0], 0u);
+  EXPECT_EQ(state.push_times[1], 100u);
+  EXPECT_EQ(state.push_times[2], 200u);
+}
+
+TEST(BoundedChannelTest, CloseDrainsQueuedItemsThenSignalsEnd) {
+  Simulation sim;
+  struct State {
+    BoundedChannel<std::string>* ch = nullptr;
+    std::vector<std::string> popped;
+    int end_signals = 0;
+  } state;
+  BoundedChannel<std::string> ch(&sim, 4);
+  state.ch = &ch;
+  sim.Spawn([](State* st) -> Task<void> {
+    co_await st->ch->Push("a");
+    co_await st->ch->Push("b");
+    st->ch->Close();
+  }(&state));
+  // Two consumers: queued items are delivered, then BOTH see end-of-stream
+  // (Close's wake token is re-released by each finishing popper).
+  for (int c = 0; c < 2; ++c) {
+    sim.Spawn([](State* st) -> Task<void> {
+      for (;;) {
+        auto item = co_await st->ch->Pop();
+        if (!item.has_value()) {
+          ++st->end_signals;
+          co_return;
+        }
+        st->popped.push_back(*item);
+      }
+    }(&state));
+  }
+  sim.Run();
+  EXPECT_EQ(state.popped, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(state.end_signals, 2);
+}
+
+}  // namespace
+}  // namespace kvcsd::sim

@@ -35,3 +35,21 @@ inline void RunSim(sim::Simulation& simulation, sim::Task<void> task) {
 }
 
 }  // namespace kvcsd::testutil
+
+// gtest's ASSERT_* macros expand to a plain `return;`, which does not
+// compile inside a coroutine. These record the failure with EXPECT and
+// co_return instead. Use only in Task<void> coroutines.
+#define KVCSD_CO_ASSERT(cond)                      \
+  do {                                             \
+    const bool kvcsd_co_ok_ = static_cast<bool>(cond); \
+    EXPECT_TRUE(kvcsd_co_ok_) << #cond;            \
+    if (!kvcsd_co_ok_) co_return;                  \
+  } while (0)
+
+// For Status / Result<T> expressions (anything with .ok()).
+#define KVCSD_CO_ASSERT_OK(expr)                   \
+  do {                                             \
+    const auto& kvcsd_co_res_ = (expr);            \
+    EXPECT_TRUE(kvcsd_co_res_.ok()) << #expr;      \
+    if (!kvcsd_co_res_.ok()) co_return;            \
+  } while (0)
