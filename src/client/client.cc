@@ -1,5 +1,7 @@
 #include "client/client.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 
 namespace kvcsd::client {
@@ -86,6 +88,15 @@ sim::Task<Status> KeyspaceHandle::Sync() {
   cmd.keyspace_id = id_;
   auto completion = co_await client_->Call(std::move(cmd));
   co_return completion.status;
+}
+
+sim::Task<Status> KeyspaceHandle::SyncWithRetry(std::uint32_t attempts) {
+  Status last = Status::Ok();
+  for (std::uint32_t i = 0; i < std::max<std::uint32_t>(attempts, 1); ++i) {
+    last = co_await Sync();
+    if (last.ok() || !last.IsRetryable()) co_return last;
+  }
+  co_return last;
 }
 
 sim::Task<Status> KeyspaceHandle::CompactWithIndexes(

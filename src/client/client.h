@@ -73,7 +73,20 @@ class KeyspaceHandle {
   // Explicit fsync: persists buffered PUTs to the device's log zones
   // before returning (paper §VI; most bulk-load pipelines skip this and
   // rely on checkpoint-restart instead).
+  //
+  // Status classification: kIoError and kBusy are RETRYABLE — the write
+  // may not have reached flash, but the request is safe to reissue
+  // (Sync/Put are idempotent at the log level). Anything else
+  // (kInvalidArgument, kNotFound, kOutOfSpace, ...) is FATAL for the
+  // request: retrying cannot succeed. Status::IsRetryable() encodes the
+  // split.
   sim::Task<Status> Sync();
+
+  // Sync with bounded retries on retryable failures (transient injected
+  // I/O errors). A sync that failed mid-flush leaves the error latched
+  // only until it is surfaced once; the retry re-flushes and re-persists,
+  // so success here means the data IS durable.
+  sim::Task<Status> SyncWithRetry(std::uint32_t attempts = 3);
 
   // --- lifecycle ---
   // Triggers compaction; the device runs it asynchronously and this call

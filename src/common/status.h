@@ -73,6 +73,12 @@ class [[nodiscard]] Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsBusy() const { return code_ == StatusCode::kBusy; }
+  // Transient failures a client may retry verbatim (the device stays in a
+  // consistent state): injected/transient media errors and busy devices.
+  // Corruption, FailedPrecondition, etc. are fatal for the operation.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kIoError || code_ == StatusCode::kBusy;
+  }
 
   std::string ToString() const;
 

@@ -1,0 +1,405 @@
+#include "harness/crash_sweep.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/client.h"
+#include "hostenv/cost_model.h"
+#include "nvme/queue.h"
+#include "sim/resources.h"
+#include "sim/simulation.h"
+
+namespace kvcsd::harness {
+namespace {
+
+// The reference model: what the client believes about one keyspace. The
+// verifier holds recovery to exactly this — acknowledged state must
+// survive, unacknowledged state may go either way, invented state is a
+// bug.
+struct KeyspaceModel {
+  std::string name;
+  client::KeyspaceHandle handle;
+  bool create_acked = false;
+  bool drop_issued = false;
+  bool drop_acked = false;
+  std::map<std::string, std::string> sent;   // every PUT issued
+  std::map<std::string, std::string> acked;  // covered by an OK Sync
+};
+
+struct SweepState {
+  const CrashSweepConfig* config = nullptr;
+  sim::FaultInjector* faults = nullptr;
+  CrashSweepReport* report = nullptr;
+  std::vector<KeyspaceModel> models;
+  bool workload_done = false;
+  bool verify_done = false;
+
+  bool crashed() const { return faults->crashed(); }
+  void Violation(std::string what) {
+    report->violations.push_back(std::move(what));
+  }
+};
+
+std::string KeyFor(std::uint32_t ks, std::uint32_t i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ks%u-k%06u", ks, i);
+  return buf;
+}
+
+std::string ValueFor(const CrashSweepConfig& config, const std::string& key) {
+  std::string value = "v:" + key;
+  value.resize(config.value_bytes, '.');
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 1: the workload. Every operation either succeeds (and advances
+// the model) or fails because the power went out; a failure with power
+// still on is itself a violation.
+// ---------------------------------------------------------------------------
+
+sim::Task<void> WorkloadBody(SweepState* st, client::Client* db) {
+  const CrashSweepConfig& cfg = *st->config;
+
+  for (std::uint32_t i = 0; i < cfg.keyspaces; ++i) {
+    KeyspaceModel& m = st->models[i];
+    auto created = co_await db->CreateKeyspace(m.name);
+    if (created.ok()) {
+      m.handle = *created;
+      m.create_acked = true;
+    } else if (!st->crashed()) {
+      st->Violation("create failed without a crash: " +
+                    created.status().message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+  }
+
+  // Two PUT rounds per keyspace, each sealed by a Sync; an OK Sync
+  // promotes everything sent so far to "acknowledged".
+  for (int round = 0; round < 2; ++round) {
+    for (std::uint32_t i = 0; i < cfg.keyspaces; ++i) {
+      KeyspaceModel& m = st->models[i];
+      const std::uint32_t half = cfg.keys_per_keyspace / 2;
+      const std::uint32_t begin = round == 0 ? 0 : half;
+      const std::uint32_t end = round == 0 ? half : cfg.keys_per_keyspace;
+      for (std::uint32_t k = begin; k < end; ++k) {
+        const std::string key = KeyFor(i, k);
+        const std::string value = ValueFor(cfg, key);
+        Status put = co_await m.handle.Put(key, value);
+        if (put.ok()) {
+          m.sent[key] = value;
+        } else if (!st->crashed()) {
+          st->Violation("put failed without a crash: " + put.message());
+          co_return;
+        }
+        if (st->crashed()) co_return;
+      }
+      Status sync = co_await m.handle.Sync();
+      if (sync.ok()) {
+        m.acked = m.sent;
+      } else if (!st->crashed()) {
+        st->Violation("sync failed without a crash: " + sync.message());
+        co_return;
+      }
+      if (st->crashed()) co_return;
+    }
+  }
+
+  // Drop the first keyspace (exercises drop.before_persist and the
+  // release path). With one keyspace, keep it instead.
+  if (cfg.keyspaces > 1) {
+    KeyspaceModel& m = st->models.front();
+    m.drop_issued = true;
+    Status dropped = co_await db->DropKeyspace(m.name);
+    if (dropped.ok()) {
+      m.drop_acked = true;
+    } else if (!st->crashed()) {
+      st->Violation("drop failed without a crash: " + dropped.message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+  }
+
+  // Compact the last keyspace and read it back, covering the compaction
+  // crash points and the query path.
+  KeyspaceModel& m = st->models.back();
+  Status s = co_await m.handle.Compact();
+  if (!s.ok() && !st->crashed()) {
+    st->Violation("compact failed without a crash: " + s.message());
+    co_return;
+  }
+  if (st->crashed()) co_return;
+  s = co_await m.handle.WaitCompaction();
+  if (!s.ok() && !st->crashed()) {
+    st->Violation("compaction wait failed without a crash: " + s.message());
+    co_return;
+  }
+  if (st->crashed()) co_return;
+
+  const std::uint32_t last = cfg.keyspaces - 1;
+  for (std::uint32_t k = 0; k < cfg.keys_per_keyspace;
+       k += cfg.keys_per_keyspace / 4 + 1) {
+    const std::string key = KeyFor(last, k);
+    auto got = co_await m.handle.Get(key);
+    if (st->crashed()) co_return;
+    if (!got.ok()) {
+      st->Violation("pre-crash get failed without a crash: " +
+                    got.status().message());
+    } else if (*got != ValueFor(cfg, key)) {
+      st->Violation("pre-crash get returned a wrong value for " + key);
+    }
+  }
+}
+
+sim::Task<void> RunWorkload(SweepState* st, client::Client* db) {
+  co_await WorkloadBody(st, db);
+  st->workload_done = true;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: power-cycle verification.
+// ---------------------------------------------------------------------------
+
+// Zone accounting must partition the device: reserved metadata zones,
+// cluster-owned zones, free zones. Unowned zones must hold no data.
+void CheckZoneAccounting(SweepState* st, device::Device* dev) {
+  const std::uint32_t reserved = dev->config().zones.reserved_zones;
+  const std::uint32_t num_zones = dev->ssd().num_zones();
+  std::vector<std::uint32_t> owners(num_zones, 0);
+  std::size_t owned = 0;
+  for (const auto& [cluster, type] : dev->zones().LiveClusters()) {
+    for (std::uint32_t zone : dev->zones().cluster_zones(cluster)) {
+      if (zone < reserved || zone >= num_zones) {
+        st->Violation("cluster " + std::to_string(cluster) +
+                      " owns out-of-range zone " + std::to_string(zone));
+        continue;
+      }
+      ++owners[zone];
+      ++owned;
+    }
+  }
+  for (std::uint32_t zone = 0; zone < num_zones; ++zone) {
+    if (owners[zone] > 1) {
+      st->Violation("zone " + std::to_string(zone) +
+                    " owned by multiple clusters");
+    }
+    if (zone >= reserved && owners[zone] == 0 &&
+        dev->ssd().write_pointer(zone) != 0) {
+      st->Violation("unowned zone " + std::to_string(zone) +
+                    " still holds data after recovery");
+    }
+  }
+  if (reserved + owned + dev->zones().free_zones() != num_zones) {
+    st->Violation("zone accounting mismatch: reserved=" +
+                  std::to_string(reserved) + " owned=" +
+                  std::to_string(owned) + " free=" +
+                  std::to_string(dev->zones().free_zones()) + " total=" +
+                  std::to_string(num_zones));
+  }
+}
+
+// One keyspace against its model, through the public client API.
+sim::Task<void> VerifyKeyspace(SweepState* st, client::Client* db,
+                               KeyspaceModel* m) {
+  auto opened = co_await db->OpenKeyspace(m->name);
+  if (m->drop_acked) {
+    if (opened.ok()) {
+      st->Violation("acknowledged drop resurfaced: " + m->name);
+    }
+    co_return;
+  }
+  if (!opened.ok()) {
+    // Absent is legal only if the create was never acknowledged or a
+    // drop was at least issued.
+    if (m->create_acked && !m->drop_issued) {
+      st->Violation("acknowledged keyspace lost: " + m->name);
+    }
+    co_return;
+  }
+  client::KeyspaceHandle handle = *opened;
+
+  auto stat = co_await handle.GetStat();
+  if (!stat.ok()) {
+    st->Violation("stat failed after recovery for " + m->name + ": " +
+                  stat.status().message());
+    co_return;
+  }
+  if (stat->state == "COMPACTING") {
+    st->Violation("keyspace recovered in COMPACTING state: " + m->name);
+    co_return;
+  }
+  if (stat->state == "EMPTY") {
+    if (!m->acked.empty()) {
+      st->Violation("acked data lost, keyspace recovered EMPTY: " + m->name);
+    }
+    co_return;
+  }
+  if (stat->state == "WRITABLE") {
+    // Power is back and no faults are armed: compaction must succeed.
+    // A device-side failure rolls the keyspace back to WRITABLE without
+    // failing the commands, so check the state it actually reached.
+    Status s = co_await handle.Compact();
+    if (s.ok()) s = co_await handle.WaitCompaction();
+    if (!s.ok()) {
+      st->Violation("post-recovery compaction failed for " + m->name + ": " +
+                    s.message());
+      co_return;
+    }
+    auto after = co_await handle.GetStat();
+    if (after.ok() && after->state != "COMPACTED") {
+      st->Violation("post-recovery compaction rolled back for " + m->name +
+                    " (state " + after->state + ")");
+      co_return;
+    }
+  }
+
+  auto stat2 = co_await handle.GetStat();
+  if (stat2.ok()) {
+    if (stat2->num_kvs < m->acked.size() ||
+        stat2->num_kvs > m->sent.size()) {
+      st->Violation("num_kvs=" + std::to_string(stat2->num_kvs) +
+                    " outside [acked=" + std::to_string(m->acked.size()) +
+                    ", sent=" + std::to_string(m->sent.size()) + "] for " +
+                    m->name);
+    }
+  }
+
+  // Durability: every acknowledged key readable with its exact value.
+  int losses = 0;
+  for (const auto& [key, value] : m->acked) {
+    auto got = co_await handle.Get(key);
+    if (!got.ok()) {
+      st->Violation("acked key lost after recovery: " + key + " (" +
+                    got.status().message() + ")");
+    } else if (*got != value) {
+      st->Violation("acked key has wrong value after recovery: " + key);
+    } else {
+      continue;
+    }
+    if (++losses >= 5) {
+      st->Violation("... further key losses in " + m->name + " suppressed");
+      break;
+    }
+  }
+
+  // Nothing invented: a full scan returns only keys the client sent,
+  // each with the value it sent, and at least everything acknowledged.
+  std::vector<std::pair<std::string, std::string>> all;
+  Status s = co_await handle.Scan("", "\x7f", 0, &all);
+  if (!s.ok()) {
+    st->Violation("full scan failed after recovery for " + m->name + ": " +
+                  s.message());
+    co_return;
+  }
+  int phantoms = 0;
+  for (const auto& [key, value] : all) {
+    auto it = m->sent.find(key);
+    if (it == m->sent.end()) {
+      st->Violation("recovered key was never sent: " + key);
+    } else if (it->second != value) {
+      st->Violation("recovered value mismatch for sent key: " + key);
+    } else {
+      continue;
+    }
+    if (++phantoms >= 5) {
+      st->Violation("... further scan mismatches in " + m->name +
+                    " suppressed");
+      break;
+    }
+  }
+  if (all.size() < m->acked.size()) {
+    st->Violation("scan returned " + std::to_string(all.size()) +
+                  " keys, fewer than the " +
+                  std::to_string(m->acked.size()) + " acked in " + m->name);
+  }
+}
+
+sim::Task<void> VerifyBody(SweepState* st, sim::Simulation* sim,
+                           device::Device* dev, client::Client* db) {
+  const Tick start = sim->Now();
+  Status recovered = co_await dev->Recover();
+  st->report->recovery_ticks = sim->Now() - start;
+  if (!recovered.ok()) {
+    st->Violation("recovery failed: " + recovered.message());
+    co_return;
+  }
+
+  CheckZoneAccounting(st, dev);
+  for (const auto& [id, ks] : dev->keyspaces().all()) {
+    if (ks->state == device::KeyspaceState::kCompacting) {
+      st->Violation("keyspace table holds a COMPACTING keyspace: " +
+                    ks->name);
+    }
+  }
+
+  for (KeyspaceModel& m : st->models) {
+    co_await VerifyKeyspace(st, db, &m);
+  }
+}
+
+sim::Task<void> RunVerify(SweepState* st, sim::Simulation* sim,
+                          device::Device* dev, client::Client* db) {
+  co_await VerifyBody(st, sim, dev, db);
+  st->verify_done = true;
+}
+
+}  // namespace
+
+Result<CrashSweepReport> RunCrashSweepCase(const CrashSweepConfig& config,
+                                           std::uint64_t crash_at_hit) {
+  if (config.keyspaces == 0) {
+    return Status::InvalidArgument("crash sweep needs at least one keyspace");
+  }
+
+  sim::Simulation sim;
+  sim::FaultInjector faults(config.seed);
+  faults.set_torn_tail_keep(config.torn_tail_keep);
+  if (crash_at_hit > 0) faults.ArmCrashAtHit(crash_at_hit);
+
+  CrashSweepReport report;
+  SweepState state;
+  state.config = &config;
+  state.faults = &faults;
+  state.report = &report;
+  state.models.resize(config.keyspaces);
+  for (std::uint32_t i = 0; i < config.keyspaces; ++i) {
+    state.models[i].name = "sweep" + std::to_string(i);
+  }
+
+  const device::DeviceConfig dcfg = config.DeviceConfigFor(&faults);
+  nvme::QueuePair queue(&sim, nvme::PcieConfig{});
+  auto dev = std::make_unique<device::Device>(&sim, dcfg, &queue);
+  dev->Start();
+  sim::CpuPool host_cpu(&sim, "host", 8);
+  client::Client db(&queue, &host_cpu, hostenv::CostModel::Host());
+
+  sim.Spawn(RunWorkload(&state, &db));
+  sim.Run();
+  if (!state.workload_done) {
+    return Status::Aborted("crash-sweep workload never completed");
+  }
+  report.hits = faults.hits();
+  report.fired = faults.crashed();
+  report.crash_point = faults.crash_point();
+
+  // Power cycle: a fresh device + queue over the surviving flash bytes.
+  // The old device stays parked on its dead queue pair.
+  nvme::QueuePair queue2(&sim, nvme::PcieConfig{});
+  auto dev2 = device::Device::Restart(&sim, dcfg, &queue2, *dev);
+  dev2->Start();
+  client::Client db2(&queue2, &host_cpu, hostenv::CostModel::Host());
+
+  sim.Spawn(RunVerify(&state, &sim, dev2.get(), &db2));
+  sim.Run();
+  if (!state.verify_done) {
+    return Status::Aborted("crash-sweep verification never completed");
+  }
+  return report;
+}
+
+}  // namespace kvcsd::harness

@@ -1,0 +1,86 @@
+// Crash-point sweep: the fault-injection harness for the device path.
+//
+// One sweep case runs a fixed client workload (creates, acknowledged
+// syncs, a drop, a compaction, queries) against a small fault-injected
+// device, crashes it at the k-th crash-point pass, power-cycles it
+// (Device::Restart + Recover) and verifies the recovery invariants:
+//
+//   * no acknowledged data is lost — every key covered by a Sync that
+//     returned OK is queryable with its exact value after recovery;
+//   * nothing is invented — every recovered key was actually sent;
+//   * an acknowledged drop stays dropped, an acknowledged create exists;
+//   * no keyspace is left COMPACTING;
+//   * zone accounting is consistent — reserved + cluster-owned + free
+//     zones partition the device, and unowned zones are empty.
+//
+// Running the case for k = 1 .. total-hit-count (the dry run, k = 0,
+// reports the count) exhaustively crashes the workload at every named
+// crash point it passes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "kvcsd/device.h"
+#include "sim/fault.h"
+
+namespace kvcsd::harness {
+
+struct CrashSweepConfig {
+  std::uint32_t keyspaces = 2;
+  std::uint32_t keys_per_keyspace = 240;
+  std::uint32_t value_bytes = 24;
+  // Fraction of the in-flight append surviving a power cut (torn tail).
+  double torn_tail_keep = 0.5;
+  std::uint64_t seed = 42;
+  // Zone geometry. Shrinking zones makes the metadata zone wrap during
+  // the workload, which is the only way to reach the ping-pong crash
+  // points (meta.before_reset / meta.after_reset) in a sweep. Post-crash
+  // verification compacts every surviving keyspace, so the pool must fit
+  // keyspaces * 2 log clusters plus 4 compaction scratch clusters
+  // (2 TEMP + SORTED_VALUES + PIDX) at once — the drop that frees two
+  // clusters in the workload may not have happened yet.
+  std::uint64_t zone_bytes = KiB(256);
+  std::uint32_t num_zones = 64;
+  std::uint64_t write_buffer_bytes = KiB(2);
+
+  // A deliberately small device so the workload exercises multi-cluster
+  // logs and real compactions in milliseconds of wall time.
+  device::DeviceConfig DeviceConfigFor(sim::FaultInjector* faults) const {
+    device::DeviceConfig d;
+    d.zns.zone_size = zone_bytes;
+    d.zns.num_zones = num_zones;
+    d.zns.nand.channels = 8;
+    d.zns.faults = faults;
+    d.dram_bytes = KiB(512);
+    d.write_buffer_bytes = write_buffer_bytes;
+    // Compaction output batches are single zone appends; keep them well
+    // under the zone size or every compaction fails on tiny-zone sweeps.
+    d.output_batch_bytes = std::min<std::uint64_t>(KiB(16), zone_bytes / 4);
+    return d;
+  }
+};
+
+struct CrashSweepReport {
+  std::uint64_t hits = 0;   // crash-point passes during the workload phase
+  bool fired = false;       // whether the armed crash actually triggered
+  std::string crash_point;  // the point that fired (empty otherwise)
+  Tick recovery_ticks = 0;  // simulated duration of Device::Recover()
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs one sweep case, crashing at the `crash_at_hit`-th crash-point pass
+// (1-based; 0 = never crash — the dry run that measures `hits`). The
+// device is always power-cycled and recovered afterwards, so the k = 0
+// case also verifies clean-shutdown recovery. Returns an error only for
+// harness-level failures; invariant breaches land in the report.
+Result<CrashSweepReport> RunCrashSweepCase(const CrashSweepConfig& config,
+                                           std::uint64_t crash_at_hit);
+
+}  // namespace kvcsd::harness

@@ -36,9 +36,11 @@
 
 #include "common/keys.h"
 #include "kvcsd/device.h"
+#include "kvcsd/klog_stream.h"
 #include "kvcsd/merge.h"
 #include "kvcsd/wire.h"
 #include "nvme/skey.h"
+#include "sim/fault.h"
 #include "sim/parallel.h"
 
 namespace kvcsd::device {
@@ -66,64 +68,6 @@ Result<std::string> ExtractSecondaryKey(const Slice& value,
   return nvme::EncodeSecondaryKeyBytes(
       Slice(value.data() + spec.value_offset, spec.value_length), spec);
 }
-
-// Streams one KLOG zone's written extent in `chunk_bytes`-sized reads,
-// so the device never holds more than a chunk (plus a partial-record
-// carry) in DRAM — the old code read the whole extent, up to a full
-// zone, into one allocation. A record split across a chunk boundary is
-// carried over and completed by the next read.
-class KlogZoneStream {
- public:
-  KlogZoneStream(storage::ZnsSsd* ssd, std::uint32_t zone,
-                 std::uint64_t chunk_bytes, std::uint64_t* bytes_read)
-      : ssd_(ssd),
-        chunk_bytes_(std::max<std::uint64_t>(chunk_bytes, 512)),
-        base_(static_cast<std::uint64_t>(zone) * ssd->zone_size()),
-        extent_(ssd->write_pointer(zone)),
-        bytes_read_(bytes_read) {}
-
-  // Appends the next chunk's worth of entries to *out. Returns false once
-  // the zone is exhausted (nothing appended).
-  sim::Task<Result<bool>> NextBatch(std::vector<KlogEntry>* out) {
-    if (offset_ >= extent_ && carry_.empty()) co_return false;
-    if (offset_ < extent_) {
-      const std::uint64_t len = std::min(chunk_bytes_, extent_ - offset_);
-      const std::size_t old_size = carry_.size();
-      carry_.resize(old_size + len);
-      KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Read(
-          base_ + offset_,
-          std::span<std::byte>(
-              reinterpret_cast<std::byte*>(carry_.data()) + old_size, len)));
-      offset_ += len;
-      if (bytes_read_ != nullptr) *bytes_read_ += len;
-    }
-    Slice in(carry_);
-    while (!in.empty()) {
-      Slice probe = in;
-      wire::ParsedKlogEntry entry;
-      if (!wire::ParseKlogEntry(&probe, &entry)) {
-        if (offset_ >= extent_) {
-          co_return Status::Corruption("bad KLOG entry");
-        }
-        break;  // record continues in the next chunk
-      }
-      out->push_back(KlogEntry{entry.key.ToString(), entry.vaddr, entry.vlen});
-      in = probe;
-    }
-    std::string tail(in.data(), in.size());
-    carry_ = std::move(tail);
-    co_return true;
-  }
-
- private:
-  storage::ZnsSsd* ssd_;
-  std::uint64_t chunk_bytes_;
-  std::uint64_t base_;
-  std::uint64_t extent_;
-  std::uint64_t* bytes_read_;
-  std::uint64_t offset_ = 0;
-  std::string carry_;  // unparsed tail of the previous chunk
-};
 
 }  // namespace
 
@@ -253,8 +197,9 @@ sim::Task<Status> Device::SidxAdd(SidxSortState* state, SidxTuple tuple) {
   co_return Status::Ok();
 }
 
-sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
-    SidxSortState* state, const nvme::SecondaryIndexSpec& spec) {
+sim::Task<Status> Device::SidxMergeToBlocks(
+    SidxSortState* state, const nvme::SecondaryIndexSpec& spec,
+    SecondaryIndex* out) {
   KVCSD_CO_RETURN_IF_ERROR(co_await SidxSpill(state));
 
   compaction_stats_.max_merge_fanin = std::max<std::uint64_t>(
@@ -263,7 +208,7 @@ sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
   KVCSD_CO_RETURN_IF_ERROR(
       co_await merger.Init(state->runs, &compaction_stats_.bytes_read));
 
-  SecondaryIndex sidx;
+  SecondaryIndex& sidx = *out;
   sidx.spec = spec;
   std::string block;
   wire::BeginIndexBlock(&block);
@@ -331,20 +276,9 @@ sim::Task<Result<SecondaryIndex>> Device::SidxMergeToBlocks(
   KVCSD_CO_RETURN_IF_ERROR(co_await close_block());
   KVCSD_CO_RETURN_IF_ERROR(co_await flush_blocks());
 
-  for (ClusterId id : state->temp_clusters) {
-    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
-  }
+  co_await ReleaseClustersBestEffort(std::move(state->temp_clusters));
   state->temp_clusters.clear();
   state->runs.clear();
-  co_return sidx;
-}
-
-sim::Task<Status> Device::FusedMergeTask(SidxSortState* state,
-                                         const nvme::SecondaryIndexSpec* spec,
-                                         SecondaryIndex* out) {
-  auto sidx = co_await SidxMergeToBlocks(state, *spec);
-  if (!sidx.ok()) co_return sidx.status();
-  *out = std::move(*sidx);
   co_return Status::Ok();
 }
 
@@ -467,8 +401,38 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
 // Compaction (optionally fused with secondary-index construction)
 // ---------------------------------------------------------------------------
 
+// Failure-handling shell around RunCompaction. Whatever the body
+// allocated sits in `scratch`; on any failure the clusters are released
+// best-effort (after a power cut the resets fail silently and recovery
+// reclaims the orphans from the metadata snapshot instead) and the
+// keyspace rolls back to WRITABLE so its logs stay usable. The
+// completion event fires on every exit path — a waiter must never hang
+// on a failed compaction.
 sim::Task<Status> Device::CompactKeyspace(
     Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs) {
+  std::vector<ClusterId> scratch;
+  Status result = co_await RunCompaction(ks, std::move(fused_specs), &scratch);
+  if (!result.ok()) {
+    co_await ReleaseClustersBestEffort(std::move(scratch));
+    if (ks->state == KeyspaceState::kCompacting) {
+      ks->state = ks->klog_clusters.empty() ? KeyspaceState::kEmpty
+                                            : KeyspaceState::kWritable;
+    }
+    if (faults_ == nullptr || !faults_->crashed()) {
+      // Make the rollback durable so a later crash cannot resurrect the
+      // COMPACTING state. Best-effort: the snapshot still on flash also
+      // rolls back correctly at recovery.
+      (void)co_await keyspace_manager_.Persist();
+    }
+  }
+  CompactionDone(ks->id)->Set();
+  co_await MaybeFinishPendingDelete(ks);
+  co_return result;
+}
+
+sim::Task<Status> Device::RunCompaction(
+    Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs,
+    std::vector<ClusterId>* scratch) {
   // Flush whatever is still buffered in DRAM and drain in-flight flush
   // I/O: compaction must observe complete KLOG/VLOG logs.
   {
@@ -480,9 +444,16 @@ sim::Task<Status> Device::CompactKeyspace(
     co_await FlushInflight(ks->id)->Wait();
     if (auto it = flush_errors_.find(ks->id);
         it != flush_errors_.end() && !it->second.ok()) {
-      co_return it->second;
+      Status err = it->second;
+      it->second = Status::Ok();
+      co_return err;
     }
   }
+
+  // Make the COMPACTING state and the final log extents durable before
+  // any output is written: recovery must know to roll this keyspace back
+  // and which clusters hold its logs.
+  KVCSD_CO_RETURN_IF_ERROR(co_await keyspace_manager_.Persist());
 
   // The DRAM budget splits between the key sort and any fused index sorts
   // (the paper's stated cost of consolidating index construction).
@@ -512,8 +483,11 @@ sim::Task<Status> Device::CompactKeyspace(
   auto gen_fn = [&](std::size_t i) -> sim::Task<Status> {
     return GenerateZoneRuns(klog_zones[i], gen_budget, &gen_outputs[i]);
   };
-  KVCSD_CO_RETURN_IF_ERROR(
-      co_await sim::ParallelFor(sim_, klog_zones.size(), gen_workers, gen_fn));
+  // ParallelFor joins ALL workers before returning, so every allocated
+  // TEMP cluster is visible in gen_outputs even when a worker failed —
+  // record them in `scratch` before acting on the status.
+  const Status gen_status =
+      co_await sim::ParallelFor(sim_, klog_zones.size(), gen_workers, gen_fn);
 
   // Concatenate in zone order — NOT completion order — so run indexes
   // (the merge tie-break) are reproducible across core counts.
@@ -523,6 +497,11 @@ sim::Task<Status> Device::CompactKeyspace(
     for (SpilledRun& run : out.runs) runs.push_back(std::move(run));
     temp_clusters.insert(temp_clusters.end(), out.temp_clusters.begin(),
                          out.temp_clusters.end());
+  }
+  scratch->insert(scratch->end(), temp_clusters.begin(), temp_clusters.end());
+  KVCSD_CO_RETURN_IF_ERROR(gen_status);
+  if (CrashPoint("compact.after_phase1")) {
+    co_return Status::IoError("simulated power loss after run generation");
   }
   compaction_stats_.phase1_ticks += sim_->Now() - phase1_start;
 
@@ -636,9 +615,19 @@ sim::Task<Status> Device::CompactKeyspace(
     }
   }
   // Always close + join: the consumer must see end-of-stream even on the
-  // error paths, or one side would wait forever.
+  // error paths, or one side would wait forever. With both stages joined,
+  // every cluster the pipeline allocated is visible — record them before
+  // acting on either status.
   batches.Close();
   Status index_status = co_await index_stage.Wait();
+  scratch->insert(scratch->end(), value_clusters.begin(),
+                  value_clusters.end());
+  scratch->insert(scratch->end(), pipe.pidx_clusters.begin(),
+                  pipe.pidx_clusters.end());
+  for (const SidxSortState& state : fused_states) {
+    scratch->insert(scratch->end(), state.temp_clusters.begin(),
+                    state.temp_clusters.end());
+  }
   KVCSD_CO_RETURN_IF_ERROR(pipeline_status);
   KVCSD_CO_RETURN_IF_ERROR(index_status);
 
@@ -648,26 +637,46 @@ sim::Task<Status> Device::CompactKeyspace(
     std::vector<SecondaryIndex> fused_out(fused_specs.size());
     sim::TaskGroup merges(sim_);
     for (std::size_t i = 0; i < fused_specs.size(); ++i) {
-      merges.Spawn(FusedMergeTask(&fused_states[i], &fused_specs[i],
-                                  &fused_out[i]));
+      merges.Spawn(
+          SidxMergeToBlocks(&fused_states[i], fused_specs[i], &fused_out[i]));
     }
-    KVCSD_CO_RETURN_IF_ERROR(co_await merges.Wait());
+    const Status merge_status = co_await merges.Wait();
+    // The merges may have spilled more TEMP clusters and written SIDX
+    // output; duplicates with the release above are harmless (cluster ids
+    // are never reused, a double release is an ignored NotFound).
+    for (const SidxSortState& state : fused_states) {
+      scratch->insert(scratch->end(), state.temp_clusters.begin(),
+                      state.temp_clusters.end());
+    }
+    for (const SecondaryIndex& sidx : fused_out) {
+      scratch->insert(scratch->end(), sidx.sidx_clusters.begin(),
+                      sidx.sidx_clusters.end());
+    }
+    KVCSD_CO_RETURN_IF_ERROR(merge_status);
     for (std::size_t i = 0; i < fused_specs.size(); ++i) {
       fused_indexes[fused_specs[i].name] = std::move(fused_out[i]);
     }
   }
   compaction_stats_.phase2_ticks += sim_->Now() - phase2_start;
 
-  // ---- Install results, release inputs and temporaries ----
-  for (ClusterId id : temp_clusters) {
-    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
+  // ---- Commit ----
+  // Phase-1 temporaries are dead weight either way; drop them first.
+  co_await ReleaseClustersBestEffort(std::move(temp_clusters));
+  if (CrashPoint("compact.before_commit")) {
+    co_return Status::IoError("simulated power loss before commit");
   }
-  for (ClusterId id : ks->klog_clusters) {
-    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
-  }
-  for (ClusterId id : ks->vlog_clusters) {
-    KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
-  }
+
+  // Install the outputs and persist — the commit point. The snapshot is
+  // written while the OLD log clusters are still allocated, so whichever
+  // snapshot recovery loads, every cluster it references exists; the
+  // stale side only ever leaks clusters (reclaimed as unreferenced),
+  // never dangles. On a persist failure, un-install symmetrically and
+  // report the compaction as failed.
+  std::vector<ClusterId> old_klog = std::move(ks->klog_clusters);
+  std::vector<ClusterId> old_vlog = std::move(ks->vlog_clusters);
+  const std::uint64_t old_klog_bytes = ks->klog_bytes;
+  const std::uint64_t old_vlog_bytes = ks->vlog_bytes;
+  const std::uint64_t old_num_kvs = ks->num_kvs;
   ks->klog_clusters.clear();
   ks->vlog_clusters.clear();
   ks->klog_bytes = 0;
@@ -678,14 +687,29 @@ sim::Task<Status> Device::CompactKeyspace(
   ks->num_kvs = pipe.entries_total;
   ks->secondary_indexes = std::move(fused_indexes);
   ks->state = KeyspaceState::kCompacted;
-  ++compactions_done_;
-  KVCSD_CO_RETURN_IF_ERROR(co_await keyspace_manager_.Persist());
-  CompactionDone(ks->id)->Set();
-
-  if (ks->pending_delete) {
-    ks->pending_delete = false;
-    co_return co_await DropKeyspace(ks);
+  Status commit = co_await keyspace_manager_.Persist();
+  if (!commit.ok()) {
+    ks->pidx_clusters.clear();
+    ks->sorted_value_clusters.clear();
+    ks->pidx_sketch.clear();
+    ks->secondary_indexes.clear();
+    ks->klog_clusters = std::move(old_klog);
+    ks->vlog_clusters = std::move(old_vlog);
+    ks->klog_bytes = old_klog_bytes;
+    ks->vlog_bytes = old_vlog_bytes;
+    ks->num_kvs = old_num_kvs;
+    ks->state = KeyspaceState::kCompacting;
+    co_return commit;
   }
+  ++compactions_done_;
+  scratch->clear();  // the outputs are now owned by the durable snapshot
+
+  // Past the commit point the compaction HAS happened; a crash here loses
+  // nothing (recovery reclaims the old logs as unreferenced clusters) and
+  // the release below is best-effort for the same reason.
+  (void)CrashPoint("compact.after_commit");
+  co_await ReleaseClustersBestEffort(std::move(old_klog));
+  co_await ReleaseClustersBestEffort(std::move(old_vlog));
   co_return Status::Ok();
 }
 
@@ -708,7 +732,28 @@ sim::Task<Status> Device::BuildSecondaryIndex(
 
   SidxSortState state;
   state.run_budget = config_.EffectiveSortRunBytes();
+  SecondaryIndex sidx;
+  Status result = co_await BuildSecondaryIndexInner(ks, spec, &state, &sidx);
+  if (result.ok()) {
+    ks->secondary_indexes[spec.name] = std::move(sidx);
+    result = co_await keyspace_manager_.Persist();
+    if (result.ok()) co_return result;
+    // Persist failed: the index exists in DRAM only; un-install so the
+    // live table matches what a restart would recover, then fall through
+    // to release its clusters.
+    sidx = std::move(ks->secondary_indexes[spec.name]);
+    ks->secondary_indexes.erase(spec.name);
+  }
+  std::vector<ClusterId> doomed = std::move(state.temp_clusters);
+  doomed.insert(doomed.end(), sidx.sidx_clusters.begin(),
+                sidx.sidx_clusters.end());
+  co_await ReleaseClustersBestEffort(std::move(doomed));
+  co_return result;
+}
 
+sim::Task<Status> Device::BuildSecondaryIndexInner(
+    Keyspace* ks, const nvme::SecondaryIndexSpec& spec, SidxSortState* state,
+    SecondaryIndex* out) {
   // Step 1 (paper): full scan extracting <skey, pkey> pairs. Walk PIDX
   // blocks via the sketch; gather values batch-wise; extract.
   std::vector<ValueRef> batch_refs;
@@ -727,7 +772,7 @@ sim::Task<Status> Device::BuildSecondaryIndex(
       if (!skey.ok()) co_return skey.status();
       SidxTuple tuple{std::move(*skey), batch_meta[i].first,
                       batch_meta[i].second, batch_lens[i]};
-      KVCSD_CO_RETURN_IF_ERROR(co_await SidxAdd(&state, std::move(tuple)));
+      KVCSD_CO_RETURN_IF_ERROR(co_await SidxAdd(state, std::move(tuple)));
     }
     batch_refs.clear();
     batch_meta.clear();
@@ -739,8 +784,11 @@ sim::Task<Status> Device::BuildSecondaryIndex(
   for (const SketchEntry& block_ref : ks->pidx_sketch) {
     auto block = co_await ReadIndexBlock(block_ref);
     if (!block.ok()) co_return block.status();
-    Slice in(block->data() + 2, block->size() - 2);
-    const std::uint16_t count = DecodeFixed16(block->data());
+    std::uint16_t count = 0;
+    Slice in;
+    if (!wire::OpenIndexBlock(*block, &count, &in)) {
+      co_return Status::Corruption("undersized PIDX block during sidx scan");
+    }
     for (std::uint16_t i = 0; i < count; ++i) {
       wire::PidxEntry entry;
       if (!wire::ParsePidxEntry(&in, &entry)) {
@@ -758,10 +806,7 @@ sim::Task<Status> Device::BuildSecondaryIndex(
   KVCSD_CO_RETURN_IF_ERROR(co_await process_scan_batch());
 
   // Step 2: merge runs into SIDX blocks + sketch.
-  auto sidx = co_await SidxMergeToBlocks(&state, spec);
-  if (!sidx.ok()) co_return sidx.status();
-  ks->secondary_indexes[spec.name] = std::move(*sidx);
-  co_return co_await keyspace_manager_.Persist();
+  co_return co_await SidxMergeToBlocks(state, spec, out);
 }
 
 }  // namespace kvcsd::device

@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "kvcsd/wire.h"
+#include "sim/fault.h"
 
 namespace kvcsd::device {
 
@@ -14,8 +15,9 @@ Device::Device(sim::Simulation* sim, const DeviceConfig& config,
       queue_(queue),
       ssd_(sim, config.zns),
       zone_manager_(&ssd_, config.zones),
-      keyspace_manager_(&ssd_),
-      cpu_(sim, "soc", config.soc_cores) {}
+      keyspace_manager_(&ssd_, &zone_manager_),
+      cpu_(sim, "soc", config.soc_cores),
+      faults_(config.zns.faults) {}
 
 void Device::Start() {
   if (started_) return;
@@ -23,9 +25,26 @@ void Device::Start() {
   sim_->Spawn(MainLoop());
 }
 
+std::unique_ptr<Device> Device::Restart(sim::Simulation* sim,
+                                        const DeviceConfig& config,
+                                        nvme::QueuePair* queue,
+                                        const Device& prior) {
+  // Clear the crashed flag (and stale crash hooks/error rules) BEFORE the
+  // new device constructs its ZnsSsd, which re-registers a torn-tail hook
+  // bound to the new object.
+  if (config.zns.faults != nullptr) config.zns.faults->ResetForRestart();
+  auto device = std::make_unique<Device>(sim, config, queue);
+  device->ssd_.CloneStateFrom(prior.ssd_);
+  return device;
+}
+
 sim::Task<Status> Device::RecoverMetadata() {
   auto recovered = co_await keyspace_manager_.Recover();
   co_return recovered.status();
+}
+
+bool Device::CrashPoint(const char* point) {
+  return faults_ != nullptr && faults_->Hit(point);
 }
 
 sim::Semaphore* Device::WriteLock(std::uint64_t keyspace_id) {
@@ -50,7 +69,20 @@ sim::Task<void> Device::MainLoop() {
 }
 
 sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
+  if (faults_ != nullptr && faults_->crashed()) {
+    // Power is gone: fail fast without touching device state.
+    nvme::Completion dead;
+    dead.status = Status::IoError("device powered off");
+    co_await queue_->Complete(std::move(incoming), std::move(dead));
+    co_return;
+  }
   nvme::Completion completion = co_await Dispatch(incoming.command);
+  if (faults_ != nullptr && faults_->crashed()) {
+    // The power cut landed mid-command; whatever Dispatch claims, the
+    // host must treat the operation as failed.
+    completion = nvme::Completion{};
+    completion.status = Status::IoError("device powered off (in flight)");
+  }
   co_await queue_->Complete(std::move(incoming), std::move(completion));
 }
 
@@ -85,46 +117,53 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
       out.status = co_await DropKeyspace(*ks);
       break;
     }
-    case nvme::Opcode::kKvStore: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
-      out.status =
-          co_await DoPut(*ks, std::move(cmd.key), std::move(cmd.value));
-      break;
-    }
-    case nvme::Opcode::kBulkStore: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
-      out.status = co_await DoBulkPut(*ks, cmd.value);
-      break;
-    }
-    case nvme::Opcode::kCompact:
-    case nvme::Opcode::kCompactWithIndexes: {
+    default: {
+      // Keyspace-scoped command: resolve and pin the keyspace BEFORE the
+      // first suspension, so a concurrent drop defers until the handler
+      // coroutine is done with the raw pointer.
       auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
       if (!ks.ok()) {
         out.status = ks.status();
         break;
       }
       Keyspace* keyspace = *ks;
-      if (keyspace->state != KeyspaceState::kWritable &&
-          keyspace->state != KeyspaceState::kEmpty) {
+      ++keyspace->inflight;
+      out = co_await DispatchKeyspaceCommand(cmd, keyspace);
+      co_await Unpin(keyspace);
+      break;
+    }
+  }
+  co_return out;
+}
+
+sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
+                                                            Keyspace* ks) {
+  nvme::Completion out;
+  switch (cmd.opcode) {
+    case nvme::Opcode::kKvStore:
+      out.status = co_await DoPut(ks, std::move(cmd.key),
+                                  std::move(cmd.value));
+      break;
+    case nvme::Opcode::kBulkStore:
+      out.status = co_await DoBulkPut(ks, cmd.value);
+      break;
+    case nvme::Opcode::kCompact:
+    case nvme::Opcode::kCompactWithIndexes: {
+      if (ks->state != KeyspaceState::kWritable &&
+          ks->state != KeyspaceState::kEmpty) {
         out.status = Status::FailedPrecondition(
             "compaction requires a WRITABLE keyspace (state " +
-            std::string(KeyspaceStateName(keyspace->state)) + ")");
+            std::string(KeyspaceStateName(ks->state)) + ")");
         break;
       }
-      keyspace->state = KeyspaceState::kCompacting;
-      CompactionDone(keyspace->id)->Reset();
+      ks->state = KeyspaceState::kCompacting;
+      CompactionDone(ks->id)->Reset();
       // Deferred + offloaded: runs asynchronously on the device; the
       // command completes immediately (paper §V "Compaction"). The fused
       // variant also builds the requested secondary indexes in the same
-      // pass (§V future work).
+      // pass (§V future work). The COMPACTING state (not the inflight
+      // pin, which this command drops on completion) is what holds off a
+      // concurrent drop.
       std::vector<nvme::SecondaryIndexSpec> specs;
       if (cmd.opcode == nvme::Opcode::kCompactWithIndexes) {
         specs = std::move(cmd.sidx_list);
@@ -133,94 +172,64 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
                      std::vector<nvme::SecondaryIndexSpec> fused)
                       -> sim::Task<void> {
         Status s = co_await device->CompactKeyspace(target, std::move(fused));
-        (void)s;  // failure leaves state COMPACTING; surfaced via Stat
-      }(this, keyspace, std::move(specs)));
+        (void)s;  // failure rolls back to WRITABLE; surfaced via Stat
+      }(this, ks, std::move(specs)));
       out.status = Status::Ok();
       break;
     }
-    case nvme::Opcode::kSync: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
-      out.status = co_await DoSync(*ks);
+    case nvme::Opcode::kSync:
+      out.status = co_await DoSync(ks);
       break;
-    }
-    case nvme::Opcode::kCompactWait: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
-      if ((*ks)->state == KeyspaceState::kCompacting) {
-        co_await CompactionDone((*ks)->id)->Wait();
+    case nvme::Opcode::kCompactWait:
+      if (ks->state == KeyspaceState::kCompacting) {
+        co_await CompactionDone(ks->id)->Wait();
       }
       out.status = Status::Ok();
       break;
-    }
-    case nvme::Opcode::kSecondaryBuild: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
-      out.status = co_await BuildSecondaryIndex(*ks, cmd.sidx);
+    case nvme::Opcode::kSecondaryBuild:
+      out.status = co_await BuildSecondaryIndex(ks, cmd.sidx);
       break;
-    }
     case nvme::Opcode::kKvRetrieve: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
       ++queries_;
-      auto value = co_await QueryPoint(*ks, cmd.key);
+      auto value = co_await QueryPoint(ks, cmd.key);
       out.status = value.status();
       if (value.ok()) out.value = std::move(*value);
       break;
     }
-    case nvme::Opcode::kQueryPrimaryRange: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
+    case nvme::Opcode::kQueryPrimaryRange:
       ++queries_;
-      out.status = co_await QueryPrimaryRange(*ks, cmd.key, cmd.key_end,
+      out.status = co_await QueryPrimaryRange(ks, cmd.key, cmd.key_end,
                                               cmd.limit, &out.results);
       out.count = out.results.size();
       break;
-    }
-    case nvme::Opcode::kQuerySecondaryRange: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
+    case nvme::Opcode::kQuerySecondaryRange:
       ++queries_;
       out.status = co_await QuerySecondaryRange(
-          *ks, cmd.sidx.name, cmd.key, cmd.key_end, cmd.limit, &out.results);
+          ks, cmd.sidx.name, cmd.key, cmd.key_end, cmd.limit, &out.results);
       out.count = out.results.size();
       break;
-    }
-    case nvme::Opcode::kKeyspaceStat: {
-      auto ks = keyspace_manager_.FindById(cmd.keyspace_id);
-      if (!ks.ok()) {
-        out.status = ks.status();
-        break;
-      }
-      out.count = (*ks)->num_kvs;
-      out.value = std::string(KeyspaceStateName((*ks)->state));
+    case nvme::Opcode::kKeyspaceStat:
+      out.count = ks->num_kvs;
+      out.value = std::string(KeyspaceStateName(ks->state));
       out.status = Status::Ok();
       break;
-    }
     case nvme::Opcode::kKvDelete:
       out.status = Status::Unimplemented(
           "point deletes are not part of the simulation-pipeline workflow");
       break;
+    default:
+      // No silent OK for opcodes the device does not implement.
+      out.status = Status::Unimplemented(
+          "unhandled opcode " +
+          std::to_string(static_cast<unsigned>(cmd.opcode)));
+      break;
   }
   co_return out;
+}
+
+sim::Task<void> Device::Unpin(Keyspace* ks) {
+  --ks->inflight;
+  co_await MaybeFinishPendingDelete(ks);
 }
 
 // ---------------------------------------------------------------------------
@@ -349,6 +358,9 @@ sim::Task<Status> Device::FlushBuffer(Keyspace* ks) {
 
   co_await FlushSlots(ks->id)->Acquire();  // backpressure
   FlushInflight(ks->id)->Add(1);
+  // Pin before spawning: the detached FlushIo holds the raw pointer past
+  // this command's lifetime, so a drop must defer until it lands.
+  ++ks->inflight;
   sim_->Spawn(FlushIo(ks, std::move(batch)));
   co_return Status::Ok();
 }
@@ -356,43 +368,59 @@ sim::Task<Status> Device::FlushBuffer(Keyspace* ks) {
 sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
   Status result = Status::Ok();
 
-  // Values: one contiguous VLOG record.
-  std::string values;
-  values.reserve(batch.bytes);
-  for (const auto& [key, value] : batch.entries) values += value;
-  co_await cpu_.ComputeBytes(values.size(),
-                             config_.costs.memcpy_bytes_per_sec);
-  co_await cpu_.Compute(config_.costs.io_path_overhead);
-  auto vaddr = co_await AppendToChain(
-      &ks->vlog_clusters, ZoneType::kVlog,
-      std::span<const std::byte>(
-          reinterpret_cast<const std::byte*>(values.data()), values.size()));
-  if (vaddr.ok()) {
-    ks->vlog_bytes += values.size();
+  if (CrashPoint("flush.before_vlog")) {
+    result = Status::IoError("simulated power loss (before VLOG append)");
+  }
 
-    // Keys + value pointers: one KLOG record.
-    std::string klog;
-    klog.reserve(batch.bytes / 2 + batch.entries.size() * 12);
-    std::uint64_t offset = 0;
-    for (const auto& [key, value] : batch.entries) {
-      wire::AppendKlogEntry(&klog, key, *vaddr + offset,
-                            static_cast<std::uint32_t>(value.size()));
-      offset += value.size();
-    }
-    co_await cpu_.ComputeBytes(klog.size(),
+  if (result.ok()) {
+    // Values: one contiguous VLOG record.
+    std::string values;
+    values.reserve(batch.bytes);
+    for (const auto& [key, value] : batch.entries) values += value;
+    co_await cpu_.ComputeBytes(values.size(),
                                config_.costs.memcpy_bytes_per_sec);
     co_await cpu_.Compute(config_.costs.io_path_overhead);
-    auto kaddr = co_await AppendToChain(
-        &ks->klog_clusters, ZoneType::kKlog,
+    auto vaddr = co_await AppendToChain(
+        &ks->vlog_clusters, ZoneType::kVlog,
         std::span<const std::byte>(
-            reinterpret_cast<const std::byte*>(klog.data()), klog.size()));
-    if (kaddr.ok()) {
-      ks->klog_bytes += klog.size();
+            reinterpret_cast<const std::byte*>(values.data()), values.size()));
+    if (vaddr.ok() && CrashPoint("flush.between_logs")) {
+      // Values landed, keys did not: the VLOG record is unreachable
+      // garbage recovery must not resurrect (nothing references it).
+      result = Status::IoError("simulated power loss (between log appends)");
+    } else if (vaddr.ok()) {
+      ks->vlog_bytes += values.size();
+
+      // Keys + value pointers: one framed KLOG record, so a torn append
+      // is detectably incomplete at recovery.
+      std::string payload;
+      payload.reserve(batch.bytes / 2 + batch.entries.size() * 12);
+      std::uint64_t offset = 0;
+      for (const auto& [key, value] : batch.entries) {
+        wire::AppendKlogEntry(&payload, key, *vaddr + offset,
+                              static_cast<std::uint32_t>(value.size()));
+        offset += value.size();
+      }
+      std::string klog;
+      klog.reserve(payload.size() + 16);
+      wire::AppendKlogFrame(&klog, Slice(payload));
+      co_await cpu_.ComputeBytes(klog.size(),
+                                 config_.costs.memcpy_bytes_per_sec);
+      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      auto kaddr = co_await AppendToChain(
+          &ks->klog_clusters, ZoneType::kKlog,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(klog.data()), klog.size()));
+      if (kaddr.ok()) {
+        ks->klog_bytes += klog.size();
+        // Both logs durable; a crash here loses only the acknowledgement.
+        CrashPoint("flush.after_klog");
+      } else {
+        result = kaddr.status();
+      }
     } else {
-      result = kaddr.status();
+      result = vaddr.status();
     }
-  } else {
-    result = vaddr.status();
   }
 
   if (!result.ok() && flush_errors_[ks->id].ok()) {
@@ -400,10 +428,13 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
   }
   FlushSlots(ks->id)->Release();
   FlushInflight(ks->id)->Done();
+  co_await Unpin(ks);
 }
 
 // Explicit "fsync" (paper §VI): persists whatever PUTs are still sitting
-// in the keyspace's DRAM write buffer and waits for the log I/O to land.
+// in the keyspace's DRAM write buffer, waits for the log I/O to land, and
+// commits the cluster references to the metadata zone — only then is the
+// data guaranteed to survive a power cut.
 sim::Task<Status> Device::DoSync(Keyspace* ks) {
   if (ks->state != KeyspaceState::kWritable &&
       ks->state != KeyspaceState::kEmpty) {
@@ -417,51 +448,85 @@ sim::Task<Status> Device::DoSync(Keyspace* ks) {
   co_await FlushInflight(ks->id)->Wait();
   if (auto it = flush_errors_.find(ks->id);
       it != flush_errors_.end() && !it->second.ok()) {
-    co_return it->second;
+    // Surface the flush failure once, then clear it: a later Sync whose
+    // own flushes succeed must not keep failing on a stale error.
+    Status err = it->second;
+    it->second = Status::Ok();
+    co_return err;
   }
-  co_return Status::Ok();
+  if (CrashPoint("sync.before_persist")) {
+    co_return Status::IoError("simulated power loss (before sync persist)");
+  }
+  co_return co_await keyspace_manager_.Persist();
 }
 
 // ---------------------------------------------------------------------------
 // Deletion
 // ---------------------------------------------------------------------------
 
-sim::Task<Status> Device::ReleaseAllClusters(Keyspace* ks) {
-  auto release = [this](std::vector<ClusterId>* chain) -> sim::Task<Status> {
-    for (ClusterId id : *chain) {
-      KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
-    }
-    chain->clear();
-    co_return Status::Ok();
-  };
-  KVCSD_CO_RETURN_IF_ERROR(co_await release(&ks->klog_clusters));
-  KVCSD_CO_RETURN_IF_ERROR(co_await release(&ks->vlog_clusters));
-  KVCSD_CO_RETURN_IF_ERROR(co_await release(&ks->pidx_clusters));
-  KVCSD_CO_RETURN_IF_ERROR(co_await release(&ks->sorted_value_clusters));
-  for (auto& [name, sidx] : ks->secondary_indexes) {
-    for (ClusterId id : sidx.sidx_clusters) {
-      KVCSD_CO_RETURN_IF_ERROR(co_await zone_manager_.ReleaseCluster(id));
-    }
-    sidx.sidx_clusters.clear();
+sim::Task<void> Device::ReleaseClustersBestEffort(std::vector<ClusterId> ids) {
+  for (ClusterId id : ids) {
+    Status s = co_await zone_manager_.ReleaseCluster(id);
+    (void)s;  // NotFound after double release / IoError after power cut
   }
-  co_return Status::Ok();
 }
 
 sim::Task<Status> Device::DropKeyspace(Keyspace* ks) {
-  if (ks->state == KeyspaceState::kCompacting) {
-    // Deferred deletion: the compactor finishes (or aborts) first.
+  if (ks->state == KeyspaceState::kCompacting || ks->inflight > 0) {
+    // Deferred deletion: the compactor or the pinned handlers finish
+    // first (paper: "deletion may be deferred due to on-going
+    // compaction").
     ks->pending_delete = true;
     co_return Status::Ok();
   }
-  KVCSD_CO_RETURN_IF_ERROR(co_await ReleaseAllClusters(ks));
-  buffers_.erase(ks->id);
-  write_locks_.erase(ks->id);
-  compaction_done_.erase(ks->id);
-  flush_slots_.erase(ks->id);
-  flush_inflight_.erase(ks->id);
-  flush_errors_.erase(ks->id);
-  KVCSD_CO_RETURN_IF_ERROR(keyspace_manager_.Erase(ks->id));
-  co_return co_await keyspace_manager_.Persist();
+  co_return co_await FinishDrop(ks);
+}
+
+sim::Task<Status> Device::FinishDrop(Keyspace* ks) {
+  // Snapshot what the drop needs, then remove the table entry before the
+  // first suspension: from here no command can find — let alone pin — the
+  // dying keyspace, so freeing it is safe.
+  const std::uint64_t id = ks->id;
+  std::vector<ClusterId> doomed;
+  auto take = [&doomed](std::vector<ClusterId>* chain) {
+    doomed.insert(doomed.end(), chain->begin(), chain->end());
+    chain->clear();
+  };
+  take(&ks->klog_clusters);
+  take(&ks->vlog_clusters);
+  take(&ks->pidx_clusters);
+  take(&ks->sorted_value_clusters);
+  for (auto& [name, sidx] : ks->secondary_indexes) {
+    take(&sidx.sidx_clusters);
+  }
+  KVCSD_CO_RETURN_IF_ERROR(keyspace_manager_.Erase(id));  // frees *ks
+  buffers_.erase(id);
+  write_locks_.erase(id);
+  compaction_done_.erase(id);
+  flush_slots_.erase(id);
+  flush_inflight_.erase(id);
+  flush_errors_.erase(id);
+
+  if (CrashPoint("drop.before_persist")) {
+    co_return Status::IoError("simulated power loss (before drop persist)");
+  }
+  // Commit point: once the snapshot without the keyspace is durable, the
+  // clusters are garbage whether or not the releases below finish —
+  // recovery reclaims whatever a crash leaves orphaned.
+  KVCSD_CO_RETURN_IF_ERROR(co_await keyspace_manager_.Persist());
+  co_await ReleaseClustersBestEffort(std::move(doomed));
+  co_return Status::Ok();
+}
+
+sim::Task<void> Device::MaybeFinishPendingDelete(Keyspace* ks) {
+  if (!ks->pending_delete || ks->inflight > 0 ||
+      ks->state == KeyspaceState::kCompacting) {
+    co_return;
+  }
+  // Clear before the first await so concurrent callers cannot double-drop.
+  ks->pending_delete = false;
+  Status s = co_await FinishDrop(ks);
+  (void)s;  // deferred drops have no command to answer to
 }
 
 }  // namespace kvcsd::device

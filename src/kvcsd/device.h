@@ -100,8 +100,27 @@ class Device {
   // Spawns the command-service loop. Call once.
   void Start();
 
-  // Recovers the keyspace table from the metadata zone (for tests that
-  // simulate power loss on a freshly constructed Device over the same SSD).
+  // Simulated power cycle: constructs a fresh Device over the surviving
+  // ZNS byte state of `prior`. Resets `prior`'s fault injector (if any)
+  // so the new device's I/O is live again, then clones the zone payloads.
+  // The caller Start()s the new device and runs Recover() on it; `prior`
+  // must stay alive (it still parks a coroutine on its old queue pair)
+  // but is permanently idle. `queue` must be a fresh queue pair.
+  static std::unique_ptr<Device> Restart(sim::Simulation* sim,
+                                         const DeviceConfig& config,
+                                         nvme::QueuePair* queue,
+                                         const Device& prior);
+
+  // Crash-consistent recovery (recovery.cc): loads the newest intact
+  // metadata snapshot (keyspace table + zone-cluster table), rolls
+  // keyspaces caught COMPACTING back to WRITABLE (releasing orphaned
+  // TEMP/PIDX/SIDX output clusters), reclaims clusters referenced by no
+  // keyspace and zones owned by no cluster, and replays the KLOG chains
+  // of WRITABLE keyspaces to rebuild num_kvs/min_key/max_key.
+  sim::Task<Status> Recover();
+
+  // Recovers only the keyspace table from the metadata zones (for tests
+  // that exercise snapshot persistence in isolation).
   sim::Task<Status> RecoverMetadata();
 
   KeyspaceManager& keyspaces() { return keyspace_manager_; }
@@ -121,6 +140,13 @@ class Device {
   sim::Task<void> MainLoop();
   sim::Task<void> HandleCommand(nvme::QueuePair::Incoming incoming);
   sim::Task<nvme::Completion> Dispatch(nvme::Command& cmd);
+  // Keyspace-scoped opcodes; runs with `ks` pinned (inflight counter), so
+  // a concurrent drop defers instead of freeing the keyspace mid-await.
+  sim::Task<nvme::Completion> DispatchKeyspaceCommand(nvme::Command& cmd,
+                                                      Keyspace* ks);
+  sim::Task<void> Unpin(Keyspace* ks);
+  // Registers a pass through a named crash point; true = power is gone.
+  bool CrashPoint(const char* point);
 
   // Appends to the last cluster of `chain`, allocating a new cluster of
   // `type` when full.
@@ -150,6 +176,16 @@ class Device {
   sim::Task<Status> CompactKeyspace(
       Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs = {});
 
+  // The compaction body. `scratch` collects every cluster the compaction
+  // allocates; on failure the CompactKeyspace wrapper releases them
+  // (best-effort — after a power cut the resets fail and recovery
+  // reclaims the orphans instead) and rolls the keyspace back to
+  // WRITABLE. On success the commit point clears `scratch`.
+  sim::Task<Status> RunCompaction(Keyspace* ks,
+                                  std::vector<nvme::SecondaryIndexSpec>
+                                      fused_specs,
+                                  std::vector<ClusterId>* scratch);
+
   // Phase 1 worker: streams one KLOG zone in bounded chunks, accumulates
   // entries up to `run_budget` bytes, and spills sorted runs to TEMP
   // clusters owned by *out. Independent per zone, safe to fan out.
@@ -176,18 +212,18 @@ class Device {
   };
   sim::Task<Status> SidxAdd(SidxSortState* state, SidxTuple tuple);
   sim::Task<Status> SidxSpill(SidxSortState* state);
-  // Merges the spilled runs into SIDX blocks + sketch and releases the
-  // state's TEMP clusters.
-  sim::Task<Result<SecondaryIndex>> SidxMergeToBlocks(
-      SidxSortState* state, const nvme::SecondaryIndexSpec& spec);
-  // Wrapper so the per-spec fused merges can run concurrently in a
-  // TaskGroup, each landing its result in a caller-owned slot.
-  sim::Task<Status> FusedMergeTask(SidxSortState* state,
-                                   const nvme::SecondaryIndexSpec* spec,
-                                   SecondaryIndex* out);
+  // Merges the spilled runs into SIDX blocks + sketch, building in place
+  // in *out so the caller can release partially written clusters on
+  // failure. Releases the state's TEMP clusters on success.
+  sim::Task<Status> SidxMergeToBlocks(SidxSortState* state,
+                                      const nvme::SecondaryIndexSpec& spec,
+                                      SecondaryIndex* out);
 
   sim::Task<Status> BuildSecondaryIndex(Keyspace* ks,
                                         const nvme::SecondaryIndexSpec& spec);
+  sim::Task<Status> BuildSecondaryIndexInner(
+      Keyspace* ks, const nvme::SecondaryIndexSpec& spec,
+      SidxSortState* state, SecondaryIndex* out);
 
   // --- explicit persistence ---
   sim::Task<Status> DoSync(Keyspace* ks);
@@ -217,8 +253,23 @@ class Device {
       std::vector<ValueRef> refs);
 
   // --- deletion ---
+  // Defers while the keyspace is compacting or has pinned commands;
+  // otherwise completes the drop inline.
   sim::Task<Status> DropKeyspace(Keyspace* ks);
-  sim::Task<Status> ReleaseAllClusters(Keyspace* ks);
+  // The drop itself. Removes the table entry synchronously (before any
+  // suspension, so no new command can find the dying keyspace), persists
+  // the removal — the commit point — then releases the clusters.
+  sim::Task<Status> FinishDrop(Keyspace* ks);
+  // Runs a deferred drop once the keyspace is unpinned and idle.
+  sim::Task<void> MaybeFinishPendingDelete(Keyspace* ks);
+  // Releases every cluster in `ids`, ignoring failures (NotFound after a
+  // double release, I/O errors after a power cut).
+  sim::Task<void> ReleaseClustersBestEffort(std::vector<ClusterId> ids);
+
+  // --- recovery helpers (recovery.cc) ---
+  // Streams a WRITABLE keyspace's KLOG chain to rebuild num_kvs, min_key,
+  // max_key, klog_bytes and vlog_bytes after a restart.
+  sim::Task<Status> ReplayKlogChains(Keyspace* ks);
 
   // Per-keyspace write serialization + compaction-completion events.
   sim::Semaphore* WriteLock(std::uint64_t keyspace_id);
@@ -231,6 +282,8 @@ class Device {
   ZoneManager zone_manager_;
   KeyspaceManager keyspace_manager_;
   sim::CpuPool cpu_;
+  // Mirrors config_.zns.faults (not owned); nullptr = no fault injection.
+  sim::FaultInjector* faults_ = nullptr;
 
   std::map<std::uint64_t, WriteBuffer> buffers_;
   std::map<std::uint64_t, std::unique_ptr<sim::Semaphore>> write_locks_;

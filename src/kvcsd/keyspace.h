@@ -66,6 +66,11 @@ struct Keyspace {
   // Deletion requested while compaction/index build was running (paper:
   // "deletion may be deferred due to on-going compaction").
   bool pending_delete = false;
+
+  // Commands currently executing against this keyspace. A handler pins
+  // the keyspace for the span of its coroutine so a concurrent drop
+  // cannot free it mid-await; DropKeyspace defers until this drains.
+  std::uint32_t inflight = 0;
 };
 
 }  // namespace kvcsd::device

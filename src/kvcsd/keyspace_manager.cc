@@ -2,6 +2,7 @@
 
 #include "common/coding.h"
 #include "common/crc32c.h"
+#include "sim/fault.h"
 
 namespace kvcsd::device {
 
@@ -96,8 +97,15 @@ Status KeyspaceManager::Erase(std::uint64_t id) {
   return Status::Ok();
 }
 
-std::string KeyspaceManager::SerializeTable() const {
+std::string KeyspaceManager::SerializeTable(std::uint64_t seq) const {
   std::string body;
+  PutVarint64(&body, seq);
+  body.push_back(zones_ != nullptr ? 1 : 0);
+  if (zones_ != nullptr) {
+    std::string zm;
+    zones_->SerializeTo(&zm);
+    PutLengthPrefixedSlice(&body, Slice(zm));
+  }
   PutVarint64(&body, next_id_);
   PutVarint64(&body, by_id_.size());
   for (const auto& [id, ks] : by_id_) {
@@ -135,10 +143,25 @@ std::string KeyspaceManager::SerializeTable() const {
   return out;
 }
 
-Status KeyspaceManager::DeserializeTable(const std::string& raw) {
+Status KeyspaceManager::DeserializeTable(const std::string& raw,
+                                         std::uint64_t* seq) {
   Slice in(raw);
   by_id_.clear();
   by_name_.clear();
+  if (!GetVarint64(&in, seq) || in.empty()) {
+    return Status::Corruption("snapshot header");
+  }
+  const bool has_zm = in[0] != 0;
+  in.remove_prefix(1);
+  if (has_zm) {
+    Slice zm;
+    if (!GetLengthPrefixedSlice(&in, &zm)) {
+      return Status::Corruption("snapshot zone-manager section");
+    }
+    if (zones_ != nullptr) {
+      KVCSD_RETURN_IF_ERROR(zones_->RestoreFrom(&zm));
+    }
+  }
   if (!GetVarint64(&in, &next_id_)) return Status::Corruption("snapshot");
   std::uint64_t count = 0;
   if (!GetVarint64(&in, &count)) return Status::Corruption("snapshot");
@@ -185,33 +208,67 @@ Status KeyspaceManager::DeserializeTable(const std::string& raw) {
 }
 
 sim::Task<Status> KeyspaceManager::Persist() {
-  const std::string snapshot = SerializeTable();
-  // If the metadata zone cannot take another snapshot, reset and start a
-  // fresh log with just the newest state.
-  if (ssd_->write_pointer(metadata_zone_) + snapshot.size() >
-      ssd_->zone_size()) {
-    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Reset(metadata_zone_));
+  const std::string snapshot = SerializeTable(persist_seq_ + 1);
+  sim::FaultInjector* faults = ssd_->fault_injector();
+  std::uint32_t target = current_meta_zone_;
+  bool need_reset = reset_before_append_;
+  // When recovery already demands a reset, skip the fits-check: the reset
+  // empties the target anyway, and switching zones here would reset the
+  // sibling — the zone holding the newest intact snapshot.
+  if (!need_reset &&
+      ssd_->write_pointer(target) + snapshot.size() > ssd_->zone_size()) {
+    // Ping-pong: rewrite into the sibling zone. The zone holding the
+    // newest intact snapshot is never the one reset, so a crash anywhere
+    // in this window leaves a recoverable table.
+    target = target == meta_zone_a_ ? meta_zone_b_ : meta_zone_a_;
+    need_reset = true;
+  }
+  if (need_reset) {
+    if (faults != nullptr && faults->Hit("meta.before_reset")) {
+      co_return Status::IoError("simulated power loss (metadata switch)");
+    }
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Reset(target));
+    if (faults != nullptr && faults->Hit("meta.after_reset")) {
+      co_return Status::IoError("simulated power loss (metadata switch)");
+    }
   }
   auto addr = co_await ssd_->Append(
-      metadata_zone_,
+      target,
       std::span<const std::byte>(
           reinterpret_cast<const std::byte*>(snapshot.data()),
           snapshot.size()));
-  co_return addr.status();
+  KVCSD_CO_RETURN_IF_ERROR(addr.status());
+  current_meta_zone_ = target;
+  reset_before_append_ = false;
+  ++persist_seq_;
+  if (faults != nullptr && faults->Hit("meta.after_append")) {
+    // Crash before the commit barrier: the torn-tail hook may truncate
+    // this snapshot, so recovery falls back to the previous intact one.
+    // The operation was never acknowledged, so either outcome is legal.
+    co_return Status::IoError("simulated power loss (metadata append)");
+  }
+  // The snapshot is now the durability commit point for everything it
+  // references; fence it against torn-tail truncation before callers
+  // acknowledge anything to the host.
+  ssd_->CommitTail();
+  co_return Status::Ok();
 }
 
-sim::Task<Result<std::uint64_t>> KeyspaceManager::Recover() {
-  const std::uint64_t written = ssd_->write_pointer(metadata_zone_);
-  if (written == 0) co_return std::uint64_t{0};
+sim::Task<Status> KeyspaceManager::ScanZone(std::uint32_t zone, bool* found,
+                                            std::uint64_t* best_seq,
+                                            std::string* best_body,
+                                            std::uint32_t* best_zone) {
+  const std::uint64_t written = ssd_->write_pointer(zone);
+  if (written == 0) co_return Status::Ok();
 
   std::string log(written, '\0');
   KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Read(
-      static_cast<std::uint64_t>(metadata_zone_) * ssd_->zone_size(),
+      static_cast<std::uint64_t>(zone) * ssd_->zone_size(),
       std::span<std::byte>(reinterpret_cast<std::byte*>(log.data()),
                            log.size())));
 
-  // Walk the snapshot log; remember the last intact snapshot body.
-  std::string latest;
+  // Walk the snapshot log; remember the zone's last intact snapshot. A
+  // torn or corrupt record ends the walk — everything before it is intact.
   Slice in(log);
   while (!in.empty()) {
     std::uint32_t magic = 0, masked_crc = 0;
@@ -227,10 +284,43 @@ sim::Task<Result<std::uint64_t>> KeyspaceManager::Recover() {
         crc32c::Value(body.data(), body.size())) {
       break;
     }
-    latest = body.ToString();
+    Slice probe = body;
+    std::uint64_t seq = 0;
+    if (!GetVarint64(&probe, &seq)) continue;
+    if (!*found || seq > *best_seq) {
+      *found = true;
+      *best_seq = seq;
+      *best_body = body.ToString();
+      *best_zone = zone;
+    }
   }
-  if (latest.empty()) co_return std::uint64_t{0};
-  KVCSD_CO_RETURN_IF_ERROR(DeserializeTable(latest));
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::uint64_t>> KeyspaceManager::Recover() {
+  bool found = false;
+  std::uint64_t best_seq = 0;
+  std::string best_body;
+  std::uint32_t best_zone = meta_zone_a_;
+  KVCSD_CO_RETURN_IF_ERROR(co_await ScanZone(meta_zone_a_, &found, &best_seq,
+                                             &best_body, &best_zone));
+  KVCSD_CO_RETURN_IF_ERROR(co_await ScanZone(meta_zone_b_, &found, &best_seq,
+                                             &best_body, &best_zone));
+  if (!found) {
+    persist_seq_ = 0;
+    current_meta_zone_ = meta_zone_a_;
+    reset_before_append_ = false;
+    co_return std::uint64_t{0};
+  }
+  std::uint64_t seq = 0;
+  KVCSD_CO_RETURN_IF_ERROR(DeserializeTable(best_body, &seq));
+  persist_seq_ = best_seq;
+  // Future snapshots go to the OTHER zone, reset first: the best zone may
+  // end in a torn snapshot, and appending after garbage would hide every
+  // later record from the next recovery's scan.
+  current_meta_zone_ =
+      best_zone == meta_zone_a_ ? meta_zone_b_ : meta_zone_a_;
+  reset_before_append_ = true;
   co_return static_cast<std::uint64_t>(by_id_.size());
 }
 

@@ -1,11 +1,16 @@
 // Keyspace table: name -> Keyspace, persisted to the reserved metadata
-// zone of the ZNS SSD (paper §IV: "an in-memory keyspace table backed by a
+// zones of the ZNS SSD (paper §IV: "an in-memory keyspace table backed by a
 // metadata zone in the underlying ZNS SSD for data persistence").
 //
 // Persistence model: every mutation appends a full serialized snapshot of
-// the table to the metadata zone; when the zone fills, it is reset and the
-// newest snapshot is rewritten (log-structured metadata over one zone).
-// Recovery loads the last intact snapshot.
+// the table (and, when wired to a ZoneManager, the zone-cluster allocation
+// table) to the current metadata zone. Snapshots carry a monotonic
+// sequence number. When the current zone fills, persistence ping-pongs to
+// the other metadata zone: the sibling is reset and the newest snapshot is
+// rewritten there. Because the switch never resets the zone holding the
+// latest intact snapshot, a power cut inside the Reset-then-Append window
+// cannot lose the table — recovery scans both zones and loads the intact
+// snapshot with the highest sequence number.
 #pragma once
 
 #include <cstdint>
@@ -22,8 +27,16 @@ namespace kvcsd::device {
 
 class KeyspaceManager {
  public:
-  KeyspaceManager(storage::ZnsSsd* ssd, std::uint32_t metadata_zone = 0)
-      : ssd_(ssd), metadata_zone_(metadata_zone) {}
+  // `zones` may be null (table-only persistence, used by unit tests); when
+  // set, the zone-cluster allocation table is persisted and recovered
+  // alongside the keyspace table so cluster ids in snapshots stay
+  // meaningful across a restart.
+  explicit KeyspaceManager(storage::ZnsSsd* ssd,
+                           ZoneManager* zones = nullptr,
+                           std::uint32_t metadata_zone_a = 0,
+                           std::uint32_t metadata_zone_b = 1)
+      : ssd_(ssd), zones_(zones), meta_zone_a_(metadata_zone_a),
+        meta_zone_b_(metadata_zone_b), current_meta_zone_(metadata_zone_a) {}
 
   Result<Keyspace*> Create(const std::string& name);
   Result<Keyspace*> Find(const std::string& name);
@@ -36,21 +49,38 @@ class KeyspaceManager {
     return by_id_;
   }
 
-  // Appends a table snapshot to the metadata zone (resetting it first if
-  // the snapshot no longer fits).
+  // Appends a table snapshot to the current metadata zone, ping-ponging to
+  // the sibling zone when it no longer fits.
   sim::Task<Status> Persist();
 
-  // Rebuilds the table from the newest intact snapshot. Returns the number
-  // of keyspaces recovered. NOTE: zone-cluster maps are restored as ids;
-  // the caller re-wires them against the ZoneManager.
+  // Rebuilds the table from the newest intact snapshot across both
+  // metadata zones. Returns the number of keyspaces recovered.
   sim::Task<Result<std::uint64_t>> Recover();
 
+  // Sequence number of the last persisted/recovered snapshot.
+  std::uint64_t persist_seq() const { return persist_seq_; }
+  std::uint32_t current_meta_zone() const { return current_meta_zone_; }
+
  private:
-  std::string SerializeTable() const;
-  Status DeserializeTable(const std::string& raw);
+  std::string SerializeTable(std::uint64_t seq) const;
+  Status DeserializeTable(const std::string& raw, std::uint64_t* seq);
+  // Scans one metadata zone's snapshot log; keeps (seq, body) of its last
+  // intact snapshot if newer than *best_seq.
+  sim::Task<Status> ScanZone(std::uint32_t zone, bool* found,
+                             std::uint64_t* best_seq, std::string* best_body,
+                             std::uint32_t* best_zone);
 
   storage::ZnsSsd* ssd_;
-  std::uint32_t metadata_zone_;
+  ZoneManager* zones_;
+  std::uint32_t meta_zone_a_;
+  std::uint32_t meta_zone_b_;
+  std::uint32_t current_meta_zone_;
+  // Set by Recover(): the current zone must be reset before the next
+  // append. Recovery redirects persistence to the sibling of the zone the
+  // best snapshot came from — that zone may end in a torn snapshot, and a
+  // record appended after garbage would be invisible to the next scan.
+  bool reset_before_append_ = false;
+  std::uint64_t persist_seq_ = 0;
   std::map<std::uint64_t, std::unique_ptr<Keyspace>> by_id_;
   std::map<std::string, std::uint64_t> by_name_;
   std::uint64_t next_id_ = 1;

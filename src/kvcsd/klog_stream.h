@@ -1,0 +1,105 @@
+// Streaming reader for one KLOG zone, shared by the compactor's run
+// generation and crash recovery's log replay.
+//
+// The zone's written extent is fetched in bounded chunks (so the device
+// never holds more than a chunk plus a partial-frame carry in DRAM) and
+// parsed as a sequence of KLOG frames (wire.h): each flush batch is one
+// framed record. A frame split across a chunk boundary is carried over
+// and completed by the next read. The final frame of the extent may be
+// torn by a power cut; it is detectably incomplete (the frame CRC lives
+// in the header), never parses as data, and the stream silently drops it
+// — acknowledged Syncs always sit behind completed frames, so a torn
+// tail only ever holds unacknowledged writes. A complete frame whose CRC
+// mismatches, or a malformed entry inside a verified frame, is genuine
+// corruption and fails the stream.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kvcsd/device.h"
+#include "kvcsd/wire.h"
+#include "sim/task.h"
+#include "storage/zns.h"
+
+namespace kvcsd::device {
+
+class KlogZoneStream {
+ public:
+  KlogZoneStream(storage::ZnsSsd* ssd, std::uint32_t zone,
+                 std::uint64_t chunk_bytes, std::uint64_t* bytes_read)
+      : ssd_(ssd),
+        chunk_bytes_(std::max<std::uint64_t>(chunk_bytes, 512)),
+        base_(static_cast<std::uint64_t>(zone) * ssd->zone_size()),
+        extent_(ssd->write_pointer(zone)),
+        bytes_read_(bytes_read),
+        finished_(extent_ == 0) {}
+
+  // Appends the next chunk's worth of entries to *out. Returns false once
+  // the zone is exhausted (nothing appended).
+  sim::Task<Result<bool>> NextBatch(std::vector<KlogEntry>* out) {
+    if (finished_) co_return false;
+    if (offset_ < extent_) {
+      const std::uint64_t len = std::min(chunk_bytes_, extent_ - offset_);
+      const std::size_t old_size = carry_.size();
+      carry_.resize(old_size + len);
+      KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Read(
+          base_ + offset_,
+          std::span<std::byte>(
+              reinterpret_cast<std::byte*>(carry_.data()) + old_size, len)));
+      offset_ += len;
+      if (bytes_read_ != nullptr) *bytes_read_ += len;
+    }
+    Slice in(carry_);
+    for (;;) {
+      Slice payload;
+      const wire::KlogFrameResult r = wire::ParseKlogFrame(&in, &payload);
+      if (r == wire::KlogFrameResult::kFrame) {
+        while (!payload.empty()) {
+          wire::ParsedKlogEntry entry;
+          if (!wire::ParseKlogEntry(&payload, &entry)) {
+            co_return Status::Corruption(
+                "bad KLOG entry inside verified frame");
+          }
+          out->push_back(
+              KlogEntry{entry.key.ToString(), entry.vaddr, entry.vlen});
+        }
+        continue;
+      }
+      if (r == wire::KlogFrameResult::kNeedMore) {
+        if (offset_ >= extent_ && !in.empty()) {
+          // End of extent mid-frame: the torn tail of the last in-flight
+          // append. Drop it; nothing acknowledged can live here.
+          torn_bytes_ += in.size();
+          in = Slice();
+        }
+        break;
+      }
+      co_return Status::Corruption(r == wire::KlogFrameResult::kBadMagic
+                                       ? "bad KLOG frame magic"
+                                       : "KLOG frame CRC mismatch");
+    }
+    std::string tail(in.data(), in.size());
+    carry_ = std::move(tail);
+    if (offset_ >= extent_ && carry_.empty()) finished_ = true;
+    co_return true;
+  }
+
+  // Bytes discarded as a torn final frame (0 on a clean log).
+  std::uint64_t torn_bytes() const { return torn_bytes_; }
+
+ private:
+  storage::ZnsSsd* ssd_;
+  std::uint64_t chunk_bytes_;
+  std::uint64_t base_;
+  std::uint64_t extent_;
+  std::uint64_t* bytes_read_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t torn_bytes_ = 0;
+  bool finished_;
+  std::string carry_;  // unparsed tail of the previous chunk
+};
+
+}  // namespace kvcsd::device

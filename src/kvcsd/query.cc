@@ -114,8 +114,11 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
 
   auto block = co_await ReadIndexBlock(ks->pidx_sketch[pos]);
   if (!block.ok()) co_return block.status();
-  const std::uint16_t count = DecodeFixed16(block->data());
-  Slice in(block->data() + 2, block->size() - 2);
+  std::uint16_t count = 0;
+  Slice in;
+  if (!wire::OpenIndexBlock(*block, &count, &in)) {
+    co_return Status::Corruption("undersized PIDX block");
+  }
   for (std::uint16_t i = 0; i < count; ++i) {
     wire::PidxEntry entry;
     if (!wire::ParsePidxEntry(&in, &entry)) {
@@ -149,8 +152,11 @@ sim::Task<Status> Device::QueryPrimaryRange(
     if (ks->pidx_sketch[pos].pivot > hi) break;
     auto block = co_await ReadIndexBlock(ks->pidx_sketch[pos]);
     if (!block.ok()) co_return block.status();
-    const std::uint16_t count = DecodeFixed16(block->data());
-    Slice in(block->data() + 2, block->size() - 2);
+    std::uint16_t count = 0;
+    Slice in;
+    if (!wire::OpenIndexBlock(*block, &count, &in)) {
+      co_return Status::Corruption("undersized PIDX block");
+    }
     bool past_hi = false;
     for (std::uint16_t i = 0; i < count; ++i) {
       wire::PidxEntry entry;
@@ -205,8 +211,11 @@ sim::Task<Status> Device::QuerySecondaryRange(
     if (sidx.sketch[pos].pivot > hi) break;
     auto block = co_await ReadIndexBlock(sidx.sketch[pos]);
     if (!block.ok()) co_return block.status();
-    const std::uint16_t count = DecodeFixed16(block->data());
-    Slice in(block->data() + 2, block->size() - 2);
+    std::uint16_t count = 0;
+    Slice in;
+    if (!wire::OpenIndexBlock(*block, &count, &in)) {
+      co_return Status::Corruption("undersized SIDX block");
+    }
     bool past_hi = false;
     for (std::uint16_t i = 0; i < count; ++i) {
       wire::SidxEntry entry;

@@ -1,0 +1,186 @@
+// Crash-consistent recovery (DESIGN.md §8).
+//
+// The recovery contract rests on one ordering rule the runtime obeys
+// everywhere: metadata persists BEFORE the clusters it stops referencing
+// are released. The persisted snapshot is therefore always a superset of
+// the live allocation — a crash can leak clusters and zones (allocated
+// after the snapshot, or released-but-still-referenced by a stale
+// snapshot), never dangle them. Recovery's job is purely subtractive:
+//
+//   1. Load the newest intact metadata snapshot (keyspace table + the
+//      zone-cluster allocation table) from the ping-pong metadata zones.
+//   2. Roll keyspaces caught COMPACTING back to WRITABLE/EMPTY. Their
+//      logs are intact (compaction never touches them before its commit
+//      point); any outputs the snapshot happens to reference are orphans.
+//   3. Release clusters no keyspace references (uncommitted compaction
+//      outputs, TEMP runs, logs of half-dropped keyspaces).
+//   4. Reset written zones no cluster owns (allocations newer than the
+//      snapshot whose cluster ids died with DRAM).
+//   5. Replay the KLOG chains of WRITABLE keyspaces to rebuild num_kvs /
+//      min_key / max_key, truncating the torn tail a power cut may have
+//      left mid-zone so future appends never follow garbage.
+//   6. Persist the recovered state, giving the next crash a clean base.
+#include <set>
+
+#include "kvcsd/device.h"
+#include "kvcsd/klog_stream.h"
+
+namespace kvcsd::device {
+
+namespace {
+
+// Drops the last `torn` bytes of a zone's extent by rewriting the
+// surviving prefix: read it back, reset, re-append. A torn KLOG tail must
+// not stay on flash — the zone keeps taking appends while its keyspace is
+// WRITABLE, and framed records appended after garbage would be
+// unreachable to every later sequential parse.
+sim::Task<Status> TruncateZoneTail(storage::ZnsSsd* ssd, std::uint32_t zone,
+                                   std::uint64_t torn) {
+  const std::uint64_t keep = ssd->write_pointer(zone) - torn;
+  std::string survivor(keep, '\0');
+  if (keep > 0) {
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd->Read(
+        static_cast<std::uint64_t>(zone) * ssd->zone_size(),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(survivor.data()),
+                             survivor.size())));
+  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await ssd->Reset(zone));
+  if (keep > 0) {
+    auto addr = co_await ssd->Append(
+        zone, std::span<const std::byte>(
+                  reinterpret_cast<const std::byte*>(survivor.data()),
+                  survivor.size()));
+    KVCSD_CO_RETURN_IF_ERROR(addr.status());
+  }
+  co_return Status::Ok();
+}
+
+void AppendAll(std::vector<ClusterId>* out,
+               const std::vector<ClusterId>& ids) {
+  out->insert(out->end(), ids.begin(), ids.end());
+}
+
+}  // namespace
+
+sim::Task<Status> Device::Recover() {
+  auto recovered = co_await keyspace_manager_.Recover();
+  KVCSD_CO_RETURN_IF_ERROR(recovered.status());
+
+  // Step 2: COMPACTING at snapshot time means the compaction never
+  // committed — its outputs (if the snapshot saw any) are orphans, its
+  // input logs are whole. Volatile runtime state (pins, deferred drops)
+  // died with DRAM.
+  std::vector<ClusterId> doomed;
+  for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
+    Keyspace* ks = ks_ptr.get();
+    ks->pending_delete = false;
+    ks->inflight = 0;
+    if (ks->state != KeyspaceState::kCompacting) continue;
+    AppendAll(&doomed, ks->pidx_clusters);
+    AppendAll(&doomed, ks->sorted_value_clusters);
+    for (const auto& [name, sidx] : ks->secondary_indexes) {
+      AppendAll(&doomed, sidx.sidx_clusters);
+    }
+    ks->pidx_clusters.clear();
+    ks->sorted_value_clusters.clear();
+    ks->pidx_sketch.clear();
+    ks->secondary_indexes.clear();
+    ks->state = ks->klog_clusters.empty() ? KeyspaceState::kEmpty
+                                          : KeyspaceState::kWritable;
+  }
+
+  // Step 3: reclaim clusters referenced by no keyspace.
+  std::set<ClusterId> referenced;
+  for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
+    const Keyspace* ks = ks_ptr.get();
+    referenced.insert(ks->klog_clusters.begin(), ks->klog_clusters.end());
+    referenced.insert(ks->vlog_clusters.begin(), ks->vlog_clusters.end());
+    referenced.insert(ks->pidx_clusters.begin(), ks->pidx_clusters.end());
+    referenced.insert(ks->sorted_value_clusters.begin(),
+                      ks->sorted_value_clusters.end());
+    for (const auto& [name, sidx] : ks->secondary_indexes) {
+      referenced.insert(sidx.sidx_clusters.begin(),
+                        sidx.sidx_clusters.end());
+    }
+  }
+  for (const auto& [cluster, type] : zone_manager_.LiveClusters()) {
+    if (!referenced.contains(cluster)) doomed.push_back(cluster);
+  }
+  co_await ReleaseClustersBestEffort(std::move(doomed));
+
+  // Step 4: reset written zones no surviving cluster owns — data from
+  // clusters allocated after the snapshot was taken.
+  std::vector<bool> owned(ssd_.num_zones(), false);
+  for (const auto& [cluster, type] : zone_manager_.LiveClusters()) {
+    for (std::uint32_t zone : zone_manager_.cluster_zones(cluster)) {
+      owned[zone] = true;
+    }
+  }
+  for (std::uint32_t zone = config_.zones.reserved_zones;
+       zone < ssd_.num_zones(); ++zone) {
+    if (owned[zone]) continue;
+    if (ssd_.write_pointer(zone) == 0 &&
+        ssd_.zone_state(zone) == storage::ZoneState::kEmpty) {
+      continue;
+    }
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Reset(zone));
+  }
+
+  // Step 5: rebuild the write-path counters from the logs themselves.
+  for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
+    Keyspace* ks = ks_ptr.get();
+    if (ks->state == KeyspaceState::kWritable) {
+      KVCSD_CO_RETURN_IF_ERROR(co_await ReplayKlogChains(ks));
+    } else if (ks->state == KeyspaceState::kEmpty) {
+      ks->num_kvs = 0;
+      ks->min_key.clear();
+      ks->max_key.clear();
+      ks->klog_bytes = 0;
+      ks->vlog_bytes = 0;
+    }
+  }
+
+  // Step 6: make the cleaned-up state durable (this also redirects the
+  // snapshot log away from any torn metadata tail — see
+  // KeyspaceManager::Recover).
+  co_return co_await keyspace_manager_.Persist();
+}
+
+sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
+  ks->num_kvs = 0;
+  ks->min_key.clear();
+  ks->max_key.clear();
+  std::vector<KlogEntry> parsed;
+  for (ClusterId cluster : ks->klog_clusters) {
+    for (std::uint32_t zone : zone_manager_.cluster_zones(cluster)) {
+      KlogZoneStream stream(&ssd_, zone, config_.output_batch_bytes,
+                            nullptr);
+      for (;;) {
+        parsed.clear();
+        auto more = co_await stream.NextBatch(&parsed);
+        if (!more.ok()) co_return more.status();
+        if (!*more) break;
+        for (const KlogEntry& e : parsed) {
+          if (ks->num_kvs == 0 || e.key < ks->min_key) ks->min_key = e.key;
+          if (ks->num_kvs == 0 || e.key > ks->max_key) ks->max_key = e.key;
+          ++ks->num_kvs;
+        }
+      }
+      if (stream.torn_bytes() > 0) {
+        KVCSD_CO_RETURN_IF_ERROR(
+            co_await TruncateZoneTail(&ssd_, zone, stream.torn_bytes()));
+      }
+    }
+  }
+  ks->klog_bytes = 0;
+  for (ClusterId cluster : ks->klog_clusters) {
+    ks->klog_bytes += zone_manager_.ClusterBytes(cluster);
+  }
+  ks->vlog_bytes = 0;
+  for (ClusterId cluster : ks->vlog_clusters) {
+    ks->vlog_bytes += zone_manager_.ClusterBytes(cluster);
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace kvcsd::device

@@ -2,6 +2,8 @@
 // the query engine.
 //
 //   KLOG entry   := varint32 klen | key | fixed64 vaddr | varint32 vlen
+//   KLOG frame   := fixed32 magic | fixed32 masked_crc | varint32 len |
+//                   len bytes of KLOG entries (one frame per flush batch)
 //   PIDX block   := fixed16 count | count * (varint32 klen | key |
 //                   fixed64 vaddr | varint32 vlen) | zero pad to 4 KB
 //   SIDX block   := fixed16 count | count * (varint32 sklen | skey_enc |
@@ -10,12 +12,19 @@
 //
 // skey_enc is the order-preserving encoding of the typed secondary key
 // (common/keys.h), so memcmp order == numeric order.
+//
+// KLOG frames exist for crash consistency: the CRC lives in the frame
+// HEADER, so a power cut mid-append always yields an incomplete payload
+// (a torn tail recovery silently drops), never a frame that parses but
+// carries garbage. A complete frame whose CRC mismatches is genuine
+// corruption.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 #include "common/slice.h"
 
 namespace kvcsd::device::wire {
@@ -40,6 +49,55 @@ inline bool ParseKlogEntry(Slice* in, ParsedKlogEntry* out) {
   out->key = Slice(in->data(), klen);
   in->remove_prefix(klen);
   return GetFixed64(in, &out->vaddr) && GetVarint32(in, &out->vlen);
+}
+
+// --- KLOG frames ---
+
+constexpr std::uint32_t kKlogFrameMagic = 0x4b4c4f47;  // "KLOG"
+
+// Wraps one flush batch of KLOG entries in a framed record.
+inline void AppendKlogFrame(std::string* out, const Slice& payload) {
+  PutFixed32(out, kKlogFrameMagic);
+  PutFixed32(out,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
+  PutVarint32(out, static_cast<std::uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+enum class KlogFrameResult : std::uint8_t {
+  kFrame = 0,   // *payload holds one complete, CRC-verified frame
+  kNeedMore,    // input ends mid-frame (torn tail or short read)
+  kBadMagic,    // not a frame boundary — corruption
+  kBadCrc,      // complete frame, payload does not match its CRC
+};
+
+// Consumes one frame from *in. On kFrame the frame is consumed and
+// *payload aliases *in's buffer; on kNeedMore nothing is consumed (the
+// caller fetches more bytes or treats the remainder as a torn tail); on
+// kBadMagic/kBadCrc nothing is consumed.
+inline KlogFrameResult ParseKlogFrame(Slice* in, Slice* payload) {
+  if (in->size() < 8) return KlogFrameResult::kNeedMore;
+  Slice probe = *in;
+  std::uint32_t magic = 0, masked_crc = 0, len = 0;
+  GetFixed32(&probe, &magic);
+  if (magic != kKlogFrameMagic) return KlogFrameResult::kBadMagic;
+  GetFixed32(&probe, &masked_crc);
+  if (!GetVarint32(&probe, &len)) {
+    // A varint32 needs at most 5 bytes; fewer available means the header
+    // itself is torn, more means it is garbage.
+    return probe.size() < 5 ? KlogFrameResult::kNeedMore
+                            : KlogFrameResult::kBadMagic;
+  }
+  if (probe.size() < len) return KlogFrameResult::kNeedMore;
+  Slice body(probe.data(), len);
+  if (crc32c::Unmask(masked_crc) !=
+      crc32c::Value(body.data(), body.size())) {
+    return KlogFrameResult::kBadCrc;
+  }
+  *payload = body;
+  in->remove_prefix(static_cast<std::size_t>(probe.data() - in->data()) +
+                    len);
+  return KlogFrameResult::kFrame;
 }
 
 // --- PIDX ---
@@ -113,6 +171,18 @@ inline bool ParseSidxEntry(Slice* in, SidxEntry* out) {
 inline void BeginIndexBlock(std::string* block) {
   block->clear();
   PutFixed16(block, 0);  // patched by FinishIndexBlock
+}
+
+// Validates the block header before any entry is decoded: readers must
+// not trust a fetched block's bytes (injected errors and crashes can hand
+// them garbage). Returns false when the block is too small to hold its
+// own header; *entries then must not be read.
+inline bool OpenIndexBlock(const std::string& block, std::uint16_t* count,
+                           Slice* entries) {
+  if (block.size() < 2) return false;
+  *count = DecodeFixed16(block.data());
+  *entries = Slice(block.data() + 2, block.size() - 2);
+  return true;
 }
 
 inline void FinishIndexBlock(std::string* block, std::uint16_t count,

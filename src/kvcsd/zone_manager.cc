@@ -1,6 +1,9 @@
 #include "kvcsd/zone_manager.h"
 
 #include <algorithm>
+#include <string>
+
+#include "common/coding.h"
 
 namespace kvcsd::device {
 
@@ -17,7 +20,10 @@ ZoneManager::ZoneManager(storage::ZnsSsd* ssd, ZoneManagerConfig config,
 
 Result<ClusterId> ZoneManager::AllocateCluster(ZoneType type) {
   if (free_zones_.size() < config_.zones_per_cluster) {
-    return Status::OutOfSpace("zone pool exhausted");
+    return Status::OutOfSpace(
+        "zone pool exhausted (free=" + std::to_string(free_zones_.size()) +
+        ", cluster needs " + std::to_string(config_.zones_per_cluster) +
+        ", live clusters=" + std::to_string(clusters_.size()) + ")");
   }
   Cluster cluster;
   cluster.type = type;
@@ -87,6 +93,72 @@ std::uint64_t ZoneManager::ClusterBytes(ClusterId id) const {
     total += ssd_->write_pointer(zone);
   }
   return total;
+}
+
+void ZoneManager::SerializeTo(std::string* out) const {
+  PutVarint64(out, next_cluster_id_);
+  PutVarint64(out, clusters_.size());
+  for (const auto& [id, cluster] : clusters_) {
+    PutVarint64(out, id);
+    out->push_back(static_cast<char>(cluster.type));
+    PutVarint32(out, cluster.next_zone);
+    PutVarint32(out, static_cast<std::uint32_t>(cluster.zones.size()));
+    for (std::uint32_t zone : cluster.zones) PutVarint32(out, zone);
+  }
+}
+
+Status ZoneManager::RestoreFrom(Slice* in) {
+  std::uint64_t next_id = 0;
+  std::uint64_t count = 0;
+  if (!GetVarint64(in, &next_id) || !GetVarint64(in, &count)) {
+    return Status::Corruption("zone-manager table header");
+  }
+  std::map<ClusterId, Cluster> clusters;
+  std::vector<bool> owned(ssd_->num_zones(), false);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    std::uint32_t next_zone = 0;
+    std::uint32_t num_zones = 0;
+    if (!GetVarint64(in, &id) || in->empty()) {
+      return Status::Corruption("zone-manager cluster record");
+    }
+    const auto type = static_cast<ZoneType>((*in)[0]);
+    in->remove_prefix(1);
+    if (type > ZoneType::kTemp) {
+      return Status::Corruption("zone-manager cluster type");
+    }
+    if (!GetVarint32(in, &next_zone) || !GetVarint32(in, &num_zones)) {
+      return Status::Corruption("zone-manager cluster record");
+    }
+    Cluster cluster;
+    cluster.type = type;
+    cluster.zones.reserve(num_zones);
+    for (std::uint32_t z = 0; z < num_zones; ++z) {
+      std::uint32_t zone = 0;
+      if (!GetVarint32(in, &zone)) {
+        return Status::Corruption("zone-manager cluster zones");
+      }
+      if (zone >= ssd_->num_zones() || zone < config_.reserved_zones ||
+          owned[zone]) {
+        return Status::Corruption("zone-manager zone id");
+      }
+      owned[zone] = true;
+      cluster.zones.push_back(zone);
+    }
+    if (num_zones == 0 || next_zone >= num_zones || id >= next_id) {
+      return Status::Corruption("zone-manager cluster shape");
+    }
+    cluster.next_zone = next_zone;
+    clusters.emplace(id, std::move(cluster));
+  }
+
+  clusters_ = std::move(clusters);
+  next_cluster_id_ = next_id == 0 ? 1 : next_id;
+  free_zones_.clear();
+  for (std::uint32_t z = ssd_->num_zones(); z-- > config_.reserved_zones;) {
+    if (!owned[z]) free_zones_.push_back(z);
+  }
+  return Status::Ok();
 }
 
 }  // namespace kvcsd::device

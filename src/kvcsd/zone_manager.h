@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
+#include "common/slice.h"
 #include "common/status.h"
 #include "sim/task.h"
 #include "storage/zns.h"
@@ -34,7 +36,10 @@ using ClusterId = std::uint64_t;
 
 struct ZoneManagerConfig {
   std::uint32_t zones_per_cluster = 4;
-  std::uint32_t reserved_zones = 1;  // zone 0 holds keyspace metadata
+  // Zones 0 and 1 hold the ping-pong keyspace-metadata snapshots (the
+  // table alternates between them so a crash between Reset and the
+  // rewrite can never lose both copies).
+  std::uint32_t reserved_zones = 2;
 };
 
 class ZoneManager {
@@ -75,6 +80,13 @@ class ZoneManager {
 
   // Total payload bytes a cluster currently stores.
   std::uint64_t ClusterBytes(ClusterId id) const;
+
+  // Serializes the allocation table (cluster ids, types, zones, rotation
+  // cursors) for the metadata snapshot, and restores it on recovery. The
+  // free pool is rebuilt from scratch: every non-reserved zone not owned
+  // by a cluster, LIFO highest-first like the constructor.
+  void SerializeTo(std::string* out) const;
+  Status RestoreFrom(Slice* in);
 
  private:
   struct Cluster {

@@ -1,13 +1,23 @@
 #include "storage/zns.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+
+#include "sim/fault.h"
 
 namespace kvcsd::storage {
 
 ZnsSsd::ZnsSsd(sim::Simulation* sim, const ZnsConfig& config)
     : sim_(sim), config_(config), nand_(sim, config.nand, "zns"),
-      zones_(config.num_zones) {}
+      zones_(config.num_zones) {
+  if (config_.faults != nullptr) {
+    // Power cut tears the in-flight append; the hook list is cleared by
+    // the injector after a crash, so this fires at most once per arming.
+    config_.faults->AddCrashHook(
+        [this] { TearLastAppend(config_.faults->torn_tail_keep()); });
+  }
+}
 
 Status ZnsSsd::CheckZoneId(std::uint32_t zone) const {
   if (zone >= config_.num_zones) {
@@ -20,6 +30,12 @@ Status ZnsSsd::CheckZoneId(std::uint32_t zone) const {
 sim::Task<Result<std::uint64_t>> ZnsSsd::Append(
     std::uint32_t zone, std::span<const std::byte> data) {
   if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
+  if (config_.faults != nullptr) {
+    if (Status s = config_.faults->OnIo(sim::FaultOp::kAppend, zone);
+        !s.ok()) {
+      co_return s;
+    }
+  }
   Zone& z = zones_[zone];
   if (z.state == ZoneState::kFull) {
     co_return Status::FailedPrecondition("append to full zone");
@@ -39,6 +55,13 @@ sim::Task<Result<std::uint64_t>> ZnsSsd::Append(
                                                  : ZoneState::kOpen;
   bytes_written_ += data.size();
 
+  // Record before awaiting the program latency: a crash during the NAND
+  // program is exactly the window where this append ends up torn.
+  has_last_append_ = true;
+  last_append_zone_ = zone;
+  last_append_end_ = z.write_pointer;
+  last_append_len_ = data.size();
+
   co_await nand_.Program(ChannelOf(zone), data.size());
   co_return addr;
 }
@@ -47,6 +70,11 @@ sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out) {
   const std::uint32_t zone =
       static_cast<std::uint32_t>(addr / config_.zone_size);
   if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
+  if (config_.faults != nullptr) {
+    if (Status s = config_.faults->OnIo(sim::FaultOp::kRead, zone); !s.ok()) {
+      co_return s;
+    }
+  }
   const Zone& z = zones_[zone];
   const std::uint64_t offset = addr % config_.zone_size;
   if (offset + out.size() > z.write_pointer) {
@@ -61,6 +89,12 @@ sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out) {
 
 sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone) {
   if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
+  if (config_.faults != nullptr) {
+    if (Status s = config_.faults->OnIo(sim::FaultOp::kReset, zone);
+        !s.ok()) {
+      co_return s;
+    }
+  }
   Zone& z = zones_[zone];
   const bool had_data = z.write_pointer > 0;
   z.state = ZoneState::kEmpty;
@@ -68,6 +102,9 @@ sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone) {
   z.data.clear();
   z.data.shrink_to_fit();
   ++resets_;
+  if (has_last_append_ && last_append_zone_ == zone) {
+    has_last_append_ = false;  // the torn-tail candidate is gone
+  }
   if (had_data) {
     // NAND erase-blocks must be erased before reuse; resetting a
     // never-written zone only rewinds the write pointer.
@@ -84,6 +121,34 @@ Status ZnsSsd::Finish(std::uint32_t zone) {
   }
   z.state = ZoneState::kFull;
   return Status::Ok();
+}
+
+void ZnsSsd::TearLastAppend(double keep_fraction) {
+  if (keep_fraction < 0.0 || !has_last_append_) return;
+  Zone& z = zones_[last_append_zone_];
+  // Only the tail of the zone can be torn; a later append to the same zone
+  // means this one already completed its program.
+  if (z.write_pointer != last_append_end_) return;
+  std::uint64_t keep = static_cast<std::uint64_t>(
+      static_cast<double>(last_append_len_) * std::clamp(keep_fraction, 0.0,
+                                                         1.0));
+  if (keep_fraction < 1.0 && keep >= last_append_len_) {
+    keep = last_append_len_ - 1;
+  }
+  const std::uint64_t drop = last_append_len_ - keep;
+  if (drop == 0) return;
+  z.write_pointer -= drop;
+  z.data.resize(z.data.size() - drop);
+  if (z.state == ZoneState::kFull && z.write_pointer < config_.zone_size) {
+    z.state = z.write_pointer == 0 ? ZoneState::kEmpty : ZoneState::kOpen;
+  } else if (z.write_pointer == 0) {
+    z.state = ZoneState::kEmpty;
+  }
+  has_last_append_ = false;
+}
+
+void ZnsSsd::CloneStateFrom(const ZnsSsd& other) {
+  zones_ = other.zones_;
 }
 
 ZoneState ZnsSsd::zone_state(std::uint32_t zone) const {

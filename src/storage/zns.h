@@ -8,6 +8,13 @@
 // zone-cluster striping meaningful. Zone payloads are REAL bytes: reads
 // return exactly what was appended, so all index/compaction code above this
 // layer is functionally testable.
+//
+// An optional sim::FaultInjector gates every Append/Read/Reset (injected
+// media errors, power-off) and models the torn tail: on a crash the last
+// in-flight append is truncated, leaving a partial record for recovery to
+// tolerate. After a crash the byte state survives in this object;
+// CloneStateFrom() lets a freshly constructed device take it over, which
+// is how Device::Restart() simulates power-cycling the hardware.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,10 @@
 #include "common/units.h"
 #include "sim/task.h"
 #include "storage/nand.h"
+
+namespace kvcsd::sim {
+class FaultInjector;
+}  // namespace kvcsd::sim
 
 namespace kvcsd::storage {
 
@@ -31,6 +42,9 @@ struct ZnsConfig {
   NandConfig nand;
   std::uint64_t zone_size = MiB(64);
   std::uint32_t num_zones = 1024;
+  // Optional fault injector consulted on every I/O; not owned, must
+  // outlive the ZnsSsd. nullptr = no fault injection.
+  sim::FaultInjector* faults = nullptr;
 };
 
 class ZnsSsd {
@@ -54,6 +68,26 @@ class ZnsSsd {
   // Transitions an open zone to Full (no more appends until reset).
   Status Finish(std::uint32_t zone);
 
+  // Truncates the most recent append (if its bytes are still the tail of
+  // their zone) to keep only `keep_fraction` of it — at least one byte is
+  // dropped for fractions < 1. Models the partially-programmed flash page
+  // a power cut leaves behind. No NAND latency: this is not an operation
+  // the device performs, it is what the medium looks like afterwards.
+  void TearLastAppend(double keep_fraction);
+
+  // Durability barrier: declares the most recent append settled, so a
+  // later power cut can no longer tear it. The device calls this at every
+  // durability commit point (metadata snapshot persisted) BEFORE
+  // acknowledging — the power-fail-protected flush a real drive performs.
+  // Without the barrier, a crash early in a later operation could tear
+  // bytes the host was already told are durable.
+  void CommitTail() { has_last_append_ = false; }
+
+  // Adopts the zone byte state (states, write pointers, payloads) of
+  // another ZnsSsd with an identical geometry. Used by Device::Restart()
+  // to hand the surviving medium to a freshly constructed device.
+  void CloneStateFrom(const ZnsSsd& other);
+
   ZoneState zone_state(std::uint32_t zone) const;
   std::uint64_t write_pointer(std::uint32_t zone) const;
   std::uint32_t ChannelOf(std::uint32_t zone) const {
@@ -64,6 +98,7 @@ class ZnsSsd {
   std::uint32_t num_zones() const { return config_.num_zones; }
   std::uint64_t zone_size() const { return config_.zone_size; }
   NandModel& nand() { return nand_; }
+  sim::FaultInjector* fault_injector() const { return config_.faults; }
 
   std::uint64_t total_bytes_written() const { return bytes_written_; }
   std::uint64_t total_bytes_read() const { return bytes_read_; }
@@ -85,6 +120,12 @@ class ZnsSsd {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t resets_ = 0;
+
+  // Most recent append, tracked for torn-tail truncation on crash.
+  bool has_last_append_ = false;
+  std::uint32_t last_append_zone_ = 0;
+  std::uint64_t last_append_end_ = 0;  // write pointer after the append
+  std::uint64_t last_append_len_ = 0;
 };
 
 }  // namespace kvcsd::storage

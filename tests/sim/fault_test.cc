@@ -1,0 +1,132 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace kvcsd::sim {
+namespace {
+
+TEST(FaultInjectorTest, CountsHitsWhileUnarmed) {
+  FaultInjector faults;
+  EXPECT_FALSE(faults.Hit("flush.after_klog"));
+  EXPECT_FALSE(faults.Hit("flush.after_klog"));
+  EXPECT_FALSE(faults.Hit("meta.after_append"));
+  EXPECT_FALSE(faults.crashed());
+  EXPECT_EQ(faults.hits(), 3u);
+  EXPECT_EQ(faults.hit_count("flush.after_klog"), 2u);
+  EXPECT_EQ(faults.hit_count("meta.after_append"), 1u);
+  EXPECT_EQ(faults.hit_count("never.seen"), 0u);
+  ASSERT_EQ(faults.points().size(), 2u);
+  EXPECT_EQ(faults.points()[0], "flush.after_klog");  // first-hit order
+  EXPECT_EQ(faults.points()[1], "meta.after_append");
+}
+
+TEST(FaultInjectorTest, ArmsCrashAtNamedPointNthPass) {
+  FaultInjector faults;
+  faults.ArmCrashAtPoint("compact.before_commit", 2);
+  EXPECT_FALSE(faults.Hit("compact.before_commit"));
+  EXPECT_FALSE(faults.Hit("meta.after_append"));
+  EXPECT_TRUE(faults.Hit("compact.before_commit"));
+  EXPECT_TRUE(faults.crashed());
+  EXPECT_EQ(faults.crash_point(), "compact.before_commit");
+  // After the crash every pass reports crashed and counting stops.
+  EXPECT_TRUE(faults.Hit("meta.after_append"));
+  EXPECT_EQ(faults.hits(), 3u);
+}
+
+TEST(FaultInjectorTest, ArmsCrashAtGlobalHitIndex) {
+  FaultInjector faults;
+  faults.ArmCrashAtHit(3);
+  EXPECT_FALSE(faults.Hit("a"));
+  EXPECT_FALSE(faults.Hit("b"));
+  EXPECT_TRUE(faults.Hit("c"));
+  EXPECT_TRUE(faults.crashed());
+  EXPECT_EQ(faults.crash_point(), "c");
+}
+
+TEST(FaultInjectorTest, CrashHooksRunExactlyOnce) {
+  FaultInjector faults;
+  int runs = 0;
+  faults.AddCrashHook([&runs] { ++runs; });
+  faults.Crash();
+  faults.Crash();  // idempotent
+  EXPECT_EQ(runs, 1);
+  EXPECT_TRUE(faults.crashed());
+  EXPECT_EQ(faults.crash_point(), "");  // manual crash has no point name
+}
+
+TEST(FaultInjectorTest, PowerOffFailsEveryIo) {
+  FaultInjector faults;
+  EXPECT_TRUE(faults.OnIo(FaultOp::kAppend, 0).ok());
+  faults.Crash();
+  const Status s = faults.OnIo(FaultOp::kRead, 7);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(FaultInjectorTest, ErrorRuleHonorsSkipAndTimes) {
+  FaultInjector faults;
+  ErrorRule rule;
+  rule.op = FaultOp::kAppend;
+  rule.skip = 2;
+  rule.times = 2;
+  faults.AddErrorRule(rule);
+  EXPECT_TRUE(faults.OnIo(FaultOp::kAppend, 0).ok());   // skipped
+  EXPECT_TRUE(faults.OnIo(FaultOp::kAppend, 0).ok());   // skipped
+  EXPECT_FALSE(faults.OnIo(FaultOp::kAppend, 0).ok());  // injected
+  EXPECT_FALSE(faults.OnIo(FaultOp::kAppend, 0).ok());  // injected
+  EXPECT_TRUE(faults.OnIo(FaultOp::kAppend, 0).ok());   // budget spent
+  EXPECT_EQ(faults.errors_injected(), 2u);
+  // Other operations never matched the rule.
+  EXPECT_TRUE(faults.OnIo(FaultOp::kReset, 0).ok());
+}
+
+TEST(FaultInjectorTest, ErrorRuleFiltersByZone) {
+  FaultInjector faults;
+  ErrorRule rule;
+  rule.op = FaultOp::kRead;
+  rule.zone = 5;
+  rule.times = 0;  // unlimited
+  rule.code = StatusCode::kCorruption;
+  faults.AddErrorRule(rule);
+  EXPECT_TRUE(faults.OnIo(FaultOp::kRead, 4).ok());
+  const Status s = faults.OnIo(FaultOp::kRead, 5);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_FALSE(faults.OnIo(FaultOp::kRead, 5).ok());
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityRuleNeverFires) {
+  FaultInjector faults(1234);
+  ErrorRule rule;
+  rule.op = FaultOp::kAppend;
+  rule.probability = 0.0;
+  rule.times = 0;
+  faults.AddErrorRule(rule);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(faults.OnIo(FaultOp::kAppend, 0).ok());
+  }
+  EXPECT_EQ(faults.errors_injected(), 0u);
+}
+
+TEST(FaultInjectorTest, ResetForRestartKeepsHistoryDropsArming) {
+  FaultInjector faults;
+  int hook_runs = 0;
+  faults.AddCrashHook([&hook_runs] { ++hook_runs; });
+  ErrorRule rule;
+  rule.op = FaultOp::kAppend;
+  faults.AddErrorRule(rule);
+  faults.ArmCrashAtHit(1);
+  EXPECT_TRUE(faults.Hit("meta.before_reset"));
+  EXPECT_EQ(hook_runs, 1);
+
+  faults.ResetForRestart();
+  EXPECT_FALSE(faults.crashed());
+  // History survives for post-mortem inspection...
+  EXPECT_EQ(faults.hits(), 1u);
+  EXPECT_EQ(faults.crash_point(), "meta.before_reset");
+  // ...but arming, rules, and hooks are gone: I/O is live again.
+  EXPECT_FALSE(faults.Hit("meta.before_reset"));
+  EXPECT_TRUE(faults.OnIo(FaultOp::kAppend, 0).ok());
+  EXPECT_EQ(hook_runs, 1);
+}
+
+}  // namespace
+}  // namespace kvcsd::sim
