@@ -83,9 +83,10 @@ class KeyspaceHandle {
   sim::Task<Status> Sync();
 
   // Sync with bounded retries on retryable failures (transient injected
-  // I/O errors). A sync that failed mid-flush leaves the error latched
-  // only until it is surfaced once; the retry re-flushes and re-persists,
-  // so success here means the data IS durable.
+  // I/O errors). The device re-queues a failed flush batch into the
+  // keyspace's write buffer, so the retry re-flushes the same entries and
+  // re-persists — success here means everything put so far IS durable,
+  // not merely that the retry found an empty buffer.
   sim::Task<Status> SyncWithRetry(std::uint32_t attempts = 3);
 
   // --- lifecycle ---

@@ -125,6 +125,31 @@ sim::Task<void> WorkloadBody(SweepState* st, client::Client* db) {
     if (st->crashed()) co_return;
   }
 
+  // Drop a keyspace WHILE it is compacting: the deferred drop's ack
+  // rides on a durable tombstone, so a crash any time after the ack —
+  // including mid-compaction, before the deferred drop ever runs — must
+  // still leave the keyspace dropped after recovery.
+  if (cfg.keyspaces > 2) {
+    KeyspaceModel& dm = st->models[1];
+    Status s = co_await dm.handle.Compact();
+    if (!s.ok() && !st->crashed()) {
+      st->Violation("compact of deferred-drop target failed without a "
+                    "crash: " + s.message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+    dm.drop_issued = true;
+    Status dropped = co_await db->DropKeyspace(dm.name);
+    if (dropped.ok()) {
+      dm.drop_acked = true;
+    } else if (!st->crashed()) {
+      st->Violation("deferred drop failed without a crash: " +
+                    dropped.message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+  }
+
   // Compact the last keyspace and read it back, covering the compaction
   // crash points and the query path.
   KeyspaceModel& m = st->models.back();

@@ -1,7 +1,8 @@
 // Crash-point sweep: the fault-injection harness for the device path.
 //
 // One sweep case runs a fixed client workload (creates, acknowledged
-// syncs, a drop, a compaction, queries) against a small fault-injected
+// syncs, a drop, with >2 keyspaces also a drop deferred behind a running
+// compaction, a compaction, queries) against a small fault-injected
 // device, crashes it at the k-th crash-point pass, power-cycles it
 // (Device::Restart + Recover) and verifies the recovery invariants:
 //
@@ -41,9 +42,10 @@ struct CrashSweepConfig {
   // the workload, which is the only way to reach the ping-pong crash
   // points (meta.before_reset / meta.after_reset) in a sweep. Post-crash
   // verification compacts every surviving keyspace, so the pool must fit
-  // keyspaces * 2 log clusters plus 4 compaction scratch clusters
-  // (2 TEMP + SORTED_VALUES + PIDX) at once — the drop that frees two
-  // clusters in the workload may not have happened yet.
+  // keyspaces * 2 log clusters plus compaction scratch clusters
+  // (2 TEMP + SORTED_VALUES + PIDX each) — two compactions can overlap
+  // when the workload runs the deferred-drop leg (keyspaces > 2), and
+  // the drop that frees two clusters may not have happened yet.
   std::uint64_t zone_bytes = KiB(256);
   std::uint32_t num_zones = 64;
   std::uint64_t write_buffer_bytes = KiB(2);

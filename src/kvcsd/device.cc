@@ -8,6 +8,32 @@
 
 namespace kvcsd::device {
 
+namespace {
+
+// Opcodes whose handlers run with a resolved, pinned keyspace. Everything
+// else reaching Dispatch's default branch is unknown and must fail
+// Unimplemented before any keyspace-id lookup can turn it into NotFound.
+bool IsKeyspaceScoped(nvme::Opcode op) {
+  switch (op) {
+    case nvme::Opcode::kKvStore:
+    case nvme::Opcode::kBulkStore:
+    case nvme::Opcode::kCompact:
+    case nvme::Opcode::kCompactWithIndexes:
+    case nvme::Opcode::kSync:
+    case nvme::Opcode::kCompactWait:
+    case nvme::Opcode::kSecondaryBuild:
+    case nvme::Opcode::kKvRetrieve:
+    case nvme::Opcode::kQueryPrimaryRange:
+    case nvme::Opcode::kQuerySecondaryRange:
+    case nvme::Opcode::kKeyspaceStat:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Device::Device(sim::Simulation* sim, const DeviceConfig& config,
                nvme::QueuePair* queue)
     : sim_(sim),
@@ -117,7 +143,20 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
       out.status = co_await DropKeyspace(*ks);
       break;
     }
+    case nvme::Opcode::kKvDelete:
+      out.status = Status::Unimplemented(
+          "point deletes are not part of the simulation-pipeline workflow");
+      break;
     default: {
+      if (!IsKeyspaceScoped(cmd.opcode)) {
+        // Unknown opcode: Unimplemented must win over whatever a
+        // keyspace-id lookup would report (no silent OK, no NotFound
+        // masking).
+        out.status = Status::Unimplemented(
+            "unhandled opcode " +
+            std::to_string(static_cast<unsigned>(cmd.opcode)));
+        break;
+      }
       // Keyspace-scoped command: resolve and pin the keyspace BEFORE the
       // first suspension, so a concurrent drop defers until the handler
       // coroutine is done with the raw pointer.
@@ -213,12 +252,9 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
       out.value = std::string(KeyspaceStateName(ks->state));
       out.status = Status::Ok();
       break;
-    case nvme::Opcode::kKvDelete:
-      out.status = Status::Unimplemented(
-          "point deletes are not part of the simulation-pipeline workflow");
-      break;
     default:
-      // No silent OK for opcodes the device does not implement.
+      // Unreachable: Dispatch only routes IsKeyspaceScoped opcodes here.
+      // Still no silent OK if the two ever fall out of step.
       out.status = Status::Unimplemented(
           "unhandled opcode " +
           std::to_string(static_cast<unsigned>(cmd.opcode)));
@@ -423,8 +459,22 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
     }
   }
 
-  if (!result.ok() && flush_errors_[ks->id].ok()) {
-    flush_errors_[ks->id] = result;
+  if (!result.ok()) {
+    if (flush_errors_[ks->id].ok()) flush_errors_[ks->id] = result;
+    // The batch never became durable, but its entries are still counted
+    // in num_kvs/min/max and still owed to the client. Re-queue it in
+    // front of anything written since (this block has no suspension
+    // point, so no put can interleave with the splice) — a retried Sync
+    // then re-flushes the same data instead of persisting an empty
+    // buffer and falsely reporting it durable. A VLOG record the failure
+    // stranded without KLOG entries is unreferenced garbage; compaction
+    // and recovery never resurrect it.
+    WriteBuffer& buffer = buffers_[ks->id];
+    batch.bytes += buffer.bytes;
+    batch.entries.insert(batch.entries.end(),
+                         std::make_move_iterator(buffer.entries.begin()),
+                         std::make_move_iterator(buffer.entries.end()));
+    buffer = std::move(batch);
   }
   FlushSlots(ks->id)->Release();
   FlushInflight(ks->id)->Done();
@@ -448,8 +498,10 @@ sim::Task<Status> Device::DoSync(Keyspace* ks) {
   co_await FlushInflight(ks->id)->Wait();
   if (auto it = flush_errors_.find(ks->id);
       it != flush_errors_.end() && !it->second.ok()) {
-    // Surface the flush failure once, then clear it: a later Sync whose
-    // own flushes succeed must not keep failing on a stale error.
+    // Surface the flush failure once, then clear it: the failed batch
+    // was re-queued into the write buffer by FlushIo, so a retried Sync
+    // re-flushes the data for real instead of failing forever on a
+    // stale latched error (or, worse, persisting an empty buffer).
     Status err = it->second;
     it->second = Status::Ok();
     co_return err;
@@ -475,9 +527,14 @@ sim::Task<Status> Device::DropKeyspace(Keyspace* ks) {
   if (ks->state == KeyspaceState::kCompacting || ks->inflight > 0) {
     // Deferred deletion: the compactor or the pinned handlers finish
     // first (paper: "deletion may be deferred due to on-going
-    // compaction").
+    // compaction"). The tombstone must be durable BEFORE the ack — an
+    // acknowledged drop has to stay dropped even if power dies before
+    // the deferred FinishDrop runs, so recovery completes it from the
+    // persisted pending_delete flag. ks may already be freed when
+    // Persist returns: the compaction can finish during the await and
+    // run the deferred drop itself.
     ks->pending_delete = true;
-    co_return Status::Ok();
+    co_return co_await keyspace_manager_.Persist();
   }
   co_return co_await FinishDrop(ks);
 }

@@ -64,7 +64,9 @@ struct Keyspace {
   std::map<std::string, SecondaryIndex> secondary_indexes;
 
   // Deletion requested while compaction/index build was running (paper:
-  // "deletion may be deferred due to on-going compaction").
+  // "deletion may be deferred due to on-going compaction"). Persisted in
+  // the metadata snapshot before the drop is acknowledged, so recovery
+  // completes a deferred drop a crash interrupted.
   bool pending_delete = false;
 
   // Commands currently executing against this keyspace. A handler pins

@@ -112,6 +112,10 @@ std::string KeyspaceManager::SerializeTable(std::uint64_t seq) const {
     PutVarint64(&body, ks->id);
     PutString(&body, ks->name);
     body.push_back(static_cast<char>(ks->state));
+    // Deferred-drop tombstone: a drop acknowledged while compaction or
+    // pinned handlers were still running. Persisted so recovery can
+    // complete the drop if power dies before the deferred FinishDrop.
+    body.push_back(ks->pending_delete ? 1 : 0);
     PutVarint64(&body, ks->num_kvs);
     PutString(&body, ks->min_key);
     PutString(&body, ks->max_key);
@@ -169,9 +173,10 @@ Status KeyspaceManager::DeserializeTable(const std::string& raw,
     auto ks = std::make_unique<Keyspace>();
     std::uint64_t sidx_count = 0;
     bool ok = GetVarint64(&in, &ks->id) && GetString(&in, &ks->name);
-    if (ok && !in.empty()) {
+    if (ok && in.size() >= 2) {
       ks->state = static_cast<KeyspaceState>(in[0]);
-      in.remove_prefix(1);
+      ks->pending_delete = in[1] != 0;
+      in.remove_prefix(2);
     } else {
       ok = false;
     }
@@ -208,7 +213,14 @@ Status KeyspaceManager::DeserializeTable(const std::string& raw,
 }
 
 sim::Task<Status> KeyspaceManager::Persist() {
-  const std::string snapshot = SerializeTable(persist_seq_ + 1);
+  // Claim the sequence number eagerly, at serialize time: concurrent
+  // Persist calls (a deferred-drop ack racing the compactor's snapshots)
+  // must not collide on one seq, or recovery would tie-break to the
+  // earlier-serialized — staler — state. With serialize order = seq
+  // order, the highest intact seq is always the newest table. Gaps from
+  // failed appends are harmless; only monotonicity matters.
+  const std::uint64_t seq = ++persist_seq_;
+  const std::string snapshot = SerializeTable(seq);
   sim::FaultInjector* faults = ssd_->fault_injector();
   std::uint32_t target = current_meta_zone_;
   bool need_reset = reset_before_append_;
@@ -240,7 +252,6 @@ sim::Task<Status> KeyspaceManager::Persist() {
   KVCSD_CO_RETURN_IF_ERROR(addr.status());
   current_meta_zone_ = target;
   reset_before_append_ = false;
-  ++persist_seq_;
   if (faults != nullptr && faults->Hit("meta.after_append")) {
     // Crash before the commit barrier: the torn-tail hook may truncate
     // this snapshot, so recovery falls back to the previous intact one.

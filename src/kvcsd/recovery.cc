@@ -9,8 +9,11 @@
 //
 //   1. Load the newest intact metadata snapshot (keyspace table + the
 //      zone-cluster allocation table) from the ping-pong metadata zones.
-//   2. Roll keyspaces caught COMPACTING back to WRITABLE/EMPTY. Their
-//      logs are intact (compaction never touches them before its commit
+//   2. Complete drops that were acknowledged but deferred behind a
+//      compaction or pinned handlers — the snapshot carries their
+//      pending_delete tombstone, persisted before the ack. Then roll
+//      keyspaces caught COMPACTING back to WRITABLE/EMPTY. Their logs
+//      are intact (compaction never touches them before its commit
 //      point); any outputs the snapshot happens to reference are orphans.
 //   3. Release clusters no keyspace references (uncommitted compaction
 //      outputs, TEMP runs, logs of half-dropped keyspaces).
@@ -66,14 +69,25 @@ sim::Task<Status> Device::Recover() {
   auto recovered = co_await keyspace_manager_.Recover();
   KVCSD_CO_RETURN_IF_ERROR(recovered.status());
 
-  // Step 2: COMPACTING at snapshot time means the compaction never
+  // Step 2a: complete acknowledged drops. A deferred drop persists its
+  // pending_delete tombstone BEFORE acking, so a tombstoned keyspace in
+  // the snapshot means the client was told the drop succeeded — it must
+  // not resurface. Erasing it here makes its clusters unreferenced; steps
+  // 3/4 reclaim them.
+  std::vector<std::uint64_t> tombstoned;
+  for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
+    if (ks_ptr->pending_delete) tombstoned.push_back(id);
+  }
+  for (std::uint64_t id : tombstoned) {
+    KVCSD_CO_RETURN_IF_ERROR(keyspace_manager_.Erase(id));
+  }
+
+  // Step 2b: COMPACTING at snapshot time means the compaction never
   // committed — its outputs (if the snapshot saw any) are orphans, its
-  // input logs are whole. Volatile runtime state (pins, deferred drops)
-  // died with DRAM.
+  // input logs are whole. Volatile runtime state (pins) died with DRAM.
   std::vector<ClusterId> doomed;
   for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
     Keyspace* ks = ks_ptr.get();
-    ks->pending_delete = false;
     ks->inflight = 0;
     if (ks->state != KeyspaceState::kCompacting) continue;
     AppendAll(&doomed, ks->pidx_clusters);

@@ -50,9 +50,9 @@ void FaultInjector::Crash() {
   if (crashed_) return;
   crashed_ = true;
   // Hooks may mutate SSD state (torn tail); run each exactly once.
-  std::vector<std::function<void()>> hooks;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks;
   hooks.swap(crash_hooks_);
-  for (auto& hook : hooks) hook();
+  for (auto& [token, hook] : hooks) hook();
 }
 
 std::uint64_t FaultInjector::hit_count(std::string_view point) const {
@@ -60,8 +60,15 @@ std::uint64_t FaultInjector::hit_count(std::string_view point) const {
   return it == hit_counts_.end() ? 0 : it->second;
 }
 
-void FaultInjector::AddCrashHook(std::function<void()> hook) {
-  crash_hooks_.push_back(std::move(hook));
+std::uint64_t FaultInjector::AddCrashHook(std::function<void()> hook) {
+  const std::uint64_t token = next_hook_token_++;
+  crash_hooks_.emplace_back(token, std::move(hook));
+  return token;
+}
+
+void FaultInjector::RemoveCrashHook(std::uint64_t token) {
+  std::erase_if(crash_hooks_,
+                [token](const auto& entry) { return entry.first == token; });
 }
 
 void FaultInjector::AddErrorRule(ErrorRule rule) {

@@ -88,8 +88,13 @@ class FaultInjector {
   // Every point name seen so far, in first-hit order.
   const std::vector<std::string>& points() const { return point_names_; }
 
-  // Hooks run exactly once, synchronously, inside Crash().
-  void AddCrashHook(std::function<void()> hook);
+  // Hooks run exactly once, synchronously, inside Crash(). Returns a
+  // token for RemoveCrashHook; an owner whose lifetime can end before the
+  // injector's must deregister, or Crash() calls into freed memory.
+  std::uint64_t AddCrashHook(std::function<void()> hook);
+  // Idempotent: tokens already consumed by Crash()/ResetForRestart() (or
+  // never issued) are ignored.
+  void RemoveCrashHook(std::uint64_t token);
 
   // --- I/O error injection ---
 
@@ -126,7 +131,8 @@ class FaultInjector {
   std::uint64_t armed_point_nth_ = 0;
   std::uint64_t armed_global_hit_ = 0;
 
-  std::vector<std::function<void()>> crash_hooks_;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> crash_hooks_;
+  std::uint64_t next_hook_token_ = 1;
 
   struct ArmedRule {
     ErrorRule rule;

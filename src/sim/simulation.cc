@@ -7,8 +7,25 @@
 namespace kvcsd::sim {
 
 // Self-destroying fire-and-forget coroutine used to host spawned processes.
+// Each runner registers its frame with the owning Simulation for the whole
+// time it exists (the promise constructor/destructor bracket the frame's
+// lifetime exactly), so ~Simulation can reclaim processes that are still
+// blocked on a primitive nobody will ever signal.
 struct Simulation::DetachedRunner {
   struct promise_type {
+    Simulation* sim;
+
+    // Matches RunDetached's parameter list (the promise constructor sees
+    // the coroutine's arguments).
+    promise_type(Simulation* s, Task<void>&, std::size_t*) : sim(s) {
+      sim->detached_.insert(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
+    ~promise_type() {
+      sim->detached_.erase(
+          std::coroutine_handle<promise_type>::from_promise(*this).address());
+    }
+
     DetachedRunner get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -39,6 +56,16 @@ Simulation::DetachedRunner RunDetached(Simulation* sim, Task<void> task,
 void Simulation::Spawn(Task<void> task) {
   ++live_processes_;
   RunDetached(this, std::move(task), &live_processes_);
+}
+
+Simulation::~Simulation() {
+  // A process blocked forever (a device main loop parked on its submission
+  // queue) never reaches its frame-destroying final suspend; destroying the
+  // runner cascades through the Task chain it owns. destroy() unregisters
+  // the frame via ~promise_type, so keep taking the first survivor.
+  while (!detached_.empty()) {
+    std::coroutine_handle<>::from_address(*detached_.begin()).destroy();
+  }
 }
 
 bool Simulation::Step() {

@@ -12,6 +12,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/units.h"
@@ -25,6 +26,11 @@ class Simulation {
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+
+  // Destroys any detached process still suspended (e.g. a device main loop
+  // parked forever on its submission queue). Such a process must not hold
+  // RAII locals that touch objects destroyed before the Simulation.
+  ~Simulation();
 
   Tick Now() const { return now_; }
 
@@ -90,6 +96,11 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::size_t live_processes_ = 0;
+  // Frame addresses of detached runners still in flight; each runner
+  // registers in its promise constructor and unregisters in the promise
+  // destructor, so the set always names exactly the frames the destructor
+  // must reclaim.
+  std::unordered_set<void*> detached_;
   Stats stats_;
 };
 

@@ -14,8 +14,14 @@ ZnsSsd::ZnsSsd(sim::Simulation* sim, const ZnsConfig& config)
   if (config_.faults != nullptr) {
     // Power cut tears the in-flight append; the hook list is cleared by
     // the injector after a crash, so this fires at most once per arming.
-    config_.faults->AddCrashHook(
+    crash_hook_token_ = config_.faults->AddCrashHook(
         [this] { TearLastAppend(config_.faults->torn_tail_keep()); });
+  }
+}
+
+ZnsSsd::~ZnsSsd() {
+  if (config_.faults != nullptr && crash_hook_token_ != 0) {
+    config_.faults->RemoveCrashHook(crash_hook_token_);
   }
 }
 

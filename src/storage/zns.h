@@ -50,6 +50,12 @@ struct ZnsConfig {
 class ZnsSsd {
  public:
   ZnsSsd(sim::Simulation* sim, const ZnsConfig& config);
+  // Deregisters the torn-tail crash hook: the injector may outlive this
+  // SSD (fixtures, Device::Restart), and a crash after destruction must
+  // not call into a freed object.
+  ~ZnsSsd();
+  ZnsSsd(const ZnsSsd&) = delete;
+  ZnsSsd& operator=(const ZnsSsd&) = delete;
 
   // Appends `data` at the zone's write pointer. Returns the device byte
   // address of the first appended byte. Fails if the zone is full or the
@@ -120,6 +126,9 @@ class ZnsSsd {
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t resets_ = 0;
+
+  // Torn-tail crash-hook registration (0 = none registered).
+  std::uint64_t crash_hook_token_ = 0;
 
   // Most recent append, tracked for torn-tail truncation on crash.
   bool has_last_append_ = false;

@@ -71,6 +71,7 @@ TEST(KeyspaceManagerTest, PersistAndRecoverFullState) {
     sidx.sketch.push_back(SketchEntry{"\x80\x00\x00\x01", 12288, 4096});
     sidx.entries = 12345;
     ks->secondary_indexes["energy"] = sidx;
+    ks->pending_delete = true;  // deferred-drop tombstone round-trips
     ASSERT_TRUE(testutil::RunSim(sim, km.Persist()).ok());
   }
   // Power cycle: a fresh manager over the same SSD recovers everything.
@@ -83,6 +84,7 @@ TEST(KeyspaceManagerTest, PersistAndRecoverFullState) {
   EXPECT_EQ(ks->num_kvs, 12345u);
   EXPECT_EQ(ks->min_key, "aaa");
   EXPECT_EQ(ks->max_key, "zzz");
+  EXPECT_TRUE(ks->pending_delete);
   EXPECT_EQ(ks->pidx_clusters, (std::vector<ClusterId>{7, 9}));
   ASSERT_EQ(ks->pidx_sketch.size(), 2u);
   EXPECT_EQ(ks->pidx_sketch[1].pivot, "mmm");

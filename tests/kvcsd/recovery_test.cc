@@ -347,6 +347,82 @@ TEST(RecoveryTest, FlushErrorSurfacesOnceThenClears) {
       }(f.db.get(), &f.faults));
 }
 
+// A flush batch that fails on an injected I/O error is re-queued into
+// the write buffer: the failed Sync surfaces the error, the retried Sync
+// re-flushes the SAME data, and an OK from the retry is a real
+// durability promise — the batch survives an immediate power cut.
+// (Without the re-queue, the retry would persist an empty buffer, return
+// OK, and the batch would be silently gone.)
+TEST(RecoveryTest, FailedFlushBatchSurvivesRetriedSync) {
+  PowerCycleFixture f;
+  constexpr std::uint64_t kKeys = 40;
+  testutil::RunSim(
+      f.sim,
+      [](client::Client* db, sim::FaultInjector* faults) -> sim::Task<void> {
+        auto ks = co_await db->CreateKeyspace("requeue");
+        KVCSD_CO_ASSERT_OK(ks);
+        for (std::uint64_t i = 0; i < kKeys; ++i) {
+          KVCSD_CO_ASSERT_OK(co_await ks->Put(MakeFixedKey(i), DetValue(i)));
+        }
+        sim::ErrorRule rule;
+        rule.op = sim::FaultOp::kAppend;
+        rule.times = 1;
+        faults->AddErrorRule(rule);
+        Status first = co_await ks->Sync();
+        KVCSD_CO_ASSERT(!first.ok());
+        KVCSD_CO_ASSERT(first.IsRetryable());
+        KVCSD_CO_ASSERT_OK(co_await ks->Sync());
+      }(f.db.get(), &f.faults));
+
+  // The retried Sync returned OK: everything must survive lights-out.
+  f.faults.Crash();
+  f.Restart();
+  testutil::RunSim(f.sim,
+                   RecoverAndVerify(f.dev(), f.db.get(), "requeue", kKeys));
+}
+
+// A drop acknowledged while the keyspace was compacting (deferred
+// deletion) must stay dropped across a crash that kills the compaction
+// before the deferred FinishDrop ever runs — the tombstone persisted
+// before the ack is what recovery completes the drop from.
+TEST(RecoveryTest, AckedDeferredDropStaysDroppedAcrossCrash) {
+  PowerCycleFixture f;
+  constexpr std::uint64_t kKeys = 600;
+  testutil::RunSim(f.sim, LoadAndSync(f.db.get(), "dropped", kKeys));
+
+  f.faults.ArmCrashAtPoint("compact.after_phase1", 1);
+  testutil::RunSim(
+      f.sim,
+      [](client::Client* db, sim::FaultInjector* faults) -> sim::Task<void> {
+        auto ks = co_await db->OpenKeyspace("dropped");
+        KVCSD_CO_ASSERT_OK(ks);
+        KVCSD_CO_ASSERT_OK(co_await ks->Compact());
+        // COMPACTING, so the drop defers — but it is acknowledged, and
+        // the ack lands before the armed crash kills the compaction.
+        Status dropped = co_await db->DropKeyspace("dropped");
+        KVCSD_CO_ASSERT_OK(dropped);
+        KVCSD_CO_ASSERT(!faults->crashed());
+        (void)co_await ks->WaitCompaction();
+        KVCSD_CO_ASSERT(faults->crashed());
+      }(f.db.get(), &f.faults));
+  ASSERT_EQ(f.faults.crash_point(), "compact.after_phase1");
+
+  f.Restart();
+  testutil::RunSim(
+      f.sim, [](Device* dev, client::Client* db) -> sim::Task<void> {
+        KVCSD_CO_ASSERT_OK(co_await dev->Recover());
+        // The acknowledged drop must not resurface.
+        auto gone = co_await db->OpenKeyspace("dropped");
+        KVCSD_CO_ASSERT(gone.status().code() == StatusCode::kNotFound);
+        // And the device is fully usable: the dropped keyspace's zones
+        // were reclaimed, so a fresh keyspace can take their place.
+        auto ks = co_await db->CreateKeyspace("fresh");
+        KVCSD_CO_ASSERT_OK(ks);
+        KVCSD_CO_ASSERT_OK(co_await ks->Put(MakeFixedKey(1), "v"));
+        KVCSD_CO_ASSERT_OK(co_await ks->Sync());
+      }(f.dev(), f.db.get()));
+}
+
 // Dropping a keyspace while its flushes and compaction are still in
 // flight must defer, not free the Keyspace under a running coroutine
 // (ASan in CI turns a regression here into a hard failure).
@@ -379,8 +455,9 @@ TEST(RecoveryTest, DropDuringInflightTrafficDefers) {
   }(f.db.get()));
 }
 
-// Unknown opcodes complete with Unimplemented, never silent OK; an
-// unknown keyspace id fails first with NotFound.
+// Unknown opcodes complete with Unimplemented, never silent OK — even
+// when they carry an invalid keyspace id (Unimplemented wins over
+// NotFound). A KNOWN keyspace-scoped opcode with a bad id is NotFound.
 TEST(RecoveryTest, UnknownOpcodeRejected) {
   PowerCycleFixture f;
   testutil::RunSim(
@@ -401,11 +478,17 @@ TEST(RecoveryTest, UnknownOpcodeRejected) {
         auto c2 = co_await qp->Submit(std::move(del));
         KVCSD_CO_ASSERT(c2.status.code() == StatusCode::kUnimplemented);
 
+        nvme::Command bad_both;
+        bad_both.opcode = static_cast<nvme::Opcode>(0xee);
+        bad_both.keyspace_id = 424242;
+        auto c3 = co_await qp->Submit(std::move(bad_both));
+        KVCSD_CO_ASSERT(c3.status.code() == StatusCode::kUnimplemented);
+
         nvme::Command bad_id;
-        bad_id.opcode = static_cast<nvme::Opcode>(0xee);
+        bad_id.opcode = nvme::Opcode::kSync;
         bad_id.keyspace_id = 424242;
-        auto c3 = co_await qp->Submit(std::move(bad_id));
-        KVCSD_CO_ASSERT(c3.status.code() == StatusCode::kNotFound);
+        auto c4 = co_await qp->Submit(std::move(bad_id));
+        KVCSD_CO_ASSERT(c4.status.code() == StatusCode::kNotFound);
       }(f.db.get(), f.qps.back().get()));
 }
 

@@ -115,6 +115,26 @@ TEST(ZnsFaultTest, TearAlwaysDropsAtLeastOneByte) {
   EXPECT_EQ(ssd.write_pointer(0), 1u);
 }
 
+// A ZnsSsd destroyed while its injector lives on must deregister its
+// torn-tail hook: a later Crash() would otherwise call into the freed
+// object (ASan in CI turns a regression here into a hard failure).
+TEST(ZnsFaultTest, DestroyedSsdDeregistersItsCrashHook) {
+  sim::Simulation sim;
+  sim::FaultInjector faults;
+  faults.set_torn_tail_keep(0.5);
+  {
+    ZnsSsd doomed(&sim, FaultyZns(&faults));
+    ASSERT_TRUE(testutil::RunSim(sim, doomed.Append(0, AsBytes("gone"))).ok());
+  }
+  // A surviving SSD on the same injector still gets its tail torn.
+  ZnsSsd survivor(&sim, FaultyZns(&faults));
+  ASSERT_TRUE(
+      testutil::RunSim(sim, survivor.Append(0, AsBytes("torn-here"))).ok());
+  faults.Crash();
+  EXPECT_TRUE(faults.crashed());
+  EXPECT_LT(survivor.write_pointer(0), 9u);  // its own hook did fire
+}
+
 TEST(ZnsFaultTest, CloneStateFromAdoptsSurvivingMedium) {
   sim::Simulation sim;
   sim::FaultInjector faults;
