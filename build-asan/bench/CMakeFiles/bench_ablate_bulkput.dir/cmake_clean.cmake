@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_bulkput.dir/bench_ablate_bulkput.cc.o"
+  "CMakeFiles/bench_ablate_bulkput.dir/bench_ablate_bulkput.cc.o.d"
+  "bench_ablate_bulkput"
+  "bench_ablate_bulkput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_bulkput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

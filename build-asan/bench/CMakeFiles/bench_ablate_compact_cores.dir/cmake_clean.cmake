@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_compact_cores.dir/bench_ablate_compact_cores.cc.o"
+  "CMakeFiles/bench_ablate_compact_cores.dir/bench_ablate_compact_cores.cc.o.d"
+  "bench_ablate_compact_cores"
+  "bench_ablate_compact_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_compact_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_dram.dir/bench_ablate_dram.cc.o"
+  "CMakeFiles/bench_ablate_dram.dir/bench_ablate_dram.cc.o.d"
+  "bench_ablate_dram"
+  "bench_ablate_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_fused_index.dir/bench_ablate_fused_index.cc.o"
+  "CMakeFiles/bench_ablate_fused_index.dir/bench_ablate_fused_index.cc.o.d"
+  "bench_ablate_fused_index"
+  "bench_ablate_fused_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_fused_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_striping.dir/bench_ablate_striping.cc.o"
+  "CMakeFiles/bench_ablate_striping.dir/bench_ablate_striping.cc.o.d"
+  "bench_ablate_striping"
+  "bench_ablate_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_get.dir/bench_fig10_get.cc.o"
+  "CMakeFiles/bench_fig10_get.dir/bench_fig10_get.cc.o.d"
+  "bench_fig10_get"
+  "bench_fig10_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vpic_write.dir/bench_fig11_vpic_write.cc.o"
+  "CMakeFiles/bench_fig11_vpic_write.dir/bench_fig11_vpic_write.cc.o.d"
+  "CMakeFiles/bench_fig11_vpic_write.dir/vpic_common.cc.o"
+  "CMakeFiles/bench_fig11_vpic_write.dir/vpic_common.cc.o.d"
+  "bench_fig11_vpic_write"
+  "bench_fig11_vpic_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vpic_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

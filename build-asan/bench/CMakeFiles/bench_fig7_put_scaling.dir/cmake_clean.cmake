@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_put_scaling.dir/bench_fig7_put_scaling.cc.o"
+  "CMakeFiles/bench_fig7_put_scaling.dir/bench_fig7_put_scaling.cc.o.d"
+  "bench_fig7_put_scaling"
+  "bench_fig7_put_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_put_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

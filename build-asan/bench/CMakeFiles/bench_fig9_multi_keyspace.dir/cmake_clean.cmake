@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multi_keyspace.dir/bench_fig9_multi_keyspace.cc.o"
+  "CMakeFiles/bench_fig9_multi_keyspace.dir/bench_fig9_multi_keyspace.cc.o.d"
+  "bench_fig9_multi_keyspace"
+  "bench_fig9_multi_keyspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multi_keyspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_analytics.dir/vpic_analytics.cpp.o"
+  "CMakeFiles/vpic_analytics.dir/vpic_analytics.cpp.o.d"
+  "vpic_analytics"
+  "vpic_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

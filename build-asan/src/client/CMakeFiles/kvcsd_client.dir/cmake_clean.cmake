@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_client.dir/client.cc.o"
+  "CMakeFiles/kvcsd_client.dir/client.cc.o.d"
+  "libkvcsd_client.a"
+  "libkvcsd_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_common.dir/coding.cc.o"
+  "CMakeFiles/kvcsd_common.dir/coding.cc.o.d"
+  "CMakeFiles/kvcsd_common.dir/crc32c.cc.o"
+  "CMakeFiles/kvcsd_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/kvcsd_common.dir/random.cc.o"
+  "CMakeFiles/kvcsd_common.dir/random.cc.o.d"
+  "CMakeFiles/kvcsd_common.dir/status.cc.o"
+  "CMakeFiles/kvcsd_common.dir/status.cc.o.d"
+  "libkvcsd_common.a"
+  "libkvcsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_harness.dir/crash_sweep.cc.o"
+  "CMakeFiles/kvcsd_harness.dir/crash_sweep.cc.o.d"
+  "CMakeFiles/kvcsd_harness.dir/flags.cc.o"
+  "CMakeFiles/kvcsd_harness.dir/flags.cc.o.d"
+  "CMakeFiles/kvcsd_harness.dir/report.cc.o"
+  "CMakeFiles/kvcsd_harness.dir/report.cc.o.d"
+  "CMakeFiles/kvcsd_harness.dir/testbed.cc.o"
+  "CMakeFiles/kvcsd_harness.dir/testbed.cc.o.d"
+  "CMakeFiles/kvcsd_harness.dir/workloads.cc.o"
+  "CMakeFiles/kvcsd_harness.dir/workloads.cc.o.d"
+  "libkvcsd_harness.a"
+  "libkvcsd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

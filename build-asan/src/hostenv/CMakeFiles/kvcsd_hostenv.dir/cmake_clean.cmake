@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_hostenv.dir/fs.cc.o"
+  "CMakeFiles/kvcsd_hostenv.dir/fs.cc.o.d"
+  "CMakeFiles/kvcsd_hostenv.dir/page_cache.cc.o"
+  "CMakeFiles/kvcsd_hostenv.dir/page_cache.cc.o.d"
+  "libkvcsd_hostenv.a"
+  "libkvcsd_hostenv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_hostenv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

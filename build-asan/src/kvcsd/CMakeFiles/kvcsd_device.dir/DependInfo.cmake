@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvcsd/compactor.cc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/compactor.cc.o" "gcc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/compactor.cc.o.d"
+  "/root/repo/src/kvcsd/device.cc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/device.cc.o" "gcc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/device.cc.o.d"
+  "/root/repo/src/kvcsd/keyspace_manager.cc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/keyspace_manager.cc.o" "gcc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/keyspace_manager.cc.o.d"
+  "/root/repo/src/kvcsd/query.cc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/query.cc.o" "gcc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/query.cc.o.d"
+  "/root/repo/src/kvcsd/recovery.cc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/recovery.cc.o" "gcc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/recovery.cc.o.d"
+  "/root/repo/src/kvcsd/zone_manager.cc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/zone_manager.cc.o" "gcc" "src/kvcsd/CMakeFiles/kvcsd_device.dir/zone_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/nvme/CMakeFiles/kvcsd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/kvcsd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

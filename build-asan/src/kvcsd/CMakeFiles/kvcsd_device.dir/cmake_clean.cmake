@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_device.dir/compactor.cc.o"
+  "CMakeFiles/kvcsd_device.dir/compactor.cc.o.d"
+  "CMakeFiles/kvcsd_device.dir/device.cc.o"
+  "CMakeFiles/kvcsd_device.dir/device.cc.o.d"
+  "CMakeFiles/kvcsd_device.dir/keyspace_manager.cc.o"
+  "CMakeFiles/kvcsd_device.dir/keyspace_manager.cc.o.d"
+  "CMakeFiles/kvcsd_device.dir/query.cc.o"
+  "CMakeFiles/kvcsd_device.dir/query.cc.o.d"
+  "CMakeFiles/kvcsd_device.dir/recovery.cc.o"
+  "CMakeFiles/kvcsd_device.dir/recovery.cc.o.d"
+  "CMakeFiles/kvcsd_device.dir/zone_manager.cc.o"
+  "CMakeFiles/kvcsd_device.dir/zone_manager.cc.o.d"
+  "libkvcsd_device.a"
+  "libkvcsd_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

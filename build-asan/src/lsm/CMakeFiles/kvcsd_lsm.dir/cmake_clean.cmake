@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_lsm.dir/block_cache.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/block_cache.cc.o.d"
+  "CMakeFiles/kvcsd_lsm.dir/bloom.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/bloom.cc.o.d"
+  "CMakeFiles/kvcsd_lsm.dir/db.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/db.cc.o.d"
+  "CMakeFiles/kvcsd_lsm.dir/memtable.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/memtable.cc.o.d"
+  "CMakeFiles/kvcsd_lsm.dir/sstable.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/sstable.cc.o.d"
+  "CMakeFiles/kvcsd_lsm.dir/version.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/version.cc.o.d"
+  "CMakeFiles/kvcsd_lsm.dir/wal.cc.o"
+  "CMakeFiles/kvcsd_lsm.dir/wal.cc.o.d"
+  "libkvcsd_lsm.a"
+  "libkvcsd_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

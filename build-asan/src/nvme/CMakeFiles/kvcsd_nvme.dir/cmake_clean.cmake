@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_nvme.dir/command.cc.o"
+  "CMakeFiles/kvcsd_nvme.dir/command.cc.o.d"
+  "libkvcsd_nvme.a"
+  "libkvcsd_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_sim.dir/fault.cc.o"
+  "CMakeFiles/kvcsd_sim.dir/fault.cc.o.d"
+  "CMakeFiles/kvcsd_sim.dir/simulation.cc.o"
+  "CMakeFiles/kvcsd_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/kvcsd_sim.dir/stats.cc.o"
+  "CMakeFiles/kvcsd_sim.dir/stats.cc.o.d"
+  "libkvcsd_sim.a"
+  "libkvcsd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_ssd.cc" "src/storage/CMakeFiles/kvcsd_storage.dir/block_ssd.cc.o" "gcc" "src/storage/CMakeFiles/kvcsd_storage.dir/block_ssd.cc.o.d"
+  "/root/repo/src/storage/nand.cc" "src/storage/CMakeFiles/kvcsd_storage.dir/nand.cc.o" "gcc" "src/storage/CMakeFiles/kvcsd_storage.dir/nand.cc.o.d"
+  "/root/repo/src/storage/zns.cc" "src/storage/CMakeFiles/kvcsd_storage.dir/zns.cc.o" "gcc" "src/storage/CMakeFiles/kvcsd_storage.dir/zns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_storage.dir/block_ssd.cc.o"
+  "CMakeFiles/kvcsd_storage.dir/block_ssd.cc.o.d"
+  "CMakeFiles/kvcsd_storage.dir/nand.cc.o"
+  "CMakeFiles/kvcsd_storage.dir/nand.cc.o.d"
+  "CMakeFiles/kvcsd_storage.dir/zns.cc.o"
+  "CMakeFiles/kvcsd_storage.dir/zns.cc.o.d"
+  "libkvcsd_storage.a"
+  "libkvcsd_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

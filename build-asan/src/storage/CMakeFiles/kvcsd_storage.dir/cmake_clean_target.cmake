@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkvcsd_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_vpic.dir/vpic.cc.o"
+  "CMakeFiles/kvcsd_vpic.dir/vpic.cc.o.d"
+  "libkvcsd_vpic.a"
+  "libkvcsd_vpic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_vpic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

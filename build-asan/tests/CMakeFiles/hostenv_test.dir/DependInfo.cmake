@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hostenv/fs_test.cc" "tests/CMakeFiles/hostenv_test.dir/hostenv/fs_test.cc.o" "gcc" "tests/CMakeFiles/hostenv_test.dir/hostenv/fs_test.cc.o.d"
+  "/root/repo/tests/hostenv/page_cache_test.cc" "tests/CMakeFiles/hostenv_test.dir/hostenv/page_cache_test.cc.o" "gcc" "tests/CMakeFiles/hostenv_test.dir/hostenv/page_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/hostenv/CMakeFiles/kvcsd_hostenv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/kvcsd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostenv_test.dir/hostenv/fs_test.cc.o"
+  "CMakeFiles/hostenv_test.dir/hostenv/fs_test.cc.o.d"
+  "CMakeFiles/hostenv_test.dir/hostenv/page_cache_test.cc.o"
+  "CMakeFiles/hostenv_test.dir/hostenv/page_cache_test.cc.o.d"
+  "hostenv_test"
+  "hostenv_test.pdb"
+  "hostenv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostenv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/cross_system_test.cc" "tests/CMakeFiles/integration_test.dir/integration/cross_system_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/cross_system_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/harness/CMakeFiles/kvcsd_harness.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/client/CMakeFiles/kvcsd_client.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/kvcsd/CMakeFiles/kvcsd_device.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/nvme/CMakeFiles/kvcsd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lsm/CMakeFiles/kvcsd_lsm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hostenv/CMakeFiles/kvcsd_hostenv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/kvcsd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vpic/CMakeFiles/kvcsd_vpic.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

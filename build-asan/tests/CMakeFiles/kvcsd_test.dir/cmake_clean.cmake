@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvcsd_test.dir/kvcsd/compact_pipeline_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/compact_pipeline_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/device_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/device_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/fused_index_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/fused_index_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/keyspace_manager_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/keyspace_manager_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/merge_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/merge_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/property_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/property_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/recovery_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/recovery_test.cc.o.d"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/zone_manager_test.cc.o"
+  "CMakeFiles/kvcsd_test.dir/kvcsd/zone_manager_test.cc.o.d"
+  "kvcsd_test"
+  "kvcsd_test.pdb"
+  "kvcsd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvcsd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

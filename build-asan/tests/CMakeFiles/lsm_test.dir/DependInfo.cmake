@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lsm/bloom_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/bloom_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/bloom_test.cc.o.d"
+  "/root/repo/tests/lsm/db_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/db_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/db_test.cc.o.d"
+  "/root/repo/tests/lsm/memtable_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o.d"
+  "/root/repo/tests/lsm/property_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/property_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/property_test.cc.o.d"
+  "/root/repo/tests/lsm/sstable_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/sstable_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/sstable_test.cc.o.d"
+  "/root/repo/tests/lsm/wal_test.cc" "tests/CMakeFiles/lsm_test.dir/lsm/wal_test.cc.o" "gcc" "tests/CMakeFiles/lsm_test.dir/lsm/wal_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/lsm/CMakeFiles/kvcsd_lsm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hostenv/CMakeFiles/kvcsd_hostenv.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/storage/CMakeFiles/kvcsd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

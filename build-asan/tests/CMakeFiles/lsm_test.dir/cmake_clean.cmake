@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsm_test.dir/lsm/bloom_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/bloom_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/db_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/db_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/memtable_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/property_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/property_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/sstable_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/sstable_test.cc.o.d"
+  "CMakeFiles/lsm_test.dir/lsm/wal_test.cc.o"
+  "CMakeFiles/lsm_test.dir/lsm/wal_test.cc.o.d"
+  "lsm_test"
+  "lsm_test.pdb"
+  "lsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/fault_test.cc" "tests/CMakeFiles/sim_test.dir/sim/fault_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/fault_test.cc.o.d"
+  "/root/repo/tests/sim/parallel_test.cc" "tests/CMakeFiles/sim_test.dir/sim/parallel_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/parallel_test.cc.o.d"
+  "/root/repo/tests/sim/resources_test.cc" "tests/CMakeFiles/sim_test.dir/sim/resources_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/resources_test.cc.o.d"
+  "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/sim_test.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/stats_test.cc.o.d"
+  "/root/repo/tests/sim/sync_test.cc" "tests/CMakeFiles/sim_test.dir/sim/sync_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/sync_test.cc.o.d"
+  "/root/repo/tests/sim/task_test.cc" "tests/CMakeFiles/sim_test.dir/sim/task_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/task_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/block_ssd_test.cc" "tests/CMakeFiles/storage_test.dir/storage/block_ssd_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/block_ssd_test.cc.o.d"
+  "/root/repo/tests/storage/nand_test.cc" "tests/CMakeFiles/storage_test.dir/storage/nand_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/nand_test.cc.o.d"
+  "/root/repo/tests/storage/zns_fault_test.cc" "tests/CMakeFiles/storage_test.dir/storage/zns_fault_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/zns_fault_test.cc.o.d"
+  "/root/repo/tests/storage/zns_test.cc" "tests/CMakeFiles/storage_test.dir/storage/zns_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/zns_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/storage/CMakeFiles/kvcsd_storage.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/kvcsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/kvcsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpic_test.dir/vpic/vpic_test.cc.o"
+  "CMakeFiles/vpic_test.dir/vpic/vpic_test.cc.o.d"
+  "vpic_test"
+  "vpic_test.pdb"
+  "vpic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/common_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/storage_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/hostenv_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/nvme_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/vpic_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/harness_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/kvcsd_test[1]_include.cmake")
+include("/root/repo/build-asan/tests/lsm_test[1]_include.cmake")
