@@ -5,10 +5,13 @@
 // per-command NVMe/DMA overhead amortizes over the whole frame.
 //
 // Flags: --keys=N (default 128K) --threads=T (default 4)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "harness/workloads.h"
 
 using namespace kvcsd;           // NOLINT
@@ -18,6 +21,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t keys = flags.GetUint("keys", 128 << 10);
   const auto threads = static_cast<std::uint32_t>(flags.GetUint("threads", 4));
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("ablate_bulkput", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();
   std::printf("Ablation: bulk vs regular PUT, %s keys, %u threads\n",
@@ -44,5 +49,19 @@ int main(int argc, char** argv) {
                 FormatRatio(static_cast<double>(with_single.insert_done) /
                             static_cast<double>(with_bulk.insert_done))});
   table.Print();
+
+  report.AddMetric("csd.bulk.keys_per_sec",
+                   static_cast<double>(keys) * 1e9 /
+                       static_cast<double>(with_bulk.insert_done));
+  report.AddMetric("csd.single.keys_per_sec",
+                   static_cast<double>(keys) * 1e9 /
+                       static_cast<double>(with_single.insert_done));
+  report.AddMetric("csd.bulk.pcie_h2d_bytes", with_bulk.pcie_h2d_bytes);
+  report.AddMetric("csd.single.pcie_h2d_bytes", with_single.pcie_h2d_bytes);
+  report.AddMetric("csd.bulk.speedup",
+                   static_cast<double>(with_single.insert_done) /
+                       static_cast<double>(with_bulk.insert_done));
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

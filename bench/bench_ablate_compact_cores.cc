@@ -12,6 +12,7 @@
 // flash placement, never results.
 //
 // Flags: --keys=N (default 96K)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,8 +21,10 @@
 #include "common/crc32c.h"
 #include "common/keys.h"
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
 #include "harness/testbed.h"
+#include "harness/tracing.h"
 
 using namespace kvcsd;           // NOLINT
 using namespace kvcsd::harness;  // NOLINT
@@ -129,6 +132,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys must be > 0\n");
     return 2;
   }
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("ablate_compact_cores", flags);
 
   std::printf(
       "Ablation: compaction pipeline vs SoC core count (%s keys, fused "
@@ -175,6 +180,19 @@ int main(int argc, char** argv) {
     }
     prev_ticks = compact_ticks;
 
+    const std::string point = "cores" + std::to_string(cores);
+    // keys/sec through compaction: the gateable throughput metric.
+    report.AddMetric("csd.compact." + point + ".keys_per_sec",
+                     static_cast<double>(keys) * 1e9 /
+                         static_cast<double>(compact_ticks));
+    report.AddMetric("csd.compact." + point + ".ticks", compact_ticks);
+    report.AddMetric("csd.compact." + point + ".phase1_ticks",
+                     stats.phase1_ticks);
+    report.AddMetric("csd.compact." + point + ".phase2_ticks",
+                     stats.phase2_ticks);
+    report.AddMetric("csd.compact." + point + ".fingerprint",
+                     static_cast<std::uint64_t>(result.fingerprint));
+
     table.AddRow({std::to_string(cores), FormatSeconds(compact_ticks),
                   FormatRatio(static_cast<double>(one_core_ticks) /
                               static_cast<double>(compact_ticks)),
@@ -188,6 +206,8 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
 
   std::printf("\ncompaction time monotone 1->4 cores: %s\n",
               monotone ? "yes" : "NO (regression!)");

@@ -7,10 +7,14 @@
 // traffic during the merge.
 //
 // Flags: --keys=N (default 256K)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
+#include <string>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "harness/workloads.h"
 
 using namespace kvcsd;           // NOLINT
@@ -19,6 +23,8 @@ using namespace kvcsd::harness;  // NOLINT
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t keys = flags.GetUint("keys", 256 << 10);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("ablate_dram", flags);
 
   std::printf("Ablation: SoC DRAM budget vs compaction cost (%s keys)\n",
               FormatCount(keys).c_str());
@@ -37,11 +43,22 @@ int main(int argc, char** argv) {
     spec.shared_keyspace = true;
     CsdInsertOutcome outcome = RunCsdInsert(config, 32, spec);
 
+    const std::string point = "dram" + std::to_string(dram >> 20);
+    report.AddMetric("csd.compact." + point + ".keys_per_sec",
+                     static_cast<double>(keys) * 1e9 /
+                         static_cast<double>(outcome.compaction_done -
+                                             outcome.insert_done));
+    report.AddMetric("csd.compact." + point + ".zns_bytes_written",
+                     outcome.zns_bytes_written);
+    report.AddMetric("csd.compact." + point + ".zns_bytes_read",
+                     outcome.zns_bytes_read);
     table.AddRow({FormatBytes(dram), FormatSeconds(outcome.insert_done),
                   FormatSeconds(outcome.compaction_done - outcome.insert_done),
                   FormatBytes(outcome.zns_bytes_written),
                   FormatBytes(outcome.zns_bytes_read)});
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

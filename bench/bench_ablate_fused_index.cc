@@ -7,12 +7,16 @@
 // implemented here; this bench quantifies the trade.
 //
 // Flags: --keys=N (default 256K)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
+#include <string>
 
 #include "common/keys.h"
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
 #include "harness/testbed.h"
+#include "harness/tracing.h"
 #include "sim/sync.h"
 #include "vpic/vpic.h"
 
@@ -72,6 +76,8 @@ Outcome Run(bool fused, std::uint64_t keys, std::uint64_t dram_bytes) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t keys = flags.GetUint("keys", 256 << 10);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("ablate_fused_index", flags);
 
   std::printf(
       "Ablation: separate (paper design) vs fused (paper future work) "
@@ -83,6 +89,16 @@ int main(int argc, char** argv) {
   for (std::uint64_t dram : {MiB(256), MiB(16)}) {
     Outcome separate = Run(false, keys, dram);
     Outcome fused = Run(true, keys, dram);
+    const std::string point = "dram" + std::to_string(dram >> 20);
+    report.AddMetric("csd.separate." + point + ".keys_per_sec",
+                     static_cast<double>(keys) * 1e9 /
+                         static_cast<double>(separate.device_done));
+    report.AddMetric("csd.fused." + point + ".keys_per_sec",
+                     static_cast<double>(keys) * 1e9 /
+                         static_cast<double>(fused.device_done));
+    report.AddMetric("csd.separate." + point + ".zns_reads",
+                     separate.zns_reads);
+    report.AddMetric("csd.fused." + point + ".zns_reads", fused.zns_reads);
     table.AddRow({"separate", FormatBytes(dram),
                   FormatSeconds(separate.device_done),
                   FormatBytes(separate.zns_reads),
@@ -92,5 +108,7 @@ int main(int argc, char** argv) {
                   FormatBytes(fused.zns_reads), FormatBytes(fused.zns_writes)});
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

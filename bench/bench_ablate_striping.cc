@@ -7,10 +7,14 @@
 // flush pipeline overlaps channel work.
 //
 // Flags: --keys_per_thread=N (default 64K) --threads=T (default 8)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
+#include <string>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "harness/workloads.h"
 
 using namespace kvcsd;           // NOLINT
@@ -22,6 +26,8 @@ int main(int argc, char** argv) {
       flags.GetUint("keys_per_thread", 64 << 10);
   const auto threads =
       static_cast<std::uint32_t>(flags.GetUint("threads", 8));
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("ablate_striping", flags);
 
   std::printf("Ablation: zone-cluster striping width, %u writers x %s keys\n",
               threads, FormatCount(keys_per_thread).c_str());
@@ -41,6 +47,13 @@ int main(int argc, char** argv) {
     CsdInsertOutcome outcome = RunCsdInsert(config, 32, spec);
     if (width == 1) baseline = outcome.compaction_done;
 
+    const std::string point = "width" + std::to_string(width);
+    report.AddMetric("csd.put." + point + ".keys_per_sec",
+                     static_cast<double>(spec.total_keys) * 1e9 /
+                         static_cast<double>(outcome.insert_done));
+    report.AddMetric("csd.total." + point + ".keys_per_sec",
+                     static_cast<double>(spec.total_keys) * 1e9 /
+                         static_cast<double>(outcome.compaction_done));
     table.AddRow({std::to_string(width),
                   FormatSeconds(outcome.insert_done),
                   FormatSeconds(outcome.compaction_done),
@@ -48,5 +61,7 @@ int main(int argc, char** argv) {
                               static_cast<double>(outcome.compaction_done))});
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

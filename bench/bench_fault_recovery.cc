@@ -12,6 +12,7 @@
 // keyspace count itself.
 //
 // Flags: --keys=N per keyspace (default 2000)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,7 +21,9 @@
 #include "client/client.h"
 #include "common/keys.h"
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "hostenv/cost_model.h"
 #include "kvcsd/device.h"
 #include "nvme/queue.h"
@@ -96,6 +99,9 @@ sim::Task<void> Recover(device::Device* dev, client::Client* db,
 RunResult RunOne(std::uint32_t keyspaces, std::uint64_t keys,
                  bool compacted) {
   sim::Simulation sim;
+  // This bench assembles its device by hand (no CsdTestbed), so request
+  // tracing explicitly; the dump covers both the load and the recovery.
+  TraceRequest::EnableOn(&sim);
   sim::FaultInjector faults(keyspaces * 31 + (compacted ? 1 : 0));
   const device::DeviceConfig cfg = BenchConfig(&faults);
 
@@ -117,6 +123,7 @@ RunResult RunOne(std::uint32_t keyspaces, std::uint64_t keys,
   client::Client db2(&queue2, &host_cpu, hostenv::CostModel::Host());
   sim.Spawn(Recover(dev2.get(), &db2, &sim, keyspaces, &result));
   sim.Run();
+  TraceRequest::Dump(&sim);
   return result;
 }
 
@@ -129,6 +136,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys must be > 0\n");
     return 2;
   }
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("fault_recovery", flags);
 
   std::printf(
       "Recovery after power cut: Device::Recover() vs keyspace count "
@@ -147,6 +156,13 @@ int main(int argc, char** argv) {
           r.recovered_kvs != static_cast<std::uint64_t>(k) * keys) {
         all_ok = false;
       }
+      const std::string point =
+          std::string(compacted ? "compacted" : "writable") + ".ks" +
+          std::to_string(k);
+      report.AddMetric("recover." + point + ".kvs_per_sec",
+                       static_cast<double>(r.recovered_kvs) * 1e9 /
+                           static_cast<double>(r.recovery_ticks));
+      report.AddMetric("recover." + point + ".ticks", r.recovery_ticks);
       table.AddRow({std::to_string(k), compacted ? "COMPACTED" : "WRITABLE",
                     FormatCount(r.recovered_kvs),
                     FormatSeconds(r.recovery_ticks),
@@ -154,6 +170,8 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
 
   std::printf("\nall runs loaded, recovered, and kept every acked kv: %s\n",
               all_ok ? "yes" : "NO (recovery bug!)");

@@ -12,10 +12,13 @@
 // Paper's headline: 66 s effective write vs 704 s -> 10.6x.
 //
 // Flags: --particles=N (default 2M; paper 256M) --files=F (default 16)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "vpic_common.h"
 
 using namespace kvcsd;           // NOLINT
@@ -28,6 +31,8 @@ int main(int argc, char** argv) {
   gen.num_particles = flags.GetUint("particles", 2 << 20);
   gen.num_files = static_cast<std::uint32_t>(flags.GetUint("files", 16));
   gen.seed = flags.GetUint("seed", 2023);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("fig11_vpic_write", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();
   // Per-instance data: particles/files x (48 B particle + ~30 B aux pair).
@@ -64,5 +69,21 @@ int main(int argc, char** argv) {
               FormatRatio(static_cast<double>(rocks_effective) /
                           static_cast<double>(csd.insert))
                   .c_str());
+
+  report.AddMetric("csd.write.particles_per_sec",
+                   static_cast<double>(gen.num_particles) * 1e9 /
+                       static_cast<double>(csd.insert));
+  report.AddMetric("lsm.write.particles_per_sec",
+                   static_cast<double>(gen.num_particles) * 1e9 /
+                       static_cast<double>(rocks_effective));
+  report.AddMetric("csd.write.compact_ticks", csd.compaction);
+  report.AddMetric("csd.write.index_ticks", csd.index);
+  report.AddMetric("csd.write.speedup",
+                   static_cast<double>(rocks_effective) /
+                       static_cast<double>(csd.insert));
+  report.AddStats(csd_bed.sim().stats(), "device.cmd.");
+  report.AddCompactionStats(csd_bed.dev().compaction_stats());
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

@@ -13,11 +13,14 @@
 // 20% as RocksDB's client-side caching catches up.
 //
 // Flags: --particles=N (default 2M; paper 256M) --files=F (default 16)
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <algorithm>
 #include <cstdio>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "sim/sync.h"
 #include "vpic_common.h"
 
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
   gen.num_particles = flags.GetUint("particles", 2 << 20);
   gen.num_files = static_cast<std::uint32_t>(flags.GetUint("files", 16));
   gen.seed = flags.GetUint("seed", 2023);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("fig12_vpic_query", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();
   // Per-instance data: particles/files x (48 B particle + ~30 B aux pair).
@@ -120,11 +125,23 @@ int main(int argc, char** argv) {
     }
     char sel[32];
     std::snprintf(sel, sizeof(sel), "%.1f%%", pct);
+    char point[32];
+    std::snprintf(point, sizeof(point), "sel%.1f", pct);
+    report.AddMetric(std::string("csd.query.") + point + ".hits_per_sec",
+                     static_cast<double>(csd_hits) * 1e9 /
+                         static_cast<double>(csd_time));
+    report.AddMetric(std::string("lsm.query.") + point + ".hits_per_sec",
+                     static_cast<double>(lsm_hits) * 1e9 /
+                         static_cast<double>(lsm_time));
+    report.AddMetric(std::string("csd.query.") + point + ".hits", csd_hits);
     table.AddRow({sel, FormatCount(csd_hits), FormatSeconds(csd_time),
                   FormatSeconds(lsm_time),
                   FormatRatio(static_cast<double>(lsm_time) /
                               static_cast<double>(csd_time))});
   }
   table.Print();
+  report.AddStats(csd_bed.sim().stats(), "device.ks.");
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

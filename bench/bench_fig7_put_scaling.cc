@@ -13,10 +13,13 @@
 // Paper's headline: KV-CSD 4.2x faster at 32 cores, 7.9x at 2 cores.
 //
 // Flags: --keys=N (default 1M; paper 32M) --seed=S
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "harness/workloads.h"
 
 using namespace kvcsd;           // NOLINT
@@ -26,6 +29,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t total_keys = flags.GetUint("keys", 1 << 20);
   const std::uint64_t seed = flags.GetUint("seed", 1);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("fig7_put_scaling", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();
   config.ScaleLsmTreeTo(total_keys * (16 + 32));
@@ -56,6 +61,20 @@ int main(int argc, char** argv) {
 
     const double speedup = static_cast<double>(lsm.total_done) /
                            static_cast<double>(csd.insert_done);
+    const std::string point = "cores" + std::to_string(cores);
+    report.AddMetric("csd.put." + point + ".keys_per_sec",
+                     static_cast<double>(total_keys) * 1e9 /
+                         static_cast<double>(csd.insert_done));
+    report.AddMetric("lsm.put." + point + ".keys_per_sec",
+                     static_cast<double>(total_keys) * 1e9 /
+                         static_cast<double>(lsm.total_done));
+    report.AddMetric("csd.put." + point + ".speedup", speedup);
+    report.AddMetric("csd.compact." + point + ".ticks",
+                     csd.compaction_done - csd.insert_done);
+    report.AddMetric("csd.zns." + point + ".bytes_written",
+                     csd.zns_bytes_written);
+    report.AddMetric("lsm.ssd." + point + ".bytes_written",
+                     lsm.device_bytes_written);
     time_table.AddRow({std::to_string(cores),
                        FormatSeconds(csd.insert_done),
                        FormatSeconds(lsm.total_done), FormatRatio(speedup),
@@ -70,5 +89,8 @@ int main(int argc, char** argv) {
   }
   time_table.Print();
   io_table.Print();
+  report.AddTable(time_table);
+  report.AddTable(io_table);
+  report.WriteIfRequested();
   return 0;
 }

@@ -9,10 +9,13 @@
 // when KV-CSD is limited to 2 host cores.
 //
 // Flags: --keys=N (default 64K; paper 32M) --seed=S
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "harness/workloads.h"
 
 using namespace kvcsd;           // NOLINT
@@ -22,6 +25,8 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t total_keys = flags.GetUint("keys", 64 << 10);
   const std::uint64_t seed = flags.GetUint("seed", 1);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("fig8_value_size", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();
   std::printf("%s", config.Describe().c_str());
@@ -48,6 +53,16 @@ int main(int argc, char** argv) {
     LsmInsertOutcome rocks =
         RunLsmInsert(config, 32, spec, lsm::CompactionMode::kAuto);
 
+    const std::string point = "val" + std::to_string(value_bytes);
+    report.AddMetric("csd.put32." + point + ".keys_per_sec",
+                     static_cast<double>(total_keys) * 1e9 /
+                         static_cast<double>(csd32.insert_done));
+    report.AddMetric("csd.put2." + point + ".keys_per_sec",
+                     static_cast<double>(total_keys) * 1e9 /
+                         static_cast<double>(csd2.insert_done));
+    report.AddMetric("lsm.put32." + point + ".keys_per_sec",
+                     static_cast<double>(total_keys) * 1e9 /
+                         static_cast<double>(rocks.total_done));
     table.AddRow(
         {FormatBytes(value_bytes), FormatSeconds(csd32.insert_done),
          FormatSeconds(csd2.insert_done), FormatSeconds(rocks.total_done),
@@ -57,5 +72,7 @@ int main(int argc, char** argv) {
                      static_cast<double>(csd2.insert_done))});
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

@@ -10,10 +10,13 @@
 // than RocksDB auto / deferred / none.
 //
 // Flags: --keys_per_thread=N (default 64K; paper 32M) --seed=S
+//        --json=PATH (machine-readable report) --trace=PATH (span trace)
 #include <cstdio>
 
 #include "harness/flags.h"
+#include "harness/json_report.h"
 #include "harness/report.h"
+#include "harness/tracing.h"
 #include "harness/workloads.h"
 
 using namespace kvcsd;           // NOLINT
@@ -24,6 +27,8 @@ int main(int argc, char** argv) {
   const std::uint64_t keys_per_thread =
       flags.GetUint("keys_per_thread", 64 << 10);
   const std::uint64_t seed = flags.GetUint("seed", 1);
+  TraceRequest::Set(flags.GetString("trace", ""));
+  JsonReporter report("fig9_multi_keyspace", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();
   config.ScaleLsmTreeTo(keys_per_thread * (16 + 32));
@@ -53,6 +58,20 @@ int main(int argc, char** argv) {
     LsmInsertOutcome rocks_none =
         RunLsmInsert(config, 32, spec, lsm::CompactionMode::kNone);
 
+    const std::string point = "ks" + std::to_string(threads);
+    report.AddMetric("csd.put." + point + ".keys_per_sec",
+                     static_cast<double>(spec.total_keys) * 1e9 /
+                         static_cast<double>(csd.insert_done));
+    report.AddMetric("lsm.auto." + point + ".keys_per_sec",
+                     static_cast<double>(spec.total_keys) * 1e9 /
+                         static_cast<double>(rocks_auto.total_done));
+    report.AddMetric("lsm.deferred." + point + ".keys_per_sec",
+                     static_cast<double>(spec.total_keys) * 1e9 /
+                         static_cast<double>(rocks_deferred.total_done));
+    report.AddMetric("lsm.none." + point + ".keys_per_sec",
+                     static_cast<double>(spec.total_keys) * 1e9 /
+                         static_cast<double>(rocks_none.total_done));
+
     auto ratio = [&](const LsmInsertOutcome& r) {
       return FormatRatio(static_cast<double>(r.total_done) /
                          static_cast<double>(csd.insert_done));
@@ -65,5 +84,7 @@ int main(int argc, char** argv) {
                   ratio(rocks_deferred), ratio(rocks_none)});
   }
   table.Print();
+  report.AddTable(table);
+  report.WriteIfRequested();
   return 0;
 }

@@ -5,7 +5,15 @@
 // executes for real: skiplist memtable, bloom filters, CRC32C, varint
 // codecs, SSTable block parsing, and the VPIC generator. Useful for
 // catching performance regressions in the library itself.
+//
+// Accepts --json=PATH like the figure benches (translated into
+// google-benchmark's JSON output file); --trace is accepted and ignored
+// since there is no simulation to trace.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/crc32c.h"
@@ -132,4 +140,28 @@ BENCHMARK(BM_OrderEncodeF32);
 }  // namespace
 }  // namespace kvcsd
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a flag-translation shim: --json=PATH becomes
+// --benchmark_out=PATH --benchmark_out_format=json so every bench in
+// bench/ shares one machine-readable flag; --trace=... is swallowed.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + std::string(arg.substr(7)));
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--trace", 0) != 0) {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

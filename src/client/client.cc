@@ -3,13 +3,27 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "sim/simulation.h"
 
 namespace kvcsd::client {
 
+sim::Stats& Client::stats() { return queue_->sim()->stats(); }
+
 sim::Task<nvme::Completion> Client::Call(nvme::Command command) {
+  const nvme::Opcode op = command.opcode;
+  sim::Simulation* sim = queue_->sim();
+  const Tick begin = sim->Now();
   // Userspace driver work on the host: packing + doorbell. No kernel.
   co_await host_cpu_->Compute(costs_.syscall_overhead);
-  co_return co_await queue_->Submit(std::move(command));
+  nvme::Completion completion = co_await queue_->Submit(std::move(command));
+  // Host-visible round trip, including the client-side driver compute —
+  // what an application would measure around a Put/Get call.
+  if (const char* cls = nvme::OpcodeLatencyClass(op)) {
+    sim->stats()
+        .histogram(std::string("client.cmd.") + cls + "_ns")
+        .Record(sim->Now() - begin);
+  }
+  co_return completion;
 }
 
 sim::Task<Result<KeyspaceHandle>> Client::CreateKeyspace(

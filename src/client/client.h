@@ -152,6 +152,11 @@ class Client {
   const ClientConfig& config() const { return config_; }
   nvme::QueuePair& queue() { return *queue_; }
 
+  // The simulation-wide stats registry. The client records host-visible
+  // round-trip latency histograms ("client.cmd.<class>_ns") for the
+  // put/get/range/secondary_range classes.
+  sim::Stats& stats();
+
  private:
   friend class KeyspaceHandle;
 

@@ -35,6 +35,9 @@ class Flags {
     return it == values_.end() ? fallback : it->second;
   }
 
+  // Every parsed flag, for embedding the run's arguments into reports.
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };

@@ -29,6 +29,10 @@ class Table {
   // Renders with column auto-sizing to stdout.
   void Print() const;
 
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> columns_;

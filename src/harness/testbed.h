@@ -17,6 +17,7 @@
 #include <string>
 
 #include "client/client.h"
+#include "harness/tracing.h"
 #include "hostenv/fs.h"
 #include "kvcsd/device.h"
 #include "lsm/db.h"
@@ -88,8 +89,12 @@ class CsdTestbed {
                   host_cores_override ? host_cores_override
                                       : config.host_cores),
         client_(&queue_, &host_cpu_, config.host_costs) {
+    TraceRequest::EnableOn(&sim_);
     device_.Start();
   }
+  ~CsdTestbed() { TraceRequest::Dump(&sim_); }
+  CsdTestbed(const CsdTestbed&) = delete;
+  CsdTestbed& operator=(const CsdTestbed&) = delete;
 
   sim::Simulation& sim() { return sim_; }
   client::Client& client() { return client_; }
@@ -119,7 +124,12 @@ class LsmTestbed {
         page_cache_(config.page_cache_bytes),
         fs_(&sim_, &host_cpu_, &ssd_, &page_cache_, config.host_costs),
         env_{&sim_, &fs_, &host_cpu_, config.host_costs, &sim_.stats()},
-        block_cache_(config.block_cache_bytes) {}
+        block_cache_(config.block_cache_bytes) {
+    TraceRequest::EnableOn(&sim_);
+  }
+  ~LsmTestbed() { TraceRequest::Dump(&sim_); }
+  LsmTestbed(const LsmTestbed&) = delete;
+  LsmTestbed& operator=(const LsmTestbed&) = delete;
 
   // Opens one RocksLite instance named `name` in the given mode.
   sim::Task<Result<std::unique_ptr<lsm::Db>>> OpenDb(

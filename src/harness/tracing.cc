@@ -1,0 +1,43 @@
+#include "harness/tracing.h"
+
+#include <cstdio>
+
+namespace kvcsd::harness {
+
+namespace {
+std::string g_trace_path;        // NOLINT: process-wide bench config
+unsigned g_dumps = 0;            // NOLINT
+}  // namespace
+
+void TraceRequest::Set(std::string path) {
+  g_trace_path = std::move(path);
+  g_dumps = 0;
+}
+
+bool TraceRequest::active() { return !g_trace_path.empty(); }
+
+void TraceRequest::EnableOn(sim::Simulation* sim) {
+  if (active()) sim->tracer().Enable();
+}
+
+void TraceRequest::Dump(sim::Simulation* sim) {
+  if (!active() || !sim->tracer().enabled()) return;
+  if (sim->tracer().size() == 0) return;
+  std::string path = g_trace_path;
+  if (g_dumps > 0) path += "." + std::to_string(g_dumps);
+  ++g_dumps;
+  Status s = sim->tracer().WriteFile(path);
+  if (s.ok()) {
+    std::printf("trace written to %s (%zu events", path.c_str(),
+                sim->tracer().size());
+    if (sim->tracer().dropped() > 0) {
+      std::printf(", %llu dropped",
+                  static_cast<unsigned long long>(sim->tracer().dropped()));
+    }
+    std::printf(")\n");
+  } else {
+    std::printf("FAILED to write trace: %s\n", s.ToString().c_str());
+  }
+}
+
+}  // namespace kvcsd::harness

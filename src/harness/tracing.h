@@ -1,0 +1,33 @@
+// Process-wide trace request for bench binaries.
+//
+// Benches pass --trace=<path>; main() forwards it here once. Every
+// simulation the harness testbeds construct afterwards records span events
+// (sim/tracer.h), and each testbed dumps its simulation's trace when it is
+// destroyed: the first dump writes <path>, subsequent ones <path>.1,
+// <path>.2, ... (benches that sweep a parameter build one testbed per
+// point). Traces with no events are skipped. Load the files in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace kvcsd::harness {
+
+class TraceRequest {
+ public:
+  // Empty path = tracing stays off (the default).
+  static void Set(std::string path);
+  static bool active();
+
+  // Called by testbed constructors: turns the sim's tracer on when a
+  // trace was requested.
+  static void EnableOn(sim::Simulation* sim);
+
+  // Called by testbed destructors: writes the sim's trace file (if
+  // tracing is active and the sim recorded any events).
+  static void Dump(sim::Simulation* sim);
+};
+
+}  // namespace kvcsd::harness

@@ -42,6 +42,7 @@
 #include "nvme/skey.h"
 #include "sim/fault.h"
 #include "sim/parallel.h"
+#include "sim/tracer.h"
 
 namespace kvcsd::device {
 
@@ -85,6 +86,11 @@ struct Device::RunGenOutput {
 sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
                                            std::uint64_t run_budget,
                                            RunGenOutput* out) {
+  // One track per worker share keeps concurrent run-gen spans on separate
+  // viewer rows (zone index mod the share count matches the fan-out width).
+  sim::TraceSpan span(
+      sim_, "compact.gen." + std::to_string(zone % kRunGenShares), "run_gen");
+  span.Arg("zone", static_cast<std::uint64_t>(zone));
   std::vector<KlogEntry> current;
   std::uint64_t current_bytes = 0;
 
@@ -410,6 +416,9 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
 // on a failed compaction.
 sim::Task<Status> Device::CompactKeyspace(
     Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs) {
+  sim::TraceSpan span(sim_, "compaction", "compact");
+  span.Arg("keyspace", ks->name);
+  span.Arg("fused_indexes", static_cast<std::uint64_t>(fused_specs.size()));
   std::vector<ClusterId> scratch;
   Status result = co_await RunCompaction(ks, std::move(fused_specs), &scratch);
   if (!result.ok()) {
@@ -504,6 +513,12 @@ sim::Task<Status> Device::RunCompaction(
     co_return Status::IoError("simulated power loss after run generation");
   }
   compaction_stats_.phase1_ticks += sim_->Now() - phase1_start;
+  if (sim_->tracer().enabled()) {
+    sim_->tracer().CompleteSpan(
+        sim_->tracer().Track("compaction"), "phase1.run_gen", phase1_start,
+        sim_->Now(),
+        {{"keyspace", ks->name}, {"runs", std::to_string(runs.size())}});
+  }
 
   // ---- Phase 2: loser-tree merge feeding the index-build stage ----
   const Tick phase2_start = sim_->Now();
@@ -658,6 +673,12 @@ sim::Task<Status> Device::RunCompaction(
     }
   }
   compaction_stats_.phase2_ticks += sim_->Now() - phase2_start;
+  if (sim_->tracer().enabled()) {
+    sim_->tracer().CompleteSpan(
+        sim_->tracer().Track("compaction"), "phase2.merge_index", phase2_start,
+        sim_->Now(),
+        {{"keyspace", ks->name}, {"fanin", std::to_string(runs.size())}});
+  }
 
   // ---- Commit ----
   // Phase-1 temporaries are dead weight either way; drop them first.

@@ -5,6 +5,8 @@
 #include "common/coding.h"
 #include "kvcsd/wire.h"
 #include "sim/fault.h"
+#include "sim/simulation.h"
+#include "sim/tracer.h"
 
 namespace kvcsd::device {
 
@@ -73,6 +75,9 @@ bool Device::CrashPoint(const char* point) {
   return faults_ != nullptr && faults_->Hit(point);
 }
 
+sim::Stats& Device::stats() { return sim_->stats(); }
+const sim::Stats& Device::stats() const { return sim_->stats(); }
+
 sim::Semaphore* Device::WriteLock(std::uint64_t keyspace_id) {
   auto& lock = write_locks_[keyspace_id];
   if (!lock) lock = std::make_unique<sim::Semaphore>(sim_, 1);
@@ -102,7 +107,27 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
     co_await queue_->Complete(std::move(incoming), std::move(dead));
     co_return;
   }
-  nvme::Completion completion = co_await Dispatch(incoming.command);
+  const nvme::Opcode op = incoming.command.opcode;
+  const Tick begin = sim_->Now();
+  nvme::Completion completion;
+  {
+    // Span covers the device-side processing; the completion DMA below is
+    // on the nvme track.
+    sim::TraceSpan span(sim_, "device", nvme::OpcodeName(op));
+    span.Arg("keyspace_id", incoming.command.keyspace_id);
+    completion = co_await Dispatch(incoming.command);
+  }
+  sim_->stats()
+      .counter(std::string("device.cmd.") + nvme::OpcodeName(op))
+      .Increment();
+  if (const char* cls = nvme::OpcodeLatencyClass(op)) {
+    sim_->stats()
+        .histogram(std::string("device.cmd.") + cls + "_ns")
+        .Record(sim_->Now() - begin);
+  }
+  if (!completion.status.ok()) {
+    sim_->stats().counter("device.cmd.errors").Increment();
+  }
   if (faults_ != nullptr && faults_->crashed()) {
     // The power cut landed mid-command; whatever Dispatch claims, the
     // host must treat the operation as failed.
@@ -167,7 +192,15 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
       }
       Keyspace* keyspace = *ks;
       ++keyspace->inflight;
+      const Tick ks_begin = sim_->Now();
       out = co_await DispatchKeyspaceCommand(cmd, keyspace);
+      // Record while still pinned: the name is safe to read until Unpin
+      // lets a deferred drop free the keyspace.
+      if (const char* cls = nvme::OpcodeLatencyClass(cmd.opcode)) {
+        sim_->stats()
+            .histogram("device.ks." + keyspace->name + "." + cls + "_ns")
+            .Record(sim_->Now() - ks_begin);
+      }
       co_await Unpin(keyspace);
       break;
     }

@@ -129,6 +129,14 @@ class Device {
   sim::CpuPool& cpu() { return cpu_; }
   const DeviceConfig& config() const { return config_; }
 
+  // The simulation-wide stats registry. The device records per-opcode
+  // counters ("device.cmd.<op>"), aggregate latency histograms
+  // ("device.cmd.<class>_ns") and per-keyspace latency histograms
+  // ("device.ks.<keyspace>.<class>_ns") for the put/get/range/
+  // secondary_range classes (nvme::OpcodeLatencyClass).
+  sim::Stats& stats();
+  const sim::Stats& stats() const;
+
   std::uint64_t puts() const { return puts_; }
   std::uint64_t flushes() const { return flushes_; }
   std::uint64_t compactions_done() const { return compactions_done_; }

@@ -27,6 +27,7 @@
 
 #include "kvcsd/device.h"
 #include "kvcsd/klog_stream.h"
+#include "sim/tracer.h"
 
 namespace kvcsd::device {
 
@@ -66,6 +67,7 @@ void AppendAll(std::vector<ClusterId>* out,
 }  // namespace
 
 sim::Task<Status> Device::Recover() {
+  sim::TraceSpan span(sim_, "recovery", "recover");
   auto recovered = co_await keyspace_manager_.Recover();
   KVCSD_CO_RETURN_IF_ERROR(recovered.status());
 
@@ -161,6 +163,8 @@ sim::Task<Status> Device::Recover() {
 }
 
 sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
+  sim::TraceSpan span(sim_, "recovery", "replay_klog");
+  span.Arg("keyspace", ks->name);
   ks->num_kvs = 0;
   ks->min_key.clear();
   ks->max_key.clear();

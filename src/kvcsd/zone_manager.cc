@@ -7,6 +7,24 @@
 
 namespace kvcsd::device {
 
+const char* ZoneTypeName(ZoneType type) {
+  switch (type) {
+    case ZoneType::kKlog:
+      return "klog";
+    case ZoneType::kVlog:
+      return "vlog";
+    case ZoneType::kPidx:
+      return "pidx";
+    case ZoneType::kSidx:
+      return "sidx";
+    case ZoneType::kSortedValues:
+      return "sorted_values";
+    case ZoneType::kTemp:
+      return "temp";
+  }
+  return "unknown";
+}
+
 ZoneManager::ZoneManager(storage::ZnsSsd* ssd, ZoneManagerConfig config,
                          std::uint64_t seed)
     : ssd_(ssd), config_(config), rng_(seed) {
@@ -15,6 +33,10 @@ ZoneManager::ZoneManager(storage::ZnsSsd* ssd, ZoneManagerConfig config,
   // ascending order (and therefore consecutive channels) per cluster.
   for (std::uint32_t z = ssd->num_zones(); z-- > config_.reserved_zones;) {
     free_zones_.push_back(z);
+  }
+  // The reserved zones hold the ping-pong metadata snapshots.
+  for (std::uint32_t z = 0; z < config_.reserved_zones; ++z) {
+    ssd_->TagZone(z, "meta");
   }
 }
 
@@ -31,6 +53,10 @@ Result<ClusterId> ZoneManager::AllocateCluster(ZoneType type) {
   for (std::uint32_t i = 0; i < config_.zones_per_cluster; ++i) {
     cluster.zones.push_back(free_zones_.back());
     free_zones_.pop_back();
+    // Attribute the zone's I/O to its new role. Released zones keep their
+    // old tag until reallocated, so a release's resets still land on the
+    // role that owned the data.
+    ssd_->TagZone(cluster.zones.back(), ZoneTypeName(type));
   }
   // The paper's channel-conflict mitigation: start the write rotation at a
   // random zone so simultaneous writers land on different channels.
@@ -154,6 +180,11 @@ Status ZoneManager::RestoreFrom(Slice* in) {
 
   clusters_ = std::move(clusters);
   next_cluster_id_ = next_id == 0 ? 1 : next_id;
+  for (const auto& [id, cluster] : clusters_) {
+    for (std::uint32_t zone : cluster.zones) {
+      ssd_->TagZone(zone, ZoneTypeName(cluster.type));
+    }
+  }
   free_zones_.clear();
   for (std::uint32_t z = ssd_->num_zones(); z-- > config_.reserved_zones;) {
     if (!owned[z]) free_zones_.push_back(z);

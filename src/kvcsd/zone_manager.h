@@ -32,6 +32,10 @@ enum class ZoneType : std::uint8_t {
   kTemp,  // intermediate merge-sort output, released after the sort
 };
 
+// Stable lowercase role name for metric keys and trace labels ("klog",
+// "vlog", "pidx", "sidx", "sorted_values", "temp").
+const char* ZoneTypeName(ZoneType type);
+
 using ClusterId = std::uint64_t;
 
 struct ZoneManagerConfig {

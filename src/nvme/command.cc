@@ -25,4 +25,56 @@ std::uint64_t CompletionWireSize(const Completion& cpl) {
   return size;
 }
 
+const char* OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kKvStore:
+      return "kv_store";
+    case Opcode::kKvRetrieve:
+      return "kv_retrieve";
+    case Opcode::kKvDelete:
+      return "kv_delete";
+    case Opcode::kKeyspaceCreate:
+      return "keyspace_create";
+    case Opcode::kKeyspaceOpen:
+      return "keyspace_open";
+    case Opcode::kKeyspaceDrop:
+      return "keyspace_drop";
+    case Opcode::kBulkStore:
+      return "bulk_store";
+    case Opcode::kCompact:
+      return "compact";
+    case Opcode::kCompactWait:
+      return "compact_wait";
+    case Opcode::kSecondaryBuild:
+      return "secondary_build";
+    case Opcode::kQueryPrimaryRange:
+      return "query_primary_range";
+    case Opcode::kQuerySecondaryRange:
+      return "query_secondary_range";
+    case Opcode::kKeyspaceStat:
+      return "keyspace_stat";
+    case Opcode::kSync:
+      return "sync";
+    case Opcode::kCompactWithIndexes:
+      return "compact_with_indexes";
+  }
+  return "unknown";
+}
+
+const char* OpcodeLatencyClass(Opcode op) {
+  switch (op) {
+    case Opcode::kKvStore:
+    case Opcode::kBulkStore:
+      return "put";
+    case Opcode::kKvRetrieve:
+      return "get";
+    case Opcode::kQueryPrimaryRange:
+      return "range";
+    case Opcode::kQuerySecondaryRange:
+      return "secondary_range";
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace kvcsd::nvme

@@ -87,4 +87,14 @@ std::uint64_t CommandWireSize(const Command& cmd);
 // And on the completion side.
 std::uint64_t CompletionWireSize(const Completion& cpl);
 
+// Stable lowercase mnemonic for metric names and trace-event labels
+// ("kv_store", "query_primary_range", ...); "unknown" for out-of-set values.
+const char* OpcodeName(Opcode op);
+
+// Latency-class bucket for the per-command histograms the paper's plots
+// need: "put" (store/bulk store), "get" (retrieve), "range" (primary
+// range), "secondary_range" (secondary range); nullptr for everything else
+// (management commands are counted but not latency-classed).
+const char* OpcodeLatencyClass(Opcode op);
+
 }  // namespace kvcsd::nvme

@@ -63,6 +63,8 @@ class QueuePair {
     return device_to_host_.total_bytes();
   }
 
+  sim::Simulation* sim() const { return sim_; }
+
  private:
   sim::Simulation* sim_;
   PcieConfig config_;
@@ -75,7 +77,11 @@ class QueuePair {
 
 inline sim::Task<Completion> QueuePair::Submit(Command command) {
   ++submitted_;
+  // Spans the whole host-visible round trip: submission DMA, device
+  // service time, completion DMA.
+  sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
   const std::uint64_t wire = CommandWireSize(command);
+  span.Arg("wire_bytes", wire);
   co_await host_to_device_.Transfer(wire);
 
   sim::Event reply(sim_);

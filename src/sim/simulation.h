@@ -18,6 +18,7 @@
 #include "common/units.h"
 #include "sim/stats.h"
 #include "sim/task.h"
+#include "sim/tracer.h"
 
 namespace kvcsd::sim {
 
@@ -77,6 +78,10 @@ class Simulation {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  // Span tracer (tracer.h); disabled until Tracer::Enable().
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
   struct DetachedRunner;  // implementation detail, defined in simulation.cc
 
  private:
@@ -102,6 +107,7 @@ class Simulation {
   // must reclaim.
   std::unordered_set<void*> detached_;
   Stats stats_;
+  Tracer tracer_;
 };
 
 }  // namespace kvcsd::sim

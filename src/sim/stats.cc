@@ -13,22 +13,48 @@ int BucketFor(std::uint64_t v) {
   return v == 0 ? 0 : std::min(static_cast<int>(std::bit_width(v)), 63);
 }
 
+// Relaxed CAS min/max: exactness matters only once writers join, and the
+// loop retries until this thread's value is no longer an improvement.
+void AtomicMin(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
 
 void Histogram::Record(std::uint64_t v) {
-  ++buckets_[static_cast<std::size_t>(BucketFor(v))];
-  ++count_;
-  sum_ += v;
-  min_ = std::min(min_, v);
-  max_ = std::max(max_, v);
+  buckets_[static_cast<std::size_t>(BucketFor(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
 }
 
 double Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  const double target = p / 100.0 * static_cast<double>(count_);
+  // Snapshot the buckets and derive the total from the snapshot, so the
+  // math stays internally consistent even if writers race the read.
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    snap[static_cast<std::size_t>(b)] =
+        buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    total += snap[static_cast<std::size_t>(b)];
+  }
+  if (total == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    const std::uint64_t in_bucket = snap[static_cast<std::size_t>(b)];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= target) {
       const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
@@ -42,15 +68,15 @@ double Histogram::Percentile(double p) const {
     }
     cumulative += in_bucket;
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max());
 }
 
 void Histogram::Reset() {
-  buckets_.fill(0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = UINT64_MAX;
-  max_ = 0;
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 void Stats::Reset() {

@@ -2,27 +2,41 @@
 // log2-bucketed histograms. These back the paper's "I/O statistics" plots
 // (Fig. 7b, Fig. 10b): every storage, filesystem, and interconnect layer
 // counts the bytes and operations that pass through it.
+//
+// Thread safety: recording (Counter::Add/Increment, Histogram::Record) is
+// lock-free and safe from any number of OS threads — simulation code is
+// single-threaded coroutines today, but harness and test code may hammer
+// the same objects from real threads (tests/sim/stats_test.cc stresses
+// exactly that). Registry mutation (Stats::counter/histogram inserting a
+// new name) and Reset() are NOT thread-safe: create the named series and
+// quiesce writers before resetting, then fan out. Readers (value, count,
+// Percentile, ToString) take relaxed snapshots and may observe a
+// mid-update state under concurrency; totals are exact once writers join.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
-#include <vector>
 
 namespace kvcsd::sim {
 
 class Counter {
  public:
-  void Add(std::uint64_t delta) { value_ += delta; }
-  void Increment() { ++value_; }
-  std::uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 // Histogram with power-of-two buckets; tracks count/sum/min/max and
@@ -31,13 +45,17 @@ class Histogram {
  public:
   void Record(std::uint64_t v);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return max_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
-                  : 0.0;
+    const std::uint64_t n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
   }
   // Approximate p-th percentile (0 < p <= 100) by linear interpolation
   // within the containing power-of-two bucket.
@@ -46,11 +64,11 @@ class Histogram {
 
  private:
   static constexpr int kBuckets = 64;
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = UINT64_MAX;
-  std::uint64_t max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 // Name-keyed registry. References returned by counter()/histogram() stay

@@ -1,0 +1,173 @@
+#include "sim/tracer.h"
+
+#include <cstdio>
+
+#include "sim/simulation.h"
+
+namespace kvcsd::sim {
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Ticks are nanoseconds; trace_event timestamps are microseconds. Three
+// decimals keep full nanosecond precision and a deterministic rendering.
+void AppendMicros(std::string* out, Tick ticks) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ticks / 1000),
+                static_cast<unsigned long long>(ticks % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+std::uint32_t Tracer::Track(std::string_view name) {
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == name) return i;
+  }
+  tracks_.emplace_back(name);
+  return static_cast<std::uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::CompleteSpan(
+    std::uint32_t track, std::string_view name, Tick begin, Tick end,
+    std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_ || Full()) return;
+  events_.push_back(Event{track, 'X', std::string(name), begin,
+                          std::max(begin, end), std::move(args)});
+}
+
+void Tracer::Instant(std::uint32_t track, std::string_view name, Tick at,
+                     std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_ || Full()) return;
+  events_.push_back(Event{track, 'i', std::string(name), at, at,
+                          std::move(args)});
+}
+
+std::string Tracer::ToJson() const {
+  std::string out;
+  out.reserve(events_.size() * 96 + 512);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  comma();
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"kvcsd-sim\"}}";
+  for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(i);
+    out += ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(&out, tracks_[i]);
+    out += "\"}}";
+  }
+  for (const Event& e : events_) {
+    comma();
+    out += "{\"name\":\"";
+    AppendJsonEscaped(&out, e.name);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(e.track);
+    out += ",\"ts\":";
+    AppendMicros(&out, e.begin);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(&out, e.end - e.begin);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      bool first_arg = true;
+      for (const auto& [k, v] : e.args) {
+        if (!first_arg) out += ",";
+        first_arg = false;
+        out += "\"";
+        AppendJsonEscaped(&out, k);
+        out += "\":\"";
+        AppendJsonEscaped(&out, v);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open trace file: " + path);
+  }
+  const std::string json = ToJson();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != json.size() || !closed) {
+    return Status::IoError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+TraceSpan::TraceSpan(Simulation* sim, std::string_view track,
+                     std::string_view name) {
+  if (sim == nullptr || !sim->tracer().enabled()) return;
+  sim_ = sim;
+  track_ = sim->tracer().Track(track);
+  name_ = name;
+  begin_ = sim->Now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (sim_ == nullptr) return;
+  sim_->tracer().CompleteSpan(track_, name_, begin_, sim_->Now(),
+                              std::move(args_));
+}
+
+void TraceSpan::Arg(std::string_view key, std::string_view value) {
+  if (sim_ == nullptr) return;
+  args_.emplace_back(std::string(key), std::string(value));
+}
+
+void TraceSpan::Arg(std::string_view key, std::uint64_t value) {
+  if (sim_ == nullptr) return;
+  args_.emplace_back(std::string(key), std::to_string(value));
+}
+
+}  // namespace kvcsd::sim

@@ -5,12 +5,13 @@
 #include <string>
 
 #include "sim/fault.h"
+#include "sim/simulation.h"
 
 namespace kvcsd::storage {
 
 ZnsSsd::ZnsSsd(sim::Simulation* sim, const ZnsConfig& config)
     : sim_(sim), config_(config), nand_(sim, config.nand, "zns"),
-      zones_(config.num_zones) {
+      zones_(config.num_zones), zone_tags_(config.num_zones, kNoTag) {
   if (config_.faults != nullptr) {
     // Power cut tears the in-flight append; the hook list is cleared by
     // the injector after a crash, so this fires at most once per arming.
@@ -23,6 +24,28 @@ ZnsSsd::~ZnsSsd() {
   if (config_.faults != nullptr && crash_hook_token_ != 0) {
     config_.faults->RemoveCrashHook(crash_hook_token_);
   }
+}
+
+std::uint16_t ZnsSsd::InternTag(std::string_view tag) {
+  for (std::uint16_t i = 0; i < tag_sets_.size(); ++i) {
+    if (tag_sets_[i].name == tag) return i;
+  }
+  TagCounters set;
+  set.name = std::string(tag);
+  const std::string prefix = "zns." + set.name + ".";
+  sim::Stats& stats = sim_->stats();
+  set.append_bytes = &stats.counter(prefix + "append_bytes");
+  set.appends = &stats.counter(prefix + "appends");
+  set.read_bytes = &stats.counter(prefix + "read_bytes");
+  set.reads = &stats.counter(prefix + "reads");
+  set.resets = &stats.counter(prefix + "resets");
+  tag_sets_.push_back(std::move(set));
+  return static_cast<std::uint16_t>(tag_sets_.size() - 1);
+}
+
+void ZnsSsd::TagZone(std::uint32_t zone, std::string_view tag) {
+  if (zone >= config_.num_zones) return;
+  zone_tags_[zone] = InternTag(tag);
 }
 
 Status ZnsSsd::CheckZoneId(std::uint32_t zone) const {
@@ -60,6 +83,11 @@ sim::Task<Result<std::uint64_t>> ZnsSsd::Append(
   z.state = z.write_pointer == config_.zone_size ? ZoneState::kFull
                                                  : ZoneState::kOpen;
   bytes_written_ += data.size();
+  if (zone_tags_[zone] != kNoTag) {
+    TagCounters& tc = tag_sets_[zone_tags_[zone]];
+    tc.append_bytes->Add(data.size());
+    tc.appends->Increment();
+  }
 
   // Record before awaiting the program latency: a crash during the NAND
   // program is exactly the window where this append ends up torn.
@@ -89,6 +117,11 @@ sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out) {
   }
   std::memcpy(out.data(), z.data.data() + offset, out.size());
   bytes_read_ += out.size();
+  if (zone_tags_[zone] != kNoTag) {
+    TagCounters& tc = tag_sets_[zone_tags_[zone]];
+    tc.read_bytes->Add(out.size());
+    tc.reads->Increment();
+  }
   co_await nand_.Read(ChannelOf(zone), out.size());
   co_return Status::Ok();
 }
@@ -108,6 +141,9 @@ sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone) {
   z.data.clear();
   z.data.shrink_to_fit();
   ++resets_;
+  if (zone_tags_[zone] != kNoTag) {
+    tag_sets_[zone_tags_[zone]].resets->Increment();
+  }
   if (has_last_append_ && last_append_zone_ == zone) {
     has_last_append_ = false;  // the torn-tail candidate is gone
   }

@@ -19,10 +19,13 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "common/units.h"
+#include "sim/stats.h"
 #include "sim/task.h"
 #include "storage/nand.h"
 
@@ -110,6 +113,16 @@ class ZnsSsd {
   std::uint64_t total_bytes_read() const { return bytes_read_; }
   std::uint64_t total_resets() const { return resets_; }
 
+  // Tags a zone with a role name; subsequent I/O on the zone is accounted
+  // to the simulation-wide stats registry under
+  //   zns.<tag>.{append_bytes,appends,read_bytes,reads,resets}.
+  // The storage layer stays role-agnostic: the ZoneManager applies its
+  // cluster-type names ("klog", "pidx", ...) and the metadata path tags
+  // the reserved snapshot zones "meta". Re-tagging switches accounting
+  // going forward; untagged zones are not accounted. Tag strings are
+  // interned — use a small, fixed vocabulary.
+  void TagZone(std::uint32_t zone, std::string_view tag);
+
  private:
   struct Zone {
     ZoneState state = ZoneState::kEmpty;
@@ -119,10 +132,24 @@ class ZnsSsd {
 
   Status CheckZoneId(std::uint32_t zone) const;
 
+  // Per-tag counter set, pointing into the stats registry (node-stable).
+  struct TagCounters {
+    std::string name;
+    sim::Counter* append_bytes;
+    sim::Counter* appends;
+    sim::Counter* read_bytes;
+    sim::Counter* reads;
+    sim::Counter* resets;
+  };
+  static constexpr std::uint16_t kNoTag = 0xffff;
+  std::uint16_t InternTag(std::string_view tag);
+
   sim::Simulation* sim_;
   ZnsConfig config_;
   NandModel nand_;
   std::vector<Zone> zones_;
+  std::vector<std::uint16_t> zone_tags_;  // index into tag_sets_, kNoTag
+  std::vector<TagCounters> tag_sets_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t resets_ = 0;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace kvcsd::sim {
 namespace {
 
@@ -49,6 +52,78 @@ TEST(HistogramTest, ZeroAndHugeValues) {
   EXPECT_EQ(h.count(), 2u);
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
+TEST(HistogramTest, PercentileSingleValue) {
+  Histogram h;
+  h.Record(42);
+  // Every percentile of a one-sample histogram lands in its bucket.
+  EXPECT_GT(h.Percentile(0), 0.0);
+  EXPECT_GE(h.Percentile(50), 32.0);
+  EXPECT_LE(h.Percentile(50), 64.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), h.Percentile(99));
+}
+
+TEST(HistogramTest, PercentileAllIdenticalValues) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), h.Percentile(99));
+  EXPECT_GE(h.Percentile(99), 512.0);
+  EXPECT_LE(h.Percentile(99), 2048.0);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeRequests) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 64; ++v) h.Record(v);
+  EXPECT_GE(h.Percentile(200), h.Percentile(100));
+  EXPECT_LE(h.Percentile(-5), h.Percentile(1));
+}
+
+TEST(HistogramTest, PercentileIsMonotoneInP) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; v += 7) h.Record(v);
+  double prev = 0.0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0}) {
+    const double cur = h.Percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+// The instrumented hot paths (NVMe dispatch, ZNS accounting) hammer the
+// same counters and histograms from concurrent std::threads in tests and
+// tools; totals must not lose updates.
+TEST(StatsTest, ConcurrentRecordingLosesNothing) {
+  Stats stats;
+  Counter& counter = stats.counter("stress.ops");
+  Histogram& hist = stats.histogram("stress.lat_ns");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter, &hist, t] {
+      for (std::uint64_t i = 1; i <= kPerThread; ++i) {
+        counter.Add(2);
+        hist.Record(i + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(counter.value(), 2 * kThreads * kPerThread);
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  EXPECT_EQ(hist.min(), 1u);
+  EXPECT_EQ(hist.max(), kPerThread + kThreads - 1);
+  // Sum of t..(kPerThread+t) over all threads.
+  std::uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 1; i <= kPerThread; ++i) {
+      expected_sum += i + static_cast<std::uint64_t>(t);
+    }
+  }
+  EXPECT_EQ(hist.sum(), expected_sum);
 }
 
 TEST(StatsTest, RegistryIsStableAndNamed) {

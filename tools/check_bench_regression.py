@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Compare a bench --json report against a checked-in baseline.
+
+Usage:
+  tools/check_bench_regression.py BASELINE.json CURRENT.json \
+      [--max-throughput-drop=0.15] [--max-p99-growth=0.25]
+
+The simulation is deterministic, so on identical code a report matches its
+baseline exactly; the thresholds only leave room for intentional perf
+changes.  The gate fails when:
+
+  * schema_version differs, or the runs used different args (comparing
+    reports from different workloads is meaningless);
+  * any metric named *_per_sec drops more than --max-throughput-drop
+    (relative) below the baseline;
+  * any histogram p99 grows more than --max-p99-growth (relative) above
+    the baseline.
+
+Counters, tables and wall_clock_unix are informational and never gated.
+Metrics present on only one side are reported (a vanished metric fails:
+the bench silently stopped measuring something the baseline covers).
+
+To refresh a baseline after an intentional change, re-run the bench with
+the flags recorded in the baseline's "args" and copy the report over it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"FAIL: cannot read {path}: {e}")
+        sys.exit(2)
+
+
+def relative_drop(base, cur):
+    return (base - cur) / base if base > 0 else 0.0
+
+
+def relative_growth(base, cur):
+    return (cur - base) / base if base > 0 else 0.0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="perf-regression gate for bench --json reports")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-throughput-drop", type=float, default=0.15,
+                        help="max relative drop for *_per_sec metrics "
+                             "(default 0.15)")
+    parser.add_argument("--max-p99-growth", type=float, default=0.25,
+                        help="max relative growth for histogram p99s "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    failures = []
+    notes = []
+
+    if base.get("schema_version") != cur.get("schema_version"):
+        failures.append(
+            f"schema_version mismatch: baseline "
+            f"{base.get('schema_version')} vs current "
+            f"{cur.get('schema_version')}")
+    if base.get("bench") != cur.get("bench"):
+        failures.append(f"bench mismatch: {base.get('bench')!r} vs "
+                        f"{cur.get('bench')!r}")
+    if base.get("args") != cur.get("args"):
+        failures.append(
+            f"args mismatch (different workload?): baseline "
+            f"{base.get('args')} vs current {cur.get('args')}")
+
+    # --- throughput: *_per_sec metrics ---
+    base_metrics = base.get("metrics", {})
+    cur_metrics = cur.get("metrics", {})
+    for name, base_val in sorted(base_metrics.items()):
+        if not name.endswith("_per_sec"):
+            continue
+        if name not in cur_metrics:
+            failures.append(f"metric {name} missing from current report")
+            continue
+        cur_val = cur_metrics[name]
+        drop = relative_drop(base_val, cur_val)
+        line = (f"{name}: {base_val:.4g} -> {cur_val:.4g} "
+                f"({-drop * 100:+.1f}%)")
+        if drop > args.max_throughput_drop:
+            failures.append(f"throughput regression: {line}")
+        elif drop < -args.max_throughput_drop:
+            notes.append(f"improvement (consider refreshing baseline): "
+                         f"{line}")
+        else:
+            notes.append(f"ok: {line}")
+
+    # --- latency: histogram p99s ---
+    base_hists = base.get("histograms", {})
+    cur_hists = cur.get("histograms", {})
+    for name, base_h in sorted(base_hists.items()):
+        if name not in cur_hists:
+            failures.append(f"histogram {name} missing from current report")
+            continue
+        base_p99, cur_p99 = base_h.get("p99", 0), cur_hists[name].get("p99", 0)
+        growth = relative_growth(base_p99, cur_p99)
+        line = (f"{name}.p99: {base_p99} -> {cur_p99} "
+                f"({growth * 100:+.1f}%)")
+        if growth > args.max_p99_growth:
+            failures.append(f"p99 regression: {line}")
+        else:
+            notes.append(f"ok: {line}")
+
+    for extra in sorted(set(cur_metrics) - set(base_metrics)):
+        if extra.endswith("_per_sec"):
+            notes.append(f"new metric not in baseline: {extra}")
+
+    bench = cur.get("bench", "?")
+    for n in notes:
+        print(f"  [{bench}] {n}")
+    if failures:
+        print(f"\nFAIL: {bench}: {len(failures)} regression(s) vs "
+              f"{args.baseline}")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"PASS: {bench}: no regressions vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
