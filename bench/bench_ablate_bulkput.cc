@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t keys = flags.GetUint("keys", 128 << 10);
   const auto threads = static_cast<std::uint32_t>(flags.GetUint("threads", 4));
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("ablate_bulkput", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();

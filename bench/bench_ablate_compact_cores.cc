@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys must be > 0\n");
     return 2;
   }
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("ablate_compact_cores", flags);
 
   std::printf(

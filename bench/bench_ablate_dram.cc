@@ -23,7 +23,7 @@ using namespace kvcsd::harness;  // NOLINT
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t keys = flags.GetUint("keys", 256 << 10);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("ablate_dram", flags);
 
   std::printf("Ablation: SoC DRAM budget vs compaction cost (%s keys)\n",

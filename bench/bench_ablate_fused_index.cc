@@ -76,7 +76,7 @@ Outcome Run(bool fused, std::uint64_t keys, std::uint64_t dram_bytes) {
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t keys = flags.GetUint("keys", 256 << 10);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("ablate_fused_index", flags);
 
   std::printf(

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       flags.GetUint("keys_per_thread", 64 << 10);
   const auto threads =
       static_cast<std::uint32_t>(flags.GetUint("threads", 8));
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("ablate_striping", flags);
 
   std::printf("Ablation: zone-cluster striping width, %u writers x %s keys\n",

@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--keys must be > 0\n");
     return 2;
   }
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("fault_recovery", flags);
 
   std::printf(

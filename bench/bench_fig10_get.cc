@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   const auto keyspaces =
       static_cast<std::uint32_t>(flags.GetUint("keyspaces", 32));
   const std::uint64_t seed = flags.GetUint("seed", 99);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("fig10_get", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();

@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   gen.num_particles = flags.GetUint("particles", 2 << 20);
   gen.num_files = static_cast<std::uint32_t>(flags.GetUint("files", 16));
   gen.seed = flags.GetUint("seed", 2023);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("fig12_vpic_query", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t total_keys = flags.GetUint("keys", 1 << 20);
   const std::uint64_t seed = flags.GetUint("seed", 1);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("fig7_put_scaling", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();

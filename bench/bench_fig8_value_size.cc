@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::uint64_t total_keys = flags.GetUint("keys", 64 << 10);
   const std::uint64_t seed = flags.GetUint("seed", 1);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("fig8_value_size", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();

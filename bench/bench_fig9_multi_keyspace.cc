@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::uint64_t keys_per_thread =
       flags.GetUint("keys_per_thread", 64 << 10);
   const std::uint64_t seed = flags.GetUint("seed", 1);
-  TraceRequest::Set(flags.GetString("trace", ""));
+  ApplyObservabilityFlags(flags);
   JsonReporter report("fig9_multi_keyspace", flags);
 
   TestbedConfig config = TestbedConfig::Scaled();

@@ -142,7 +142,8 @@ BENCHMARK(BM_OrderEncodeF32);
 
 // BENCHMARK_MAIN with a flag-translation shim: --json=PATH becomes
 // --benchmark_out=PATH --benchmark_out_format=json so every bench in
-// bench/ shares one machine-readable flag; --trace=... is swallowed.
+// bench/ shares one machine-readable flag; --trace=.../--telemetry=...
+// are swallowed (there is no simulation here to observe).
 int main(int argc, char** argv) {
   std::vector<std::string> args;
   args.reserve(static_cast<std::size_t>(argc) + 1);
@@ -151,7 +152,8 @@ int main(int argc, char** argv) {
     if (arg.rfind("--json=", 0) == 0) {
       args.emplace_back("--benchmark_out=" + std::string(arg.substr(7)));
       args.emplace_back("--benchmark_out_format=json");
-    } else if (arg.rfind("--trace", 0) != 0) {
+    } else if (arg.rfind("--trace", 0) != 0 &&
+               arg.rfind("--telemetry", 0) != 0) {
       args.emplace_back(arg);
     }
   }

@@ -1,11 +1,26 @@
 #!/bin/sh
 # Runs every benchmark binary in sequence (the repository's "regenerate
-# all paper figures" entry point). Pass extra flags through the
+# all paper figures" entry point) with full observability: each bench
+# writes its JSON report, Chrome trace, and telemetry time-series into a
+# timestamped results/ directory. Pass extra flags through the
 # environment, e.g. KVCSD_BENCH_FLAGS="--keys=32000000" for paper scale.
+#
+# Inspect any run afterwards with
+#   tools/analyze_trace.py results/<stamp>/<bench>.trace.json \
+#       results/<stamp>/<bench>.telemetry.json
 set -e
+stamp=$(date +%Y%m%d-%H%M%S)
+outdir="results/$stamp"
+mkdir -p "$outdir"
+echo "### writing reports, traces, and telemetry to $outdir"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
   echo "### $b"
-  "$b" ${KVCSD_BENCH_FLAGS:-}
+  "$b" ${KVCSD_BENCH_FLAGS:-} \
+    --json="$outdir/$name.json" \
+    --trace="$outdir/$name.trace.json" \
+    --telemetry="$outdir/$name.telemetry.json"
   echo
 done
+echo "### done: $outdir"

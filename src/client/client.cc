@@ -13,6 +13,16 @@ sim::Task<nvme::Completion> Client::Call(nvme::Command command) {
   const nvme::Opcode op = command.opcode;
   sim::Simulation* sim = queue_->sim();
   const Tick begin = sim->Now();
+  // Stamp the causal id: everything this command touches — queue wait,
+  // dispatch, execution, any compaction it spawns — traces back to it.
+  command.cmd_id = sim->AllocateCmdId();
+  command.submit_tick = begin;
+  sim::TraceSpan span(sim, "client", nvme::OpcodeName(op));
+  span.Arg("cmd_id", command.cmd_id);
+  if (sim->tracer().enabled()) {
+    sim->tracer().FlowBegin(sim->tracer().Track("client"), "cmd",
+                            command.cmd_id, begin);
+  }
   // Userspace driver work on the host: packing + doorbell. No kernel.
   co_await host_cpu_->Compute(costs_.syscall_overhead);
   nvme::Completion completion = co_await queue_->Submit(std::move(command));

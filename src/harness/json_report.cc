@@ -381,7 +381,13 @@ Result<JsonValue> ParseJson(std::string_view text) {
 JsonReporter::JsonReporter(std::string bench, const Flags& flags)
     : bench_(std::move(bench)), json_path_(flags.GetString("json", "")) {
   for (const auto& [name, value] : flags.values()) {
-    if (name == "json" || name == "trace") continue;
+    // Output destinations are not workload parameters; keeping them out of
+    // "args" lets the regression checker compare runs that differ only in
+    // where they dump their observability files.
+    if (name == "json" || name == "trace" || name == "telemetry" ||
+        name == "telemetry_interval_us") {
+      continue;
+    }
     args_.Set(name, JsonValue::Str(value));
   }
 }
@@ -396,14 +402,16 @@ void JsonReporter::AddMetric(const std::string& name, double value) {
 
 void JsonReporter::AddHistogram(const std::string& name,
                                 const sim::Histogram& h) {
+  const sim::HistogramSummary s = h.Summary();
   JsonValue out = JsonValue::Object();
-  out.Set("count", JsonValue::Uint(h.count()));
-  out.Set("mean", JsonValue::Num(h.mean()));
-  out.Set("min", JsonValue::Uint(h.min()));
-  out.Set("max", JsonValue::Uint(h.max()));
-  out.Set("p50", JsonValue::Num(h.Percentile(50)));
-  out.Set("p95", JsonValue::Num(h.Percentile(95)));
-  out.Set("p99", JsonValue::Num(h.Percentile(99)));
+  out.Set("count", JsonValue::Uint(s.count));
+  out.Set("mean", JsonValue::Num(s.mean));
+  out.Set("min", JsonValue::Uint(s.min));
+  out.Set("max", JsonValue::Uint(s.max));
+  out.Set("p50", JsonValue::Num(s.p50));
+  out.Set("p95", JsonValue::Num(s.p95));
+  out.Set("p99", JsonValue::Num(s.p99));
+  out.Set("p999", JsonValue::Num(s.p999));
   histograms_.Set(name, std::move(out));
 }
 

@@ -90,9 +90,13 @@ class CsdTestbed {
                                       : config.host_cores),
         client_(&queue_, &host_cpu_, config.host_costs) {
     TraceRequest::EnableOn(&sim_);
+    TelemetryRequest::EnableOn(&sim_);
     device_.Start();
   }
-  ~CsdTestbed() { TraceRequest::Dump(&sim_); }
+  ~CsdTestbed() {
+    TraceRequest::Dump(&sim_);
+    TelemetryRequest::Dump(&sim_);
+  }
   CsdTestbed(const CsdTestbed&) = delete;
   CsdTestbed& operator=(const CsdTestbed&) = delete;
 
@@ -126,8 +130,12 @@ class LsmTestbed {
         env_{&sim_, &fs_, &host_cpu_, config.host_costs, &sim_.stats()},
         block_cache_(config.block_cache_bytes) {
     TraceRequest::EnableOn(&sim_);
+    TelemetryRequest::EnableOn(&sim_);
   }
-  ~LsmTestbed() { TraceRequest::Dump(&sim_); }
+  ~LsmTestbed() {
+    TraceRequest::Dump(&sim_);
+    TelemetryRequest::Dump(&sim_);
+  }
   LsmTestbed(const LsmTestbed&) = delete;
   LsmTestbed& operator=(const LsmTestbed&) = delete;
 

@@ -5,8 +5,11 @@
 namespace kvcsd::harness {
 
 namespace {
-std::string g_trace_path;        // NOLINT: process-wide bench config
-unsigned g_dumps = 0;            // NOLINT
+std::string g_trace_path;            // NOLINT: process-wide bench config
+unsigned g_dumps = 0;                // NOLINT
+std::string g_telemetry_path;        // NOLINT
+Tick g_telemetry_interval = 0;       // NOLINT
+unsigned g_telemetry_dumps = 0;      // NOLINT
 }  // namespace
 
 void TraceRequest::Set(std::string path) {
@@ -38,6 +41,45 @@ void TraceRequest::Dump(sim::Simulation* sim) {
   } else {
     std::printf("FAILED to write trace: %s\n", s.ToString().c_str());
   }
+}
+
+void TelemetryRequest::Set(std::string path, Tick interval) {
+  g_telemetry_path = std::move(path);
+  g_telemetry_interval = interval;
+  g_telemetry_dumps = 0;
+}
+
+bool TelemetryRequest::active() { return !g_telemetry_path.empty(); }
+
+void TelemetryRequest::EnableOn(sim::Simulation* sim) {
+  if (active()) sim->telemetry().Enable(g_telemetry_interval);
+}
+
+void TelemetryRequest::Dump(sim::Simulation* sim) {
+  if (!active() || !sim->telemetry().enabled()) return;
+  if (sim->telemetry().size() == 0) return;
+  std::string path = g_telemetry_path;
+  if (g_telemetry_dumps > 0) path += "." + std::to_string(g_telemetry_dumps);
+  ++g_telemetry_dumps;
+  Status s = sim->telemetry().WriteFile(path);
+  if (s.ok()) {
+    std::printf("telemetry written to %s (%zu samples", path.c_str(),
+                sim->telemetry().size());
+    if (sim->telemetry().dropped() > 0) {
+      std::printf(", %llu dropped",
+                  static_cast<unsigned long long>(sim->telemetry().dropped()));
+    }
+    std::printf(")\n");
+  } else {
+    std::printf("FAILED to write telemetry: %s\n", s.ToString().c_str());
+  }
+}
+
+void ApplyObservabilityFlags(const Flags& flags) {
+  TraceRequest::Set(flags.GetString("trace", ""));
+  TelemetryRequest::Set(
+      flags.GetString("telemetry", ""),
+      Microseconds(flags.GetUint("telemetry_interval_us", 1000)));
 }
 
 }  // namespace kvcsd::harness

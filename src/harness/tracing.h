@@ -1,16 +1,19 @@
-// Process-wide trace request for bench binaries.
+// Process-wide observability requests for bench binaries.
 //
-// Benches pass --trace=<path>; main() forwards it here once. Every
-// simulation the harness testbeds construct afterwards records span events
-// (sim/tracer.h), and each testbed dumps its simulation's trace when it is
-// destroyed: the first dump writes <path>, subsequent ones <path>.1,
-// <path>.2, ... (benches that sweep a parameter build one testbed per
-// point). Traces with no events are skipped. Load the files in
-// chrome://tracing or https://ui.perfetto.dev.
+// Benches pass --trace=<path> / --telemetry=<path>; main() forwards both
+// here once via ApplyObservabilityFlags. Every simulation the harness
+// testbeds construct afterwards records span events (sim/tracer.h) and
+// gauge time-series (sim/telemetry.h), and each testbed dumps its
+// simulation's outputs when it is destroyed: the first dump writes
+// <path>, subsequent ones <path>.1, <path>.2, ... (benches that sweep a
+// parameter build one testbed per point). Empty dumps are skipped. Load
+// trace files in chrome://tracing or https://ui.perfetto.dev; feed both
+// files to tools/analyze_trace.py for the latency breakdown.
 #pragma once
 
 #include <string>
 
+#include "harness/flags.h"
 #include "sim/simulation.h"
 
 namespace kvcsd::harness {
@@ -29,5 +32,21 @@ class TraceRequest {
   // tracing is active and the sim recorded any events).
   static void Dump(sim::Simulation* sim);
 };
+
+class TelemetryRequest {
+ public:
+  // Empty path = telemetry stays off. `interval` is the simulated-time
+  // sampling cadence.
+  static void Set(std::string path, Tick interval = Microseconds(1000));
+  static bool active();
+
+  static void EnableOn(sim::Simulation* sim);
+  static void Dump(sim::Simulation* sim);
+};
+
+// One-stop bench wiring: forwards --trace=<path>, --telemetry=<path> and
+// --telemetry_interval_us=<n> to the requests above. Every bench main
+// calls this right after parsing flags.
+void ApplyObservabilityFlags(const Flags& flags);
 
 }  // namespace kvcsd::harness

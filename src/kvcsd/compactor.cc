@@ -415,12 +415,24 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
 // completion event fires on every exit path — a waiter must never hang
 // on a failed compaction.
 sim::Task<Status> Device::CompactKeyspace(
-    Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs) {
+    Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs,
+    std::uint64_t trigger_cmd_id) {
   sim::TraceSpan span(sim_, "compaction", "compact");
   span.Arg("keyspace", ks->name);
   span.Arg("fused_indexes", static_cast<std::uint64_t>(fused_specs.size()));
+  if (trigger_cmd_id != 0) {
+    span.Arg("trigger_cmd_id", trigger_cmd_id);
+    if (sim_->tracer().enabled()) {
+      // Closes the flow opened by the kCompact command's exec span: the
+      // viewer draws client submit -> device exec -> this compaction.
+      sim_->tracer().FlowEnd(sim_->tracer().Track("compaction"), "compact",
+                             trigger_cmd_id, sim_->Now());
+    }
+  }
+  ++compactions_running_;
   std::vector<ClusterId> scratch;
   Status result = co_await RunCompaction(ks, std::move(fused_specs), &scratch);
+  --compactions_running_;
   if (!result.ok()) {
     co_await ReleaseClustersBestEffort(std::move(scratch));
     if (ks->state == KeyspaceState::kCompacting) {
@@ -513,6 +525,9 @@ sim::Task<Status> Device::RunCompaction(
     co_return Status::IoError("simulated power loss after run generation");
   }
   compaction_stats_.phase1_ticks += sim_->Now() - phase1_start;
+  sim_->stats()
+      .histogram("device.compact.phase1_ns")
+      .Record(sim_->Now() - phase1_start);
   if (sim_->tracer().enabled()) {
     sim_->tracer().CompleteSpan(
         sim_->tracer().Track("compaction"), "phase1.run_gen", phase1_start,
@@ -673,6 +688,9 @@ sim::Task<Status> Device::RunCompaction(
     }
   }
   compaction_stats_.phase2_ticks += sim_->Now() - phase2_start;
+  sim_->stats()
+      .histogram("device.compact.phase2_ns")
+      .Record(sim_->Now() - phase2_start);
   if (sim_->tracer().enabled()) {
     sim_->tracer().CompleteSpan(
         sim_->tracer().Track("compaction"), "phase2.merge_index", phase2_start,

@@ -45,7 +45,54 @@ Device::Device(sim::Simulation* sim, const DeviceConfig& config,
       zone_manager_(&ssd_, config.zones),
       keyspace_manager_(&ssd_, &zone_manager_),
       cpu_(sim, "soc", config.soc_cores),
-      faults_(config.zns.faults) {}
+      faults_(config.zns.faults) {
+  if (faults_ != nullptr) faults_->set_log(&sim_->log());
+  // Key "device" on purpose: a Device::Restart over the same simulation
+  // re-registers and supersedes the powered-off device's gauges.
+  telemetry_token_ = sim_->telemetry().AddSource(
+      "device",
+      [this](sim::TelemetrySampler::Gauges* out) { CollectTelemetry(out); });
+}
+
+Device::~Device() { sim_->telemetry().RemoveSource(telemetry_token_); }
+
+void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
+  out->emplace_back("nvme.sq_depth", queue_->sq_depth());
+  out->emplace_back("nvme.inflight", queue_->inflight());
+  out->emplace_back("device.inflight_cmds", inflight_commands_);
+  out->emplace_back("device.compactions_running", compactions_running_);
+  out->emplace_back("device.compact.bytes_read", compaction_stats_.bytes_read);
+  out->emplace_back("device.compact.bytes_written",
+                    compaction_stats_.bytes_written);
+  out->emplace_back("zns.free_zones", zone_manager_.free_zones());
+  // Per-role zone utilization, one pass over the live cluster table.
+  struct RoleUsage {
+    std::uint64_t zones = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::map<ZoneType, RoleUsage> by_role;
+  for (const auto& [id, type] : zone_manager_.LiveClusters()) {
+    RoleUsage& usage = by_role[type];
+    usage.zones += zone_manager_.cluster_zones(id).size();
+    usage.bytes += zone_manager_.ClusterBytes(id);
+  }
+  for (const auto& [type, usage] : by_role) {
+    const std::string role = ZoneTypeName(type);
+    out->emplace_back("zns." + role + ".zones", usage.zones);
+    out->emplace_back("zns." + role + ".bytes", usage.bytes);
+  }
+  for (const auto& [id, ks] : keyspace_manager_.all()) {
+    const std::string prefix = "device.ks." + ks->name + ".";
+    out->emplace_back(prefix + "state",
+                      static_cast<std::uint64_t>(ks->state));
+    out->emplace_back(prefix + "num_kvs", ks->num_kvs);
+    out->emplace_back(prefix + "klog_bytes", ks->klog_bytes);
+    out->emplace_back(prefix + "vlog_bytes", ks->vlog_bytes);
+    auto it = buffers_.find(id);
+    out->emplace_back(prefix + "buffer_bytes",
+                      it == buffers_.end() ? 0 : it->second.bytes);
+  }
+}
 
 void Device::Start() {
   if (started_) return;
@@ -93,6 +140,17 @@ sim::Event* Device::CompactionDone(std::uint64_t keyspace_id) {
 sim::Task<void> Device::MainLoop() {
   for (;;) {
     nvme::QueuePair::Incoming incoming = co_await queue_->NextCommand();
+    incoming.dequeue_tick = sim_->Now();
+    sim_->stats()
+        .histogram("client.stage.queue_wait_ns")
+        .Record(incoming.dequeue_tick - incoming.enqueue_tick);
+    if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
+      sim_->tracer().CompleteSpan(
+          sim_->tracer().Track("nvme.sq"), "queue_wait", incoming.enqueue_tick,
+          incoming.dequeue_tick,
+          {{"cmd_id", std::to_string(incoming.cmd_id)},
+           {"op", nvme::OpcodeName(incoming.opcode)}});
+    }
     // Every command pays the SPDK-ish userspace dispatch cost once.
     co_await cpu_.Compute(config_.costs.syscall_overhead);
     sim_->Spawn(HandleCommand(std::move(incoming)));
@@ -101,7 +159,16 @@ sim::Task<void> Device::MainLoop() {
 
 sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
   if (faults_ != nullptr && faults_->crashed()) {
-    // Power is gone: fail fast without touching device state.
+    // Power is gone: fail fast without touching device state. Still close
+    // the command's flow so the trace has no dangling arrows.
+    if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
+      const std::uint32_t track = sim_->tracer().Track("device");
+      const Tick now = sim_->Now();
+      sim_->tracer().CompleteSpan(
+          track, "powered_off", now, now,
+          {{"cmd_id", std::to_string(incoming.cmd_id)}});
+      sim_->tracer().FlowEnd(track, "cmd", incoming.cmd_id, now);
+    }
     nvme::Completion dead;
     dead.status = Status::IoError("device powered off");
     co_await queue_->Complete(std::move(incoming), std::move(dead));
@@ -109,14 +176,26 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
   }
   const nvme::Opcode op = incoming.command.opcode;
   const Tick begin = sim_->Now();
+  sim_->stats()
+      .histogram("device.stage.dispatch_ns")
+      .Record(begin - incoming.dequeue_tick);
+  ++inflight_commands_;
   nvme::Completion completion;
   {
     // Span covers the device-side processing; the completion DMA below is
-    // on the nvme track.
+    // on the nvme track. The flow arrow from the client's submit span
+    // terminates here ("bp":"e" binds it to this enclosing span).
     sim::TraceSpan span(sim_, "device", nvme::OpcodeName(op));
+    span.Arg("cmd_id", incoming.cmd_id);
     span.Arg("keyspace_id", incoming.command.keyspace_id);
+    if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
+      sim_->tracer().FlowEnd(sim_->tracer().Track("device"), "cmd",
+                             incoming.cmd_id, begin);
+    }
     completion = co_await Dispatch(incoming.command);
   }
+  sim_->stats().histogram("device.stage.exec_ns").Record(sim_->Now() - begin);
+  --inflight_commands_;
   sim_->stats()
       .counter(std::string("device.cmd.") + nvme::OpcodeName(op))
       .Increment();
@@ -240,12 +319,19 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
       if (cmd.opcode == nvme::Opcode::kCompactWithIndexes) {
         specs = std::move(cmd.sidx_list);
       }
+      if (sim_->tracer().enabled() && cmd.cmd_id != 0) {
+        // Second flow hop: from this command's exec span to the async
+        // compaction span it spawns.
+        sim_->tracer().FlowBegin(sim_->tracer().Track("device"), "compact",
+                                 cmd.cmd_id, sim_->Now());
+      }
       sim_->Spawn([](Device* device, Keyspace* target,
-                     std::vector<nvme::SecondaryIndexSpec> fused)
-                      -> sim::Task<void> {
-        Status s = co_await device->CompactKeyspace(target, std::move(fused));
+                     std::vector<nvme::SecondaryIndexSpec> fused,
+                     std::uint64_t trigger) -> sim::Task<void> {
+        Status s =
+            co_await device->CompactKeyspace(target, std::move(fused), trigger);
         (void)s;  // failure rolls back to WRITABLE; surfaced via Stat
-      }(this, ks, std::move(specs)));
+      }(this, ks, std::move(specs), cmd.cmd_id));
       out.status = Status::Ok();
       break;
     }

@@ -30,6 +30,7 @@
 #include "nvme/queue.h"
 #include "sim/resources.h"
 #include "sim/sync.h"
+#include "sim/telemetry.h"
 #include "storage/zns.h"
 
 namespace kvcsd::device {
@@ -96,6 +97,7 @@ class Device {
          nvme::QueuePair* queue);
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
+  ~Device();
 
   // Spawns the command-service loop. Call once.
   void Start();
@@ -143,6 +145,13 @@ class Device {
   std::uint64_t queries() const { return queries_; }
   const CompactionStats& compaction_stats() const { return compaction_stats_; }
 
+  // Commands popped off the SQ whose handler coroutine has not finished.
+  // Returns to zero once the queue drains — including across a power
+  // cycle, where the powered-off fast path completes stragglers.
+  std::uint64_t inflight_commands() const { return inflight_commands_; }
+  // Compactions started (kCompact spawn) and not yet finished.
+  std::uint64_t compactions_running() const { return compactions_running_; }
+
  private:
   // --- plumbing ---
   sim::Task<void> MainLoop();
@@ -181,8 +190,12 @@ class Device {
   // generation fans out across the CpuPool, the key merge runs on a loser
   // tree over double-buffered TEMP readers, and PIDX building + fused
   // extraction of one value batch overlaps the gather/write of the next.
+  // `trigger_cmd_id` is the causal id of the kCompact command that spawned
+  // this compaction (0 when internal); the compaction span links back to
+  // it with a flow event.
   sim::Task<Status> CompactKeyspace(
-      Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs = {});
+      Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs = {},
+      std::uint64_t trigger_cmd_id = 0);
 
   // The compaction body. `scratch` collects every cluster the compaction
   // allocates; on failure the CompactKeyspace wrapper releases them
@@ -307,11 +320,19 @@ class Device {
   // The timed I/O part of a flush, runs detached per batch.
   sim::Task<void> FlushIo(Keyspace* ks, WriteBuffer batch);
 
+  // Appends this device's gauges ((name, value) pairs) for one telemetry
+  // sample: NVMe SQ depth and in-flight counts, per-keyspace state and log
+  // bytes, free/used zones per role, compaction progress.
+  void CollectTelemetry(sim::TelemetrySampler::Gauges* out) const;
+
   std::uint64_t puts_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t compactions_done_ = 0;
   std::uint64_t queries_ = 0;
+  std::uint64_t inflight_commands_ = 0;
+  std::uint64_t compactions_running_ = 0;
   CompactionStats compaction_stats_;
+  std::uint64_t telemetry_token_ = 0;
   bool started_ = false;
 };
 

@@ -27,6 +27,7 @@
 
 #include "kvcsd/device.h"
 #include "kvcsd/klog_stream.h"
+#include "sim/fault.h"
 #include "sim/tracer.h"
 
 namespace kvcsd::device {
@@ -68,8 +69,16 @@ void AppendAll(std::vector<ClusterId>* out,
 
 sim::Task<Status> Device::Recover() {
   sim::TraceSpan span(sim_, "recovery", "recover");
+  sim::Log& log = sim_->log();
+  log.Info("recovery", "start (crash point '" +
+                           (faults_ != nullptr ? faults_->crash_point()
+                                               : std::string()) +
+                           "')");
   auto recovered = co_await keyspace_manager_.Recover();
   KVCSD_CO_RETURN_IF_ERROR(recovered.status());
+  log.Info("recovery",
+           "metadata snapshot loaded: " + std::to_string(*recovered) +
+               " keyspaces");
 
   // Step 2a: complete acknowledged drops. A deferred drop persists its
   // pending_delete tombstone BEFORE acking, so a tombstoned keyspace in
@@ -82,6 +91,10 @@ sim::Task<Status> Device::Recover() {
   }
   for (std::uint64_t id : tombstoned) {
     KVCSD_CO_RETURN_IF_ERROR(keyspace_manager_.Erase(id));
+  }
+  if (!tombstoned.empty()) {
+    log.Info("recovery", "completed " + std::to_string(tombstoned.size()) +
+                             " acknowledged drop(s)");
   }
 
   // Step 2b: COMPACTING at snapshot time means the compaction never
@@ -103,6 +116,8 @@ sim::Task<Status> Device::Recover() {
     ks->secondary_indexes.clear();
     ks->state = ks->klog_clusters.empty() ? KeyspaceState::kEmpty
                                           : KeyspaceState::kWritable;
+    log.Warn("recovery", "rolled back uncommitted compaction on keyspace '" +
+                             ks->name + "'");
   }
 
   // Step 3: reclaim clusters referenced by no keyspace.
@@ -122,6 +137,10 @@ sim::Task<Status> Device::Recover() {
   for (const auto& [cluster, type] : zone_manager_.LiveClusters()) {
     if (!referenced.contains(cluster)) doomed.push_back(cluster);
   }
+  if (!doomed.empty()) {
+    log.Info("recovery", "reclaiming " + std::to_string(doomed.size()) +
+                             " unreferenced cluster(s)");
+  }
   co_await ReleaseClustersBestEffort(std::move(doomed));
 
   // Step 4: reset written zones no surviving cluster owns — data from
@@ -132,6 +151,7 @@ sim::Task<Status> Device::Recover() {
       owned[zone] = true;
     }
   }
+  std::uint32_t zones_reset = 0;
   for (std::uint32_t zone = config_.zones.reserved_zones;
        zone < ssd_.num_zones(); ++zone) {
     if (owned[zone]) continue;
@@ -140,6 +160,11 @@ sim::Task<Status> Device::Recover() {
       continue;
     }
     KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Reset(zone));
+    ++zones_reset;
+  }
+  if (zones_reset > 0) {
+    log.Info("recovery",
+             "reset " + std::to_string(zones_reset) + " unowned zone(s)");
   }
 
   // Step 5: rebuild the write-path counters from the logs themselves.
@@ -159,7 +184,10 @@ sim::Task<Status> Device::Recover() {
   // Step 6: make the cleaned-up state durable (this also redirects the
   // snapshot log away from any torn metadata tail — see
   // KeyspaceManager::Recover).
-  co_return co_await keyspace_manager_.Persist();
+  const Status persisted = co_await keyspace_manager_.Persist();
+  log.Info("recovery", persisted.ok() ? "complete"
+                                      : "failed: " + persisted.ToString());
+  co_return persisted;
 }
 
 sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
@@ -185,6 +213,11 @@ sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
         }
       }
       if (stream.torn_bytes() > 0) {
+        sim_->log().Warn(
+            "recovery", "keyspace '" + ks->name + "' zone " +
+                            std::to_string(zone) + ": truncating " +
+                            std::to_string(stream.torn_bytes()) +
+                            " torn byte(s)");
         KVCSD_CO_RETURN_IF_ERROR(
             co_await TruncateZoneTail(&ssd_, zone, stream.torn_bytes()));
       }

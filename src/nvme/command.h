@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/units.h"
 
 namespace kvcsd::nvme {
 
@@ -62,6 +63,15 @@ struct SecondaryIndexSpec {
 // One command submission. Exactly the fields the opcode needs are set.
 struct Command {
   Opcode opcode = Opcode::kKvStore;
+  // Causal command id (Simulation::AllocateCmdId), stamped by the client
+  // and threaded through dispatch and any device work the command spawns;
+  // flow events and per-stage latency attribution key on it. 0 = untracked
+  // (commands built directly by tests).
+  std::uint64_t cmd_id = 0;
+  // Host tick at which the client started preparing this command; the
+  // submit-stage histogram measures from here to SQ enqueue. 0 = unset
+  // (the queue falls back to its own entry tick).
+  Tick submit_tick = 0;
   std::uint64_t keyspace_id = 0;   // resolved keyspace handle
   std::string name;                // keyspace name (create/open/drop)
   std::string key;                 // single-key ops / range start

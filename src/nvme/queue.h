@@ -48,8 +48,19 @@ class QueuePair {
     // host and wakes the submitter.
     sim::Event* reply_event;
     Completion* reply_slot;
+    // Causal id / opcode copies that outlive moves of `command`, plus the
+    // SQ enqueue and dequeue ticks for queue-wait attribution.
+    std::uint64_t cmd_id = 0;
+    Opcode opcode = Opcode::kKvStore;
+    Tick enqueue_tick = 0;
+    Tick dequeue_tick = 0;
   };
   auto NextCommand() { return submissions_.Pop(); }
+
+  // Submitted-but-not-yet-popped commands (the SQ depth gauge).
+  std::size_t sq_depth() const { return submissions_.size(); }
+  // Popped by the device, completion not yet posted.
+  std::uint64_t inflight() const { return submitted_ - completed_; }
 
   // Device-side completion path (charged to the PCIe link).
   sim::Task<void> Complete(Incoming incoming, Completion completion);
@@ -77,16 +88,29 @@ class QueuePair {
 
 inline sim::Task<Completion> QueuePair::Submit(Command command) {
   ++submitted_;
+  const Tick begin = sim_->Now();
+  const Tick prepare_begin = command.submit_tick ? command.submit_tick : begin;
   // Spans the whole host-visible round trip: submission DMA, device
   // service time, completion DMA.
   sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
   const std::uint64_t wire = CommandWireSize(command);
+  if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
   span.Arg("wire_bytes", wire);
   co_await host_to_device_.Transfer(wire);
 
+  Incoming incoming;
+  incoming.cmd_id = command.cmd_id;
+  incoming.opcode = command.opcode;
+  incoming.enqueue_tick = sim_->Now();
+  sim_->stats()
+      .histogram("client.stage.submit_ns")
+      .Record(incoming.enqueue_tick - prepare_begin);
   sim::Event reply(sim_);
   Completion slot;
-  submissions_.Push(Incoming{std::move(command), &reply, &slot});
+  incoming.command = std::move(command);
+  incoming.reply_event = &reply;
+  incoming.reply_slot = &slot;
+  submissions_.Push(std::move(incoming));
   co_await reply.Wait();
   co_return slot;
 }
@@ -94,6 +118,7 @@ inline sim::Task<Completion> QueuePair::Submit(Command command) {
 inline sim::Task<void> QueuePair::Complete(Incoming incoming,
                                            Completion completion) {
   ++completed_;
+  const Tick begin = sim_->Now();
   const std::uint64_t wire = CompletionWireSize(completion);
   // Hand the payload to the submitter before suspending: the submitter
   // only wakes after the Set() below, but moving first keeps the data's
@@ -101,6 +126,14 @@ inline sim::Task<void> QueuePair::Complete(Incoming incoming,
   *incoming.reply_slot = std::move(completion);
   sim::Event* reply_event = incoming.reply_event;
   co_await device_to_host_.Transfer(wire);
+  const Tick end = sim_->Now();
+  sim_->stats().histogram("client.stage.complete_ns").Record(end - begin);
+  if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
+    sim_->tracer().CompleteSpan(
+        sim_->tracer().Track("nvme.cq"), "complete", begin, end,
+        {{"cmd_id", std::to_string(incoming.cmd_id)},
+         {"op", OpcodeName(incoming.opcode)}});
+  }
   reply_event->Set();
 }
 

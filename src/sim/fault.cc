@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/log.h"
+
 namespace kvcsd::sim {
 
 std::string_view FaultOpName(FaultOp op) {
@@ -32,6 +34,10 @@ bool FaultInjector::Hit(std::string_view point) {
                         it->second == armed_point_nth_;
   if (by_global || by_point) {
     crash_point_ = std::string(point);
+    if (log_ != nullptr) {
+      log_->Error("fault", "crash point '" + crash_point_ + "' tripped (hit #" +
+                               std::to_string(total_hits_) + ")");
+    }
     Crash();
   }
   return crashed_;
@@ -53,6 +59,13 @@ void FaultInjector::Crash() {
   std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks;
   hooks.swap(crash_hooks_);
   for (auto& [token, hook] : hooks) hook();
+  if (log_ != nullptr) {
+    log_->Error("fault", "power cut" + (crash_point_.empty()
+                                            ? std::string(" (manual)")
+                                            : " at '" + crash_point_ + "'"));
+    log_->DumpToStderr(crash_point_.empty() ? "power cut"
+                                            : "crash at " + crash_point_);
+  }
 }
 
 std::uint64_t FaultInjector::hit_count(std::string_view point) const {
@@ -93,6 +106,11 @@ Status FaultInjector::OnIo(FaultOp op, std::uint32_t zone) {
     }
     ++armed.injected;
     ++errors_injected_;
+    if (log_ != nullptr) {
+      log_->Warn("fault", "injected " + std::string(FaultOpName(op)) +
+                              " error on zone " + std::to_string(zone) + ": " +
+                              rule.message);
+    }
     return Status(rule.code, rule.message);
   }
   return Status::Ok();

@@ -35,6 +35,8 @@
 
 namespace kvcsd::sim {
 
+class Log;
+
 enum class FaultOp : std::uint8_t {
   kAppend = 0,
   kRead,
@@ -112,6 +114,15 @@ class FaultInjector {
   void set_torn_tail_keep(double fraction) { torn_tail_keep_ = fraction; }
   double torn_tail_keep() const { return torn_tail_keep_; }
 
+  // --- structured logging ---
+
+  // Binds the simulation's event log (log.h). The injector records armed
+  // crashes, injected I/O errors, and the power cut itself, and dumps the
+  // whole ring to stderr when a crash point trips — the flight recorder
+  // for crash-sweep failures. The log must outlive the injector's use.
+  void set_log(Log* log) { log_ = log; }
+  Log* log() const { return log_; }
+
   // Prepares the injector for a Device::Restart over the surviving bytes:
   // clears the crashed flag, armed crash points, crash hooks, and error
   // rules. Hit counters and the recorded crash point survive, so the
@@ -120,6 +131,7 @@ class FaultInjector {
 
  private:
   Rng rng_;
+  Log* log_ = nullptr;
   bool crashed_ = false;
   std::string crash_point_;
 

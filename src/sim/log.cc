@@ -1,0 +1,69 @@
+#include "sim/log.h"
+
+#include <cstdio>
+
+namespace kvcsd::sim {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void Log::set_capacity(std::size_t capacity) {
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+void Log::Write(LogLevel level, std::string_view component,
+                std::string message) {
+  if (level < min_level_) return;
+  Entry e;
+  e.seq = next_seq_++;
+  e.tick = clock_ ? clock_() : 0;
+  e.level = level;
+  e.component = std::string(component);
+  e.message = std::move(message);
+  entries_.push_back(std::move(e));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::string Log::ToString() const {
+  std::string out;
+  char head[96];
+  for (const Entry& e : entries_) {
+    std::snprintf(head, sizeof(head), "[%12llu ns] %-5s %s: ",
+                  static_cast<unsigned long long>(e.tick),
+                  std::string(LogLevelName(e.level)).c_str(),
+                  e.component.c_str());
+    out += head;
+    out += e.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void Log::DumpToStderr(std::string_view banner) const {
+  if (entries_.empty()) return;
+  std::fprintf(stderr, "--- sim::Log (%s; last %zu of %llu entries) ---\n",
+               std::string(banner).c_str(), entries_.size(),
+               static_cast<unsigned long long>(next_seq_));
+  const std::string body = ToString();
+  std::fwrite(body.data(), 1, body.size(), stderr);
+  std::fprintf(stderr, "--- end sim::Log ---\n");
+}
+
+void Log::Clear() {
+  entries_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace kvcsd::sim

@@ -1,0 +1,86 @@
+// Structured event log for the simulation: a leveled, fixed-size ring of
+// timestamped entries. Unlike the tracer (bulk span data, dumped at exit)
+// this is the "flight recorder": the fault injector and recovery replay
+// write human-readable breadcrumbs here, and the whole ring is dumped to
+// stderr when a crash point trips — so a failing crash-sweep case shows
+// what the device was doing when the power went out.
+//
+// The ring is owned by the Simulation, not the Device, so it survives a
+// Device::Restart power cycle: post-crash recovery appends to the same
+// ring the pre-crash flush was writing to.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace kvcsd::sim {
+
+enum class LogLevel : std::uint8_t {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+class Log {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  struct Entry {
+    std::uint64_t seq = 0;  // monotonic across ring evictions
+    Tick tick = 0;
+    LogLevel level = LogLevel::kInfo;
+    std::string component;
+    std::string message;
+  };
+
+  // The clock callback stamps entries with simulated time; the owning
+  // Simulation binds its own clock at construction.
+  void BindClock(std::function<Tick()> clock) { clock_ = std::move(clock); }
+
+  void set_min_level(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  void Write(LogLevel level, std::string_view component,
+             std::string message);
+  void Debug(std::string_view component, std::string message) {
+    Write(LogLevel::kDebug, component, std::move(message));
+  }
+  void Info(std::string_view component, std::string message) {
+    Write(LogLevel::kInfo, component, std::move(message));
+  }
+  void Warn(std::string_view component, std::string message) {
+    Write(LogLevel::kWarn, component, std::move(message));
+  }
+  void Error(std::string_view component, std::string message) {
+    Write(LogLevel::kError, component, std::move(message));
+  }
+
+  // Oldest-first view of the surviving entries.
+  const std::deque<Entry>& entries() const { return entries_; }
+  // Total accepted writes, including entries the ring has since evicted.
+  std::uint64_t total_written() const { return next_seq_; }
+
+  // One "[tick] LEVEL component: message" line per entry.
+  std::string ToString() const;
+  void DumpToStderr(std::string_view banner) const;
+  void Clear();
+
+ private:
+  std::function<Tick()> clock_;
+  LogLevel min_level_ = LogLevel::kDebug;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::deque<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace kvcsd::sim

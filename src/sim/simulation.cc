@@ -73,6 +73,10 @@ bool Simulation::Step() {
   Event ev = queue_.top();
   queue_.pop();
   now_ = ev.when;
+  // Sample gauges before resuming, so the sample sees the state as of the
+  // cadence boundary the clock just crossed. Sampling takes no simulated
+  // time; a disabled sampler costs one branch per event.
+  if (telemetry_.Due(now_)) telemetry_.Sample(now_);
   ev.handle.resume();
   return true;
 }

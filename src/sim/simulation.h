@@ -16,15 +16,19 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/log.h"
 #include "sim/stats.h"
 #include "sim/task.h"
+#include "sim/telemetry.h"
 #include "sim/tracer.h"
 
 namespace kvcsd::sim {
 
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation() {
+    log_.BindClock([this] { return now_; });
+  }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -82,6 +86,21 @@ class Simulation {
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
 
+  // Gauge time-series sampler (telemetry.h); polled by the event loop,
+  // disabled until TelemetrySampler::Enable().
+  TelemetrySampler& telemetry() { return telemetry_; }
+  const TelemetrySampler& telemetry() const { return telemetry_; }
+
+  // Structured event ring (log.h); stamped with the simulated clock.
+  // Owned here rather than by the Device so it survives power cycles.
+  Log& log() { return log_; }
+  const Log& log() const { return log_; }
+
+  // Monotonic causal command id, unique for the simulation's lifetime
+  // (across Device::Restart power cycles and any number of clients). Ids
+  // start at 1 so 0 can mean "no command" in trace args.
+  std::uint64_t AllocateCmdId() { return ++last_cmd_id_; }
+
   struct DetachedRunner;  // implementation detail, defined in simulation.cc
 
  private:
@@ -108,6 +127,9 @@ class Simulation {
   std::unordered_set<void*> detached_;
   Stats stats_;
   Tracer tracer_;
+  TelemetrySampler telemetry_;
+  Log log_;
+  std::uint64_t last_cmd_id_ = 0;
 };
 
 }  // namespace kvcsd::sim

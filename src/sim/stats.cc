@@ -1,16 +1,41 @@
 #include "sim/stats.h"
 
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace kvcsd::sim {
 
 namespace {
 
+constexpr int kSubBucketBits = 4;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+// Log-linear bucketing: values below kSubBuckets are exact; a value in
+// octave [2^o, 2^(o+1)) (o >= kSubBucketBits) lands in one of kSubBuckets
+// equal-width sub-buckets keyed by its bits just below the leading one.
 int BucketFor(std::uint64_t v) {
-  // 0 -> 0, [2^(k-1), 2^k) -> k; values with the top bit set share the
-  // last bucket (bit_width(UINT64_MAX) == 64 would otherwise overflow).
-  return v == 0 ? 0 : std::min(static_cast<int>(std::bit_width(v)), 63);
+  if (v < static_cast<std::uint64_t>(kSubBuckets)) return static_cast<int>(v);
+  const int octave = static_cast<int>(std::bit_width(v)) - 1;
+  const int sub = static_cast<int>((v >> (octave - kSubBucketBits)) &
+                                   (kSubBuckets - 1));
+  return kSubBuckets + (octave - kSubBucketBits) * kSubBuckets + sub;
+}
+
+// Inclusive-exclusive [lo, hi) value range of bucket `b`, as doubles so
+// the top octave cannot overflow uint64.
+void BucketBounds(int b, double* lo, double* hi) {
+  if (b < kSubBuckets) {
+    *lo = static_cast<double>(b);
+    *hi = static_cast<double>(b + 1);
+    return;
+  }
+  const int rel = b - kSubBuckets;
+  const int shift = rel / kSubBuckets;  // octave - kSubBucketBits
+  const int sub = rel % kSubBuckets;
+  const double width = std::pow(2.0, shift);
+  *lo = static_cast<double>(kSubBuckets + sub) * width;
+  *hi = *lo + width;
 }
 
 // Relaxed CAS min/max: exactness matters only once writers join, and the
@@ -57,9 +82,9 @@ double Histogram::Percentile(double p) const {
     const std::uint64_t in_bucket = snap[static_cast<std::size_t>(b)];
     if (in_bucket == 0) continue;
     if (static_cast<double>(cumulative + in_bucket) >= target) {
-      const double lo = b == 0 ? 0.0 : static_cast<double>(1ull << (b - 1));
-      const double hi = static_cast<double>(
-          b == 0 ? 1ull : (b >= 63 ? UINT64_MAX : (1ull << b)));
+      double lo = 0.0;
+      double hi = 0.0;
+      BucketBounds(b, &lo, &hi);
       const double frac =
           (target - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
@@ -69,6 +94,20 @@ double Histogram::Percentile(double p) const {
     cumulative += in_bucket;
   }
   return static_cast<double>(max());
+}
+
+HistogramSummary Histogram::Summary() const {
+  HistogramSummary s;
+  s.count = count();
+  s.sum = sum();
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = Percentile(50);
+  s.p95 = Percentile(95);
+  s.p99 = Percentile(99);
+  s.p999 = Percentile(99.9);
+  return s;
 }
 
 void Histogram::Reset() {
@@ -95,11 +134,12 @@ std::string Stats::ToString(std::string_view prefix) const {
   }
   for (const auto& [name, h] : histograms_) {
     if (!prefix.empty() && name.rfind(prefix, 0) != 0) continue;
+    const HistogramSummary s = h.Summary();
     std::snprintf(line, sizeof(line),
                   "%-48s : n=%llu mean=%.1f p50=%.0f p99=%.0f max=%llu\n",
-                  name.c_str(), static_cast<unsigned long long>(h.count()),
-                  h.mean(), h.Percentile(50), h.Percentile(99),
-                  static_cast<unsigned long long>(h.max()));
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  s.mean, s.p50, s.p99,
+                  static_cast<unsigned long long>(s.max));
     out += line;
   }
   return out;

@@ -1,5 +1,5 @@
 // Simulation-wide statistics registry: named monotonic counters and
-// log2-bucketed histograms. These back the paper's "I/O statistics" plots
+// log-linear-bucketed histograms. These back the paper's "I/O statistics" plots
 // (Fig. 7b, Fig. 10b): every storage, filesystem, and interconnect layer
 // counts the bytes and operations that pass through it.
 //
@@ -39,8 +39,25 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-// Histogram with power-of-two buckets; tracks count/sum/min/max and
-// approximate percentiles (sufficient for latency reporting).
+// One-line digest of a histogram; produced by Histogram::Summary() and
+// shared by every reporter (Stats::ToString, harness::JsonReporter) so the
+// percentile set and its derivation live in exactly one place.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+// Histogram with log-linear buckets: values < 16 are exact, larger values
+// land in one of 16 linear sub-buckets per power-of-two octave (~6.25%
+// relative resolution), tight enough that p99 at sub-microsecond scale is
+// meaningful. Tracks count/sum/min/max and approximate percentiles.
 class Histogram {
  public:
   void Record(std::uint64_t v);
@@ -58,12 +75,19 @@ class Histogram {
     return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
   }
   // Approximate p-th percentile (0 < p <= 100) by linear interpolation
-  // within the containing power-of-two bucket.
+  // within the containing log-linear bucket, clamped to [min, max].
   double Percentile(double p) const;
+  // Consistent one-shot digest (count/sum/min/max/mean/p50/p95/p99/p999).
+  HistogramSummary Summary() const;
   void Reset();
 
  private:
-  static constexpr int kBuckets = 64;
+  // 16 exact buckets for v < 16, then 16 sub-buckets for each octave
+  // [2^o, 2^(o+1)) with o in [4, 63].
+  static constexpr int kSubBucketBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 16
+  static constexpr int kBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;  // 976
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};

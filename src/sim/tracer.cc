@@ -64,14 +64,35 @@ void Tracer::CompleteSpan(
     std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled_ || Full()) return;
   events_.push_back(Event{track, 'X', std::string(name), begin,
-                          std::max(begin, end), std::move(args)});
+                          std::max(begin, end), 0, std::move(args)});
 }
 
 void Tracer::Instant(std::uint32_t track, std::string_view name, Tick at,
                      std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled_ || Full()) return;
-  events_.push_back(Event{track, 'i', std::string(name), at, at,
+  events_.push_back(Event{track, 'i', std::string(name), at, at, 0,
                           std::move(args)});
+}
+
+void Tracer::Flow(std::uint32_t track, char phase, std::string_view name,
+                  std::uint64_t id, Tick at) {
+  if (!enabled_ || Full()) return;
+  events_.push_back(Event{track, phase, std::string(name), at, at, id, {}});
+}
+
+void Tracer::FlowBegin(std::uint32_t track, std::string_view name,
+                       std::uint64_t id, Tick at) {
+  Flow(track, 's', name, id, at);
+}
+
+void Tracer::FlowStep(std::uint32_t track, std::string_view name,
+                      std::uint64_t id, Tick at) {
+  Flow(track, 't', name, id, at);
+}
+
+void Tracer::FlowEnd(std::uint32_t track, std::string_view name,
+                     std::uint64_t id, Tick at) {
+  Flow(track, 'f', name, id, at);
 }
 
 std::string Tracer::ToJson() const {
@@ -108,8 +129,14 @@ std::string Tracer::ToJson() const {
     if (e.phase == 'X') {
       out += ",\"dur\":";
       AppendMicros(&out, e.end - e.begin);
-    } else {
+    } else if (e.phase == 'i') {
       out += ",\"s\":\"t\"";  // instant scope: thread
+    } else {
+      // Flow events ('s'/'t'/'f') are matched by (cat, name, id); binding
+      // to the enclosing slice needs "bp":"e" on the terminating event.
+      out += ",\"cat\":\"flow\",\"id\":";
+      out += std::to_string(e.flow_id);
+      if (e.phase == 'f') out += ",\"bp\":\"e\"";
     }
     if (!e.args.empty()) {
       out += ",\"args\":{";

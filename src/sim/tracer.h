@@ -56,6 +56,19 @@ class Tracer {
   void Instant(std::uint32_t track, std::string_view name, Tick at,
                std::vector<std::pair<std::string, std::string>> args = {});
 
+  // Flow events tie causally-related spans together across tracks: a
+  // FlowBegin inside the producing span, optional FlowSteps inside relay
+  // spans, and a FlowEnd inside the consuming span, all sharing (name, id)
+  // — the viewer draws arrows along the chain. Emit them at a tick covered
+  // by an enclosing 'X' span on the same track, or they have nothing to
+  // bind to. `id` is the causal key (we use the command's cmd_id).
+  void FlowBegin(std::uint32_t track, std::string_view name, std::uint64_t id,
+                 Tick at);
+  void FlowStep(std::uint32_t track, std::string_view name, std::uint64_t id,
+                Tick at);
+  void FlowEnd(std::uint32_t track, std::string_view name, std::uint64_t id,
+               Tick at);
+
   std::size_t size() const { return events_.size(); }
   std::uint64_t dropped() const { return dropped_; }
   void Clear() {
@@ -70,12 +83,16 @@ class Tracer {
  private:
   struct Event {
     std::uint32_t track;
-    char phase;  // 'X' complete span, 'i' instant
+    char phase;  // 'X' complete span, 'i' instant, 's'/'t'/'f' flow
     std::string name;
     Tick begin;
     Tick end;
+    std::uint64_t flow_id = 0;  // flow events only
     std::vector<std::pair<std::string, std::string>> args;
   };
+
+  void Flow(std::uint32_t track, char phase, std::string_view name,
+            std::uint64_t id, Tick at);
 
   bool Full() {
     if (events_.size() < max_events_) return false;

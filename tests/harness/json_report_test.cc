@@ -79,7 +79,8 @@ TEST(ParseJsonTest, ParsesTracerOutput) {
 
 TEST(JsonReporterTest, SchemaRoundTrip) {
   Flags flags = MakeFlags({"--keys=4096", "--json=/tmp/out.json",
-                           "--trace=/tmp/trace.json"});
+                           "--trace=/tmp/trace.json",
+                           "--telemetry=/tmp/telemetry.json"});
   JsonReporter report("unit_test", flags);
   report.AddMetric("csd.put.keys_per_sec", 12345.5);
   report.AddMetric("csd.put.ticks", std::uint64_t{777});
@@ -109,6 +110,7 @@ TEST(JsonReporterTest, SchemaRoundTrip) {
   EXPECT_EQ(args->Find("keys")->string_value(), "4096");
   EXPECT_EQ(args->Find("json"), nullptr);
   EXPECT_EQ(args->Find("trace"), nullptr);
+  EXPECT_EQ(args->Find("telemetry"), nullptr);
 
   const JsonValue* metrics = parsed->Find("metrics");
   ASSERT_NE(metrics, nullptr);
@@ -125,6 +127,7 @@ TEST(JsonReporterTest, SchemaRoundTrip) {
   EXPECT_EQ(hist->Find("min")->uint_value(), 100u);
   EXPECT_EQ(hist->Find("max")->uint_value(), 900u);
   ASSERT_NE(hist->Find("p99"), nullptr);
+  ASSERT_NE(hist->Find("p999"), nullptr);
 
   const JsonValue* tables = parsed->Find("tables");
   ASSERT_NE(tables, nullptr);

@@ -1,0 +1,88 @@
+#include "sim/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace kvcsd::sim {
+namespace {
+
+TEST(LogTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST(LogTest, EntriesStampedWithBoundClock) {
+  Log log;
+  Tick now = 0;
+  log.BindClock([&now] { return now; });
+  now = 123;
+  log.Info("device", "first");
+  now = 456;
+  log.Warn("recovery", "second");
+
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries()[0].tick, 123u);
+  EXPECT_EQ(log.entries()[0].level, LogLevel::kInfo);
+  EXPECT_EQ(log.entries()[0].component, "device");
+  EXPECT_EQ(log.entries()[0].message, "first");
+  EXPECT_EQ(log.entries()[1].tick, 456u);
+  EXPECT_EQ(log.entries()[1].level, LogLevel::kWarn);
+}
+
+TEST(LogTest, MinLevelFilters) {
+  Log log;
+  log.set_min_level(LogLevel::kWarn);
+  log.Debug("x", "dropped");
+  log.Info("x", "dropped");
+  log.Warn("x", "kept");
+  log.Error("x", "kept");
+  EXPECT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.total_written(), 2u);
+}
+
+TEST(LogTest, RingEvictsOldestButKeepsSequence) {
+  Log log;
+  log.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Info("ring", "entry " + std::to_string(i));
+  }
+  ASSERT_EQ(log.entries().size(), 4u);
+  EXPECT_EQ(log.total_written(), 10u);
+  // Oldest-first view of the last 4 writes; seq survives eviction.
+  EXPECT_EQ(log.entries().front().seq, 6u);
+  EXPECT_EQ(log.entries().front().message, "entry 6");
+  EXPECT_EQ(log.entries().back().seq, 9u);
+}
+
+TEST(LogTest, ShrinkingCapacityDropsOldest) {
+  Log log;
+  for (int i = 0; i < 8; ++i) log.Info("x", std::to_string(i));
+  log.set_capacity(2);
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries().front().message, "6");
+}
+
+TEST(LogTest, ToStringFormatsOneLinePerEntry) {
+  Log log;
+  Tick now = 1500;
+  log.BindClock([&now] { return now; });
+  log.Error("fault", "power cut");
+  const std::string text = log.ToString();
+  EXPECT_NE(text.find("1500 ns"), std::string::npos);
+  EXPECT_NE(text.find("ERROR"), std::string::npos);
+  EXPECT_NE(text.find("fault: power cut"), std::string::npos);
+}
+
+TEST(LogTest, ClearResets) {
+  Log log;
+  log.Info("x", "y");
+  log.Clear();
+  EXPECT_TRUE(log.entries().empty());
+  EXPECT_EQ(log.total_written(), 0u);
+}
+
+}  // namespace
+}  // namespace kvcsd::sim

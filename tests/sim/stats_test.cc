@@ -30,11 +30,47 @@ TEST(HistogramTest, BasicMoments) {
 TEST(HistogramTest, PercentilesBracketed) {
   Histogram h;
   for (int i = 1; i <= 1000; ++i) h.Record(static_cast<std::uint64_t>(i));
-  // log2 buckets give coarse percentiles; check they are sane.
   EXPECT_GE(h.Percentile(50), 256.0);
   EXPECT_LE(h.Percentile(50), 1000.0);
   EXPECT_GE(h.Percentile(99), h.Percentile(50));
   EXPECT_LE(h.Percentile(100), 1000.0);
+}
+
+// Regression pin for the log-linear buckets (16 sub-buckets per octave,
+// ~6.25% relative resolution): a uniform 1..100000 distribution has known
+// exact percentiles, and every estimate must land within one sub-bucket's
+// relative error of the truth. The old pure-log2 buckets were off by up
+// to ~40% here — if this starts failing, the bucketing regressed.
+TEST(HistogramTest, LogLinearPercentilesOnKnownDistribution) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_NEAR(h.Percentile(50), 50000.0, 0.07 * 50000.0);
+  EXPECT_NEAR(h.Percentile(99), 99000.0, 0.07 * 99000.0);
+  EXPECT_NEAR(h.Percentile(99.9), 99900.0, 0.07 * 99900.0);
+}
+
+TEST(HistogramTest, SmallValuesHaveExactBuckets) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.Record(v);
+  // Values below 16 each get their own bucket, so the median of 0..15
+  // cannot smear beyond its neighbors.
+  EXPECT_NEAR(h.Percentile(50), 8.0, 1.5);
+  EXPECT_NEAR(h.Percentile(100), 15.0, 1.0);
+}
+
+TEST(HistogramTest, SummaryMatchesAccessors) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, h.count());
+  EXPECT_EQ(s.sum, h.sum());
+  EXPECT_EQ(s.min, h.min());
+  EXPECT_EQ(s.max, h.max());
+  EXPECT_DOUBLE_EQ(s.mean, h.mean());
+  EXPECT_DOUBLE_EQ(s.p50, h.Percentile(50));
+  EXPECT_DOUBLE_EQ(s.p95, h.Percentile(95));
+  EXPECT_DOUBLE_EQ(s.p99, h.Percentile(99));
+  EXPECT_DOUBLE_EQ(s.p999, h.Percentile(99.9));
 }
 
 TEST(HistogramTest, EmptyHistogramIsZero) {

@@ -1,0 +1,121 @@
+#include "sim/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+namespace kvcsd::sim {
+namespace {
+
+TEST(TelemetrySamplerTest, DisabledByDefault) {
+  TelemetrySampler t;
+  t.AddSource("dev", [](TelemetrySampler::Gauges* out) {
+    out->emplace_back("g", 1);
+  });
+  EXPECT_FALSE(t.enabled());
+  EXPECT_FALSE(t.Due(1000000));
+}
+
+TEST(TelemetrySamplerTest, NotDueWithoutSources) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/100);
+  // Nothing registered: sampling would only record empty points.
+  EXPECT_FALSE(t.Due(1000));
+}
+
+TEST(TelemetrySamplerTest, SamplesStampedOnCadenceGrid) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/100);
+  std::uint64_t value = 7;
+  t.AddSource("dev", [&value](TelemetrySampler::Gauges* out) {
+    out->emplace_back("queue_depth", value);
+  });
+
+  EXPECT_TRUE(t.Due(0));
+  t.Sample(0);
+  EXPECT_FALSE(t.Due(99));  // next due at 100
+
+  // Event times are sparse; the sample is stamped at the latest cadence
+  // multiple <= now, not at the (arbitrary) event time.
+  value = 9;
+  EXPECT_TRUE(t.Due(257));
+  t.Sample(257);
+  EXPECT_FALSE(t.Due(299));
+  EXPECT_TRUE(t.Due(300));
+
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.samples()[0].tick, 0u);
+  EXPECT_EQ(t.samples()[1].tick, 200u);
+  ASSERT_EQ(t.names().size(), 1u);
+  EXPECT_EQ(t.names()[0], "queue_depth");
+  ASSERT_EQ(t.samples()[1].values.size(), 1u);
+  EXPECT_EQ(t.samples()[1].values[0].second, 9u);
+}
+
+TEST(TelemetrySamplerTest, AddSourceReplacesByKey) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/10);
+  const std::uint64_t old_token =
+      t.AddSource("device", [](TelemetrySampler::Gauges* out) {
+        out->emplace_back("g", 1);
+      });
+  // A restarted device re-registers under the same key and supersedes the
+  // powered-off incarnation's callback.
+  t.AddSource("device", [](TelemetrySampler::Gauges* out) {
+    out->emplace_back("g", 2);
+  });
+  t.Sample(0);
+  ASSERT_EQ(t.size(), 1u);
+  ASSERT_EQ(t.samples()[0].values.size(), 1u);
+  EXPECT_EQ(t.samples()[0].values[0].second, 2u);
+
+  // The superseded owner's deregistration must not tear down the live
+  // replacement (the old Device's dtor runs after Restart).
+  t.RemoveSource(old_token);
+  t.Sample(20);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.samples()[1].values.size(), 1u);
+}
+
+TEST(TelemetrySamplerTest, RemoveSourceDropsIt) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/10);
+  const std::uint64_t token =
+      t.AddSource("dev", [](TelemetrySampler::Gauges* out) {
+        out->emplace_back("g", 1);
+      });
+  t.RemoveSource(token);
+  EXPECT_FALSE(t.Due(100));
+}
+
+TEST(TelemetrySamplerTest, RingDropsOldestSamples) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/10, /*max_samples=*/2);
+  t.AddSource("dev", [](TelemetrySampler::Gauges* out) {
+    out->emplace_back("g", 1);
+  });
+  t.Sample(0);
+  t.Sample(10);
+  t.Sample(20);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+  EXPECT_EQ(t.samples().front().tick, 10u);
+}
+
+TEST(TelemetrySamplerTest, ToJsonIsColumnar) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/100);
+  t.AddSource("dev", [](TelemetrySampler::Gauges* out) {
+    out->emplace_back("a", 5);
+    out->emplace_back("b", 6);
+  });
+  t.Sample(100);
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"interval_ns\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"names\":[\"a\",\"b\"]"), std::string::npos);
+  EXPECT_NE(json.find("{\"t\":100,\"v\":[[0,5],[1,6]]}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kvcsd::sim

@@ -59,6 +59,34 @@ TEST(TracerTest, DropsBeyondMaxEvents) {
   EXPECT_EQ(t.dropped(), 0u);
 }
 
+TEST(TracerTest, FlowEventsCarryCategoryIdAndBinding) {
+  Tracer t;
+  t.Enable();
+  t.FlowBegin(t.Track("client"), "cmd", 42, 100);
+  t.FlowStep(t.Track("nvme"), "cmd", 42, 150);
+  t.FlowEnd(t.Track("device"), "cmd", 42, 200);
+  EXPECT_EQ(t.size(), 3u);
+
+  const std::string json = t.ToJson();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  // The terminating event must bind to the enclosing slice ("bp":"e"), or
+  // viewers attach the arrow to the next slice on the track instead.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  // Exactly one event (the 'f') carries the binding.
+  EXPECT_EQ(json.find("\"bp\":\"e\""), json.rfind("\"bp\":\"e\""));
+}
+
+TEST(TracerTest, FlowEventsIgnoredWhenDisabled) {
+  Tracer t;
+  t.FlowBegin(t.Track("a"), "cmd", 1, 10);
+  t.FlowEnd(t.Track("b"), "cmd", 1, 20);
+  EXPECT_EQ(t.size(), 0u);
+}
+
 TEST(TraceSpanTest, NoOpWhenTracerDisabled) {
   Simulation sim;
   {

@@ -1,0 +1,274 @@
+#!/usr/bin/env python3
+"""Latency-breakdown analyzer for KV-CSD Chrome traces and telemetry.
+
+Consumes the ``--trace=`` Chrome trace_event JSON emitted by the benches
+(and optionally the ``--telemetry=`` time-series dump) and prints:
+
+  * a per-opcode critical-path breakdown: how much of each command's
+    round trip was spent waiting in the NVMe submission queue vs
+    executing on the device vs in completion delivery, with p50/p99,
+  * the top-N slowest individual commands with their stage split,
+  * a summary of every telemetry gauge (samples / min / mean / max / last).
+
+It also validates causal flow events: every ``cat:"flow"`` group keyed
+by (name, id) must contain exactly one 's' (begin) and one 'f' (end)
+with non-decreasing timestamps — a dangling or reversed flow means the
+instrumentation lost track of a command. Violations are warnings by
+default and hard failures under ``--strict-flows`` (used in CI).
+
+Usage:
+  tools/analyze_trace.py TRACE.json [TELEMETRY.json]
+      [--top=N] [--strict-flows] [--require-opcode=NAME ...]
+
+``--require-opcode=NAME`` exits non-zero unless at least one command of
+that opcode completed all stages — CI uses it to assert the trace
+actually exercised the paths it claims to cover.
+
+Stage model (tracks are named via thread_name metadata):
+  client   opcode span       = full client-observed round trip
+  nvme.sq  "queue_wait" span = SQ enqueue -> device doorbell pop
+  device   opcode span       = command execution on the SoC
+  nvme.cq  "complete" span   = completion DMA back to the host
+
+All spans carry an ``args.cmd_id`` that joins them into one command.
+Timestamps are microseconds with nanosecond fractions; everything is
+reported in nanoseconds.
+"""
+
+import json
+import math
+import sys
+from collections import defaultdict
+
+USAGE = (
+    "usage: analyze_trace.py TRACE.json [TELEMETRY.json] "
+    "[--top=N] [--strict-flows] [--require-opcode=NAME ...]"
+)
+
+# Stages joined per cmd_id, in pipeline order. The client span is the
+# envelope; the three inner stages are disjoint segments of it.
+STAGES = ("queue_wait", "exec", "complete")
+
+
+def die(msg):
+    sys.stderr.write("analyze_trace: %s\n" % msg)
+    sys.exit(1)
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        die("cannot read %s %s: %s" % (what, path, e))
+
+
+def percentile(sorted_vals, p):
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, min(len(sorted_vals) - 1,
+                      math.ceil(p / 100.0 * len(sorted_vals)) - 1))
+    return sorted_vals[rank]
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return "%.3fs" % (ns / 1e9)
+    if ns >= 1e6:
+        return "%.3fms" % (ns / 1e6)
+    if ns >= 1e3:
+        return "%.3fus" % (ns / 1e3)
+    return "%dns" % int(ns)
+
+
+def track_map(events):
+    """tid -> track name, from thread_name metadata events."""
+    tracks = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            tracks[e.get("tid")] = e.get("args", {}).get("name", "")
+    return tracks
+
+
+def check_flows(events, strict):
+    """Validate flow-event pairing; returns the number of violations."""
+    groups = defaultdict(list)
+    for e in events:
+        if e.get("cat") == "flow" and e.get("ph") in ("s", "t", "f"):
+            groups[(e.get("name"), e.get("id"))].append(e)
+    bad = 0
+    for (name, fid), evs in sorted(groups.items()):
+        phases = sorted(e["ph"] for e in evs)
+        begins = phases.count("s")
+        ends = phases.count("f")
+        if begins != 1 or ends != 1:
+            bad += 1
+            sys.stderr.write(
+                "analyze_trace: malformed flow (%s, id=%s): "
+                "%d begin(s), %d end(s)\n" % (name, fid, begins, ends))
+            continue
+        ts = {e["ph"]: float(e["ts"]) for e in evs}
+        if ts["s"] > ts["f"] or any(
+                not ts["s"] <= float(e["ts"]) <= ts["f"]
+                for e in evs if e["ph"] == "t"):
+            bad += 1
+            sys.stderr.write(
+                "analyze_trace: disconnected flow (%s, id=%s): "
+                "timestamps out of order\n" % (name, fid))
+    if bad and strict:
+        die("%d malformed/disconnected flow event group(s)" % bad)
+    return len(groups), bad
+
+
+def collect_commands(events, tracks):
+    """cmd_id -> {opcode, total, queue_wait, exec, complete} in ns."""
+    cmds = defaultdict(dict)
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        args = e.get("args", {})
+        cmd_id = args.get("cmd_id")
+        if cmd_id is None:
+            continue
+        track = tracks.get(e.get("tid"), "")
+        dur_ns = float(e.get("dur", 0)) * 1000.0
+        c = cmds[cmd_id]
+        if track == "client":
+            c["opcode"] = e.get("name", "?")
+            c["total"] = dur_ns
+            c["ts"] = float(e.get("ts", 0))
+        elif track == "nvme.sq" and e.get("name") == "queue_wait":
+            c["queue_wait"] = dur_ns
+        elif track == "device":
+            c["exec"] = dur_ns
+            c.setdefault("opcode", e.get("name", "?"))
+        elif track == "nvme.cq" and e.get("name") == "complete":
+            c["complete"] = dur_ns
+    return cmds
+
+
+def print_breakdown(cmds):
+    by_op = defaultdict(list)
+    for cmd_id, c in cmds.items():
+        by_op[c.get("opcode", "?")].append(c)
+
+    hdr = "%-16s %6s  %21s %21s %21s %21s" % (
+        "opcode", "count", "queue_wait p50/p99", "exec p50/p99",
+        "complete p50/p99", "total p50/p99")
+    print(hdr)
+    print("-" * len(hdr))
+    for op in sorted(by_op):
+        group = by_op[op]
+        cols = ["%-16s %6d" % (op, len(group))]
+        for stage in STAGES + ("total",):
+            vals = sorted(c[stage] for c in group if stage in c)
+            cols.append("%10s/%-10s" % (fmt_ns(percentile(vals, 50)),
+                                        fmt_ns(percentile(vals, 99))))
+        print("  ".join(cols))
+
+
+def print_slowest(cmds, top_n):
+    ranked = sorted(
+        ((cid, c) for cid, c in cmds.items() if "total" in c),
+        key=lambda kv: kv[1]["total"], reverse=True)[:top_n]
+    if not ranked:
+        return
+    print()
+    print("top %d slowest commands:" % len(ranked))
+    print("%10s %-16s %12s %12s %12s %12s %14s" % (
+        "cmd_id", "opcode", "queue_wait", "exec", "complete", "total",
+        "submit_ts_us"))
+    for cid, c in ranked:
+        print("%10s %-16s %12s %12s %12s %12s %14.3f" % (
+            cid, c.get("opcode", "?"),
+            fmt_ns(c.get("queue_wait", 0)), fmt_ns(c.get("exec", 0)),
+            fmt_ns(c.get("complete", 0)), fmt_ns(c["total"]),
+            c.get("ts", 0.0)))
+
+
+def print_telemetry(path):
+    data = load_json(path, "telemetry")
+    names = data.get("names", [])
+    samples = data.get("samples", [])
+    series = defaultdict(list)
+    for s in samples:
+        for name_id, val in s.get("v", []):
+            if 0 <= name_id < len(names):
+                series[names[name_id]].append(val)
+    print()
+    print("telemetry: %d samples at %s cadence, %d gauges%s" % (
+        len(samples), fmt_ns(data.get("interval_ns", 0)), len(series),
+        ", %d dropped" % data["dropped"] if data.get("dropped") else ""))
+    if not series:
+        return
+    print("%-36s %8s %12s %12s %12s %12s" % (
+        "gauge", "samples", "min", "mean", "max", "last"))
+    for name in sorted(series):
+        vals = series[name]
+        print("%-36s %8d %12d %12.1f %12d %12d" % (
+            name, len(vals), min(vals), sum(vals) / len(vals), max(vals),
+            vals[-1]))
+
+
+def main(argv):
+    trace_path = None
+    telemetry_path = None
+    top_n = 10
+    strict = False
+    required = []
+    for arg in argv[1:]:
+        if arg.startswith("--top="):
+            top_n = int(arg.split("=", 1)[1])
+        elif arg == "--strict-flows":
+            strict = True
+        elif arg.startswith("--require-opcode="):
+            required.append(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            die("unknown flag %s\n%s" % (arg, USAGE))
+        elif trace_path is None:
+            trace_path = arg
+        elif telemetry_path is None:
+            telemetry_path = arg
+        else:
+            die(USAGE)
+    if trace_path is None:
+        die(USAGE)
+
+    data = load_json(trace_path, "trace")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        die("%s: no traceEvents array" % trace_path)
+    tracks = track_map(events)
+    cmds = collect_commands(events, tracks)
+    flow_groups, bad_flows = check_flows(events, strict)
+
+    print("trace: %s (%d events, %d commands, %d flow groups%s)" % (
+        trace_path, len(events), len(cmds), flow_groups,
+        ", %d BAD" % bad_flows if bad_flows else ""))
+    print()
+    print_breakdown(cmds)
+    print_slowest(cmds, top_n)
+    if telemetry_path:
+        print_telemetry(telemetry_path)
+
+    status = 0
+    for op in required:
+        complete = [
+            c for c in cmds.values()
+            if c.get("opcode") == op and all(s in c for s in STAGES)
+        ]
+        if not complete:
+            sys.stderr.write(
+                "analyze_trace: required opcode '%s' has no fully-staged "
+                "commands\n" % op)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Output piped into head/less and closed early; not an error.
+        sys.exit(0)
