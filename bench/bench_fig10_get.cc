@@ -164,6 +164,21 @@ int main(int argc, char** argv) {
   // the device's per-command view — the perf gate watches these p99s.
   report.AddStats(csd_bed.sim().stats(), "client.cmd.");
   report.AddStats(csd_bed.sim().stats(), "device.cmd.");
+  // Read-path acceleration counters (DESIGN.md §10): index-cache traffic,
+  // bloom outcomes, and gather/prefetch behavior across the whole sweep.
+  report.AddStats(csd_bed.sim().stats(), "device.read_cache.");
+  report.AddStats(csd_bed.sim().stats(), "device.bloom.");
+  report.AddStats(csd_bed.sim().stats(), "device.gather.");
+  report.AddStats(csd_bed.sim().stats(), "device.prefetch.");
+  const std::uint64_t cache_hits =
+      csd_bed.sim().stats().counter_value("device.read_cache.hits");
+  const std::uint64_t cache_misses =
+      csd_bed.sim().stats().counter_value("device.read_cache.misses");
+  report.AddMetric("csd.read_cache.hit_ratio",
+                   cache_hits + cache_misses == 0
+                       ? 0.0
+                       : static_cast<double>(cache_hits) /
+                             static_cast<double>(cache_hits + cache_misses));
   report.AddCompactionStats(csd_bed.dev().compaction_stats());
   report.AddTable(time_table);
   report.AddTable(io_table);

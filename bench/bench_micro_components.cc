@@ -19,7 +19,7 @@
 #include "common/crc32c.h"
 #include "common/keys.h"
 #include "common/random.h"
-#include "lsm/bloom.h"
+#include "common/bloom.h"
 #include "lsm/memtable.h"
 #include "vpic/vpic.h"
 
@@ -67,7 +67,7 @@ BENCHMARK(BM_MemTableGet);
 void BM_BloomBuild(benchmark::State& state) {
   const auto n = static_cast<std::uint64_t>(state.range(0));
   for (auto _ : state) {
-    lsm::BloomFilterBuilder builder(10);
+    BloomFilterBuilder builder(10);
     for (std::uint64_t i = 0; i < n; ++i) {
       builder.AddKey(MakeFixedKey(i));
     }
@@ -79,13 +79,13 @@ void BM_BloomBuild(benchmark::State& state) {
 BENCHMARK(BM_BloomBuild)->Arg(1024)->Arg(65536);
 
 void BM_BloomQuery(benchmark::State& state) {
-  lsm::BloomFilterBuilder builder(10);
+  BloomFilterBuilder builder(10);
   for (std::uint64_t i = 0; i < 65536; ++i) builder.AddKey(MakeFixedKey(i));
   const std::string filter = builder.Finish();
   Rng rng(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        lsm::BloomFilterMayContain(Slice(filter), MakeFixedKey(rng.Next())));
+        BloomFilterMayContain(Slice(filter), MakeFixedKey(rng.Next())));
   }
   state.SetItemsProcessed(state.iterations());
 }

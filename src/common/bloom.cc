@@ -1,8 +1,8 @@
-#include "lsm/bloom.h"
+#include "common/bloom.h"
 
 #include <algorithm>
 
-namespace kvcsd::lsm {
+namespace kvcsd {
 
 std::uint32_t BloomHash(const Slice& key) {
   // Murmur-inspired one-pass hash (LevelDB's Hash() simplified).
@@ -84,4 +84,4 @@ bool BloomFilterMayContain(const Slice& filter, const Slice& key) {
   return true;
 }
 
-}  // namespace kvcsd::lsm
+}  // namespace kvcsd

@@ -7,7 +7,7 @@
 
 #include "common/slice.h"
 
-namespace kvcsd::lsm {
+namespace kvcsd {
 
 class BloomFilterBuilder {
  public:
@@ -32,4 +32,4 @@ bool BloomFilterMayContain(const Slice& filter, const Slice& key);
 // FNV-1a-flavoured hash used by both sides.
 std::uint32_t BloomHash(const Slice& key);
 
-}  // namespace kvcsd::lsm
+}  // namespace kvcsd

@@ -32,8 +32,10 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "common/bloom.h"
 #include "common/keys.h"
 #include "kvcsd/device.h"
 #include "kvcsd/klog_stream.h"
@@ -306,6 +308,10 @@ struct Device::PidxPipeline {
   sim::BoundedChannel<std::unique_ptr<ValueBatch>>* channel = nullptr;
   const std::vector<nvme::SecondaryIndexSpec>* specs = nullptr;
   std::vector<SidxSortState>* sidx_states = nullptr;
+  // When non-null, every merged key is also added to the keyspace's bloom
+  // filter here — the one moment all primary keys stream through DRAM in
+  // order, so the filter build costs no extra I/O (DESIGN.md §10).
+  BloomFilterBuilder* bloom = nullptr;
   std::vector<SketchEntry> sketch;
   std::vector<ClusterId> pidx_clusters;
   std::uint64_t entries_total = 0;
@@ -362,6 +368,7 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
       co_await cpu_.ComputeBytes(b.value_bytes,
                                  config_.costs.extract_bytes_per_sec);
     }
+    std::uint64_t bloom_key_bytes = 0;
     for (std::size_t i = 0; i < b.entries.size(); ++i) {
       const KlogEntry& e = b.entries[i];
       if (block.size() + wire::PidxEntrySize(e.key) >
@@ -371,6 +378,10 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
       if (block_count == 0) block_pivot = e.key;
       wire::AppendPidxEntry(&block, e.key, b.new_addrs[i], e.value_len);
       ++block_count;
+      if (pipe->bloom != nullptr) {
+        pipe->bloom->AddKey(Slice(e.key));
+        bloom_key_bytes += e.key.size();
+      }
 
       for (std::size_t spec_index = 0; spec_index < pipe->specs->size();
            ++spec_index) {
@@ -383,6 +394,11 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
       }
     }
     pipe->entries_total += b.entries.size();
+    if (pipe->bloom != nullptr && bloom_key_bytes > 0) {
+      // Hashing each key into the filter costs about one checksum pass.
+      co_await cpu_.ComputeBytes(bloom_key_bytes,
+                                 config_.costs.checksum_bytes_per_sec);
+    }
     co_return Status::Ok();
   };
 
@@ -546,10 +562,15 @@ sim::Task<Status> Device::RunCompaction(
 
   std::vector<ClusterId> value_clusters;
   sim::BoundedChannel<std::unique_ptr<ValueBatch>> batches(sim_, 1);
+  std::optional<BloomFilterBuilder> bloom;
+  if (config_.bloom_bits_per_key > 0) {
+    bloom.emplace(static_cast<int>(config_.bloom_bits_per_key));
+  }
   PidxPipeline pipe;
   pipe.channel = &batches;
   pipe.specs = &fused_specs;
   pipe.sidx_states = &fused_states;
+  pipe.bloom = bloom.has_value() ? &*bloom : nullptr;
   sim::TaskGroup index_stage(sim_);
   index_stage.Spawn(IndexBuildStage(&pipe));
 
@@ -723,6 +744,9 @@ sim::Task<Status> Device::RunCompaction(
   ks->pidx_clusters = std::move(pipe.pidx_clusters);
   ks->sorted_value_clusters = std::move(value_clusters);
   ks->pidx_sketch = std::move(pipe.sketch);
+  // The bloom filter rides the same snapshot as the sketch, so recovery
+  // restores both or neither; empty when bloom is disabled.
+  ks->pidx_bloom = bloom.has_value() ? bloom->Finish() : std::string();
   ks->num_kvs = pipe.entries_total;
   ks->secondary_indexes = std::move(fused_indexes);
   ks->state = KeyspaceState::kCompacted;
@@ -731,6 +755,7 @@ sim::Task<Status> Device::RunCompaction(
     ks->pidx_clusters.clear();
     ks->sorted_value_clusters.clear();
     ks->pidx_sketch.clear();
+    ks->pidx_bloom.clear();
     ks->secondary_indexes.clear();
     ks->klog_clusters = std::move(old_klog);
     ks->vlog_clusters = std::move(old_vlog);
@@ -742,6 +767,10 @@ sim::Task<Status> Device::RunCompaction(
   }
   ++compactions_done_;
   scratch->clear();  // the outputs are now owned by the durable snapshot
+  // Any cached index blocks for this keyspace id predate the new PIDX
+  // layout (possible only on re-compaction after a rollback); drop them so
+  // queries can never read a stale block through the cache.
+  index_cache_.EraseKeyspace(ks->id);
 
   // Past the commit point the compaction HAS happened; a crash here loses
   // nothing (recovery reclaims the old logs as unreferenced clusters) and
@@ -821,7 +850,7 @@ sim::Task<Status> Device::BuildSecondaryIndexInner(
   };
 
   for (const SketchEntry& block_ref : ks->pidx_sketch) {
-    auto block = co_await ReadIndexBlock(block_ref);
+    auto block = co_await ReadIndexBlock(ks->id, block_ref);
     if (!block.ok()) co_return block.status();
     std::uint16_t count = 0;
     Slice in;

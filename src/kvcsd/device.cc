@@ -45,6 +45,7 @@ Device::Device(sim::Simulation* sim, const DeviceConfig& config,
       zone_manager_(&ssd_, config.zones),
       keyspace_manager_(&ssd_, &zone_manager_),
       cpu_(sim, "soc", config.soc_cores),
+      index_cache_(config.EffectiveIndexCacheBytes()),
       faults_(config.zns.faults) {
   if (faults_ != nullptr) faults_->set_log(&sim_->log());
   // Key "device" on purpose: a Device::Restart over the same simulation
@@ -64,6 +65,8 @@ void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
   out->emplace_back("device.compact.bytes_read", compaction_stats_.bytes_read);
   out->emplace_back("device.compact.bytes_written",
                     compaction_stats_.bytes_written);
+  out->emplace_back("device.read_cache.bytes", index_cache_.charge());
+  out->emplace_back("device.read_cache.entries", index_cache_.entries());
   out->emplace_back("zns.free_zones", zone_manager_.free_zones());
   // Per-role zone utilization, one pass over the live cluster table.
   struct RoleUsage {
@@ -676,6 +679,7 @@ sim::Task<Status> Device::FinishDrop(Keyspace* ks) {
     take(&sidx.sidx_clusters);
   }
   KVCSD_CO_RETURN_IF_ERROR(keyspace_manager_.Erase(id));  // frees *ks
+  index_cache_.EraseKeyspace(id);
   buffers_.erase(id);
   write_locks_.erase(id);
   compaction_done_.erase(id);

@@ -25,6 +25,7 @@
 
 #include "common/status.h"
 #include "hostenv/cost_model.h"
+#include "kvcsd/index_cache.h"
 #include "kvcsd/keyspace_manager.h"
 #include "kvcsd/zone_manager.h"
 #include "nvme/queue.h"
@@ -48,8 +49,29 @@ struct DeviceConfig {
   std::uint64_t sort_run_bytes = 0;
   hostenv::CostModel costs = hostenv::CostModel::Soc();
 
+  // --- read-path acceleration (DESIGN.md §10) ---
+  // DRAM carved out for the PIDX/SIDX block cache, alongside the sort-run
+  // budget above; 0 derives dram_bytes / 8. Set index_cache_enabled=false
+  // to turn the cache off regardless of size (for ablations).
+  std::uint64_t index_cache_bytes = 0;
+  bool index_cache_enabled = true;
+  // Bloom bits per primary key for the per-keyspace filter built during
+  // compaction and consulted by point lookups; 0 disables both the build
+  // and the check.
+  std::uint32_t bloom_bits_per_key = 10;
+  // Maximum concurrent coalesced range reads per value gather; 1 recovers
+  // the serial behavior. Values beyond the NAND channel count only add
+  // queueing.
+  std::uint32_t gather_fanout = 8;
+  // Overlap the next index-block read with the current one in range scans.
+  bool index_prefetch = true;
+
   std::uint64_t EffectiveSortRunBytes() const {
     return sort_run_bytes != 0 ? sort_run_bytes : dram_bytes / 4;
+  }
+  std::uint64_t EffectiveIndexCacheBytes() const {
+    if (!index_cache_enabled) return 0;
+    return index_cache_bytes != 0 ? index_cache_bytes : dram_bytes / 8;
   }
 };
 
@@ -130,6 +152,7 @@ class Device {
   storage::ZnsSsd& ssd() { return ssd_; }
   sim::CpuPool& cpu() { return cpu_; }
   const DeviceConfig& config() const { return config_; }
+  const IndexBlockCache& index_cache() const { return index_cache_; }
 
   // The simulation-wide stats registry. The device records per-opcode
   // counters ("device.cmd.<op>"), aggregate latency histograms
@@ -153,6 +176,11 @@ class Device {
   std::uint64_t compactions_running() const { return compactions_running_; }
 
  private:
+  // White-box access for read-path unit tests (tests/kvcsd/*): GatherValues
+  // and ReadIndexBlock are internal, but dedupe/coalescing behavior is
+  // worth pinning directly.
+  friend struct DeviceTestPeer;
+
   // --- plumbing ---
   sim::Task<void> MainLoop();
   sim::Task<void> HandleCommand(nvme::QueuePair::Incoming incoming);
@@ -261,11 +289,29 @@ class Device {
       const std::string& hi, std::uint32_t limit,
       std::vector<std::pair<std::string, std::string>>* out);
 
-  // Reads one 4 KB index block (PIDX or SIDX) given its sketch entry.
-  sim::Task<Result<std::string>> ReadIndexBlock(const SketchEntry& entry);
+  // Reads one 4 KB index block (PIDX or SIDX) given its sketch entry,
+  // consulting the DRAM index cache first; `keyspace_id` scopes the cache
+  // key so recycled block addresses can never alias across keyspaces.
+  sim::Task<Result<std::string>> ReadIndexBlock(std::uint64_t keyspace_id,
+                                                const SketchEntry& entry);
 
-  // Gathers values for (addr, len) requests, coalescing address-adjacent
-  // reads; results are returned in request order.
+  // One-slot pipeline stage for range scans: the next sketch block's read
+  // is issued while the current block is still in flight or being parsed.
+  // The owning scan MUST await `done` on every outstanding slot before
+  // returning (the prefetch coroutine writes through the slot pointer).
+  struct IndexPrefetch {
+    bool active = false;
+    std::size_t pos = 0;
+    Result<std::string> block{Status::Aborted("prefetch pending")};
+    std::unique_ptr<sim::Event> done;
+  };
+  sim::Task<void> PrefetchIndexBlock(std::uint64_t keyspace_id,
+                                     SketchEntry entry, IndexPrefetch* slot);
+
+  // Gathers values for (addr, len) requests: identical refs are deduped,
+  // address-adjacent reads are coalesced into ranges, and the range reads
+  // fan out across NAND channels (config_.gather_fanout inflight).
+  // Results are returned in request order regardless of I/O timing.
   struct ValueRef {
     std::uint64_t addr;
     std::uint32_t len;
@@ -303,6 +349,7 @@ class Device {
   ZoneManager zone_manager_;
   KeyspaceManager keyspace_manager_;
   sim::CpuPool cpu_;
+  IndexBlockCache index_cache_;
   // Mirrors config_.zns.faults (not owned); nullptr = no fault injection.
   sim::FaultInjector* faults_ = nullptr;
 

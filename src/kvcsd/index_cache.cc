@@ -1,0 +1,61 @@
+#include "kvcsd/index_cache.h"
+
+namespace kvcsd::device {
+
+bool IndexBlockCache::Lookup(std::uint64_t keyspace_id,
+                             std::uint64_t block_addr, std::string* out) {
+  if (!enabled()) return false;
+  auto it = map_.find(Key{keyspace_id, block_addr});
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->block;
+  return true;
+}
+
+void IndexBlockCache::Insert(std::uint64_t keyspace_id,
+                             std::uint64_t block_addr,
+                             const std::string& block) {
+  if (!enabled() || block.size() > capacity_) return;
+  const Key key{keyspace_id, block_addr};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    charge_ -= it->second->block.size();
+    it->second->block = block;
+    charge_ += block.size();
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (charge_ + block.size() > capacity_) EvictOne();
+  lru_.push_front(Entry{key, block});
+  map_[key] = lru_.begin();
+  charge_ += block.size();
+}
+
+void IndexBlockCache::EvictOne() {
+  const Entry& victim = lru_.back();
+  charge_ -= victim.block.size();
+  map_.erase(victim.key);
+  lru_.pop_back();
+  ++evictions_;
+}
+
+void IndexBlockCache::EraseKeyspace(std::uint64_t keyspace_id) {
+  auto it = map_.lower_bound(Key{keyspace_id, 0});
+  while (it != map_.end() && it->first.first == keyspace_id) {
+    charge_ -= it->second->block.size();
+    lru_.erase(it->second);
+    it = map_.erase(it);
+  }
+}
+
+void IndexBlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  charge_ = 0;
+}
+
+}  // namespace kvcsd::device

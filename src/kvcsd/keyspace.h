@@ -60,6 +60,12 @@ struct Keyspace {
   std::vector<ClusterId> pidx_clusters;
   std::vector<ClusterId> sorted_value_clusters;
   std::vector<SketchEntry> pidx_sketch;
+  // Serialized bloom filter over the primary keys (common/bloom.h format),
+  // built while compaction streams the merged keys through the index
+  // builder and persisted with the metadata snapshot so recovery restores
+  // it. Empty = no filter (bloom disabled at compaction time, or the
+  // keyspace is not COMPACTED); point lookups then probe flash directly.
+  std::string pidx_bloom;
 
   std::map<std::string, SecondaryIndex> secondary_indexes;
 

@@ -126,6 +126,9 @@ std::string KeyspaceManager::SerializeTable(std::uint64_t seq) const {
     PutClusterVec(&body, ks->pidx_clusters);
     PutClusterVec(&body, ks->sorted_value_clusters);
     PutSketch(&body, ks->pidx_sketch);
+    // The serialized bloom filter travels with the sketch it guards; a
+    // few bits per key, dwarfed by the metadata zone (DESIGN.md §10).
+    PutString(&body, ks->pidx_bloom);
     PutVarint64(&body, ks->secondary_indexes.size());
     for (const auto& [name, sidx] : ks->secondary_indexes) {
       PutString(&body, sidx.spec.name);
@@ -188,7 +191,8 @@ Status KeyspaceManager::DeserializeTable(const std::string& raw,
          GetVarint64(&in, &ks->vlog_bytes) &&
          GetClusterVec(&in, &ks->pidx_clusters) &&
          GetClusterVec(&in, &ks->sorted_value_clusters) &&
-         GetSketch(&in, &ks->pidx_sketch) && GetVarint64(&in, &sidx_count);
+         GetSketch(&in, &ks->pidx_sketch) &&
+         GetString(&in, &ks->pidx_bloom) && GetVarint64(&in, &sidx_count);
     if (!ok) return Status::Corruption("snapshot keyspace entry");
     for (std::uint64_t j = 0; j < sidx_count; ++j) {
       SecondaryIndex sidx;

@@ -5,10 +5,22 @@
 // flash, then gather exactly the matching values. Because everything runs
 // in the device, only results travel back over PCIe — the mechanism behind
 // the paper's selectivity-dependent speedups (Fig. 12).
+//
+// Read acceleration (DESIGN.md §10):
+//   - ReadIndexBlock fronts a DRAM index-block cache; a hit pays only the
+//     in-block search CPU, no flash read.
+//   - QueryPoint consults the keyspace's compaction-built bloom filter so
+//     negative lookups usually skip flash entirely.
+//   - Range scans keep the next sketch block's read in flight while the
+//     current one is parsed (one-slot-ahead pipeline).
+//   - GatherValues dedupes identical refs, coalesces address-adjacent
+//     reads, and fans the coalesced ranges out across NAND channels.
 #include <algorithm>
 
+#include "common/bloom.h"
 #include "kvcsd/device.h"
 #include "kvcsd/wire.h"
+#include "sim/parallel.h"
 
 namespace kvcsd::device {
 
@@ -43,7 +55,16 @@ std::size_t SketchRangeStart(const std::vector<SketchEntry>& sketch,
 }  // namespace
 
 sim::Task<Result<std::string>> Device::ReadIndexBlock(
-    const SketchEntry& entry) {
+    std::uint64_t keyspace_id, const SketchEntry& entry) {
+  if (index_cache_.enabled()) {
+    std::string cached;
+    if (index_cache_.Lookup(keyspace_id, entry.block_addr, &cached)) {
+      stats().counter("device.read_cache.hits").Increment();
+      co_await cpu_.Compute(config_.costs.block_search);
+      co_return cached;
+    }
+    stats().counter("device.read_cache.misses").Increment();
+  }
   std::string block(entry.block_len, '\0');
   co_await cpu_.Compute(config_.costs.io_path_overhead);
   KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
@@ -51,7 +72,15 @@ sim::Task<Result<std::string>> Device::ReadIndexBlock(
       std::span<std::byte>(reinterpret_cast<std::byte*>(block.data()),
                            block.size())));
   co_await cpu_.Compute(config_.costs.block_search);
+  index_cache_.Insert(keyspace_id, entry.block_addr, block);
   co_return block;
+}
+
+sim::Task<void> Device::PrefetchIndexBlock(std::uint64_t keyspace_id,
+                                           SketchEntry entry,
+                                           IndexPrefetch* slot) {
+  slot->block = co_await ReadIndexBlock(keyspace_id, entry);
+  slot->done->Set();
 }
 
 sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
@@ -59,27 +88,54 @@ sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
   std::vector<std::string> out(refs.size());
   if (refs.empty()) co_return out;
 
-  // Read in flash-address order, coalescing requests whose gap is below a
-  // page and which stay inside one zone.
   std::vector<std::size_t> order(refs.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&refs](std::size_t a, std::size_t b) {
-    return refs[a].addr < refs[b].addr;
+    if (refs[a].addr != refs[b].addr) return refs[a].addr < refs[b].addr;
+    if (refs[a].len != refs[b].len) return refs[a].len < refs[b].len;
+    return a < b;
   });
 
+  // Dedupe identical (addr, len) refs: repeated hits on the same value
+  // (e.g. retried point gets batched together) must not issue redundant
+  // flash reads or break a coalesced range at the size limit.
+  std::vector<std::size_t> uniq;  // indexes into refs, one per distinct ref
+  std::vector<std::size_t> owner(refs.size());  // refs index -> uniq slot
+  uniq.reserve(order.size());
+  std::uint64_t dup_refs = 0;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const ValueRef& r = refs[order[k]];
+    if (uniq.empty() || refs[uniq.back()].addr != r.addr ||
+        refs[uniq.back()].len != r.len) {
+      uniq.push_back(order[k]);
+    } else {
+      ++dup_refs;
+    }
+    owner[order[k]] = uniq.size() - 1;
+  }
+
+  // Coalesce distinct refs into ranges whose gap stays below a page, that
+  // stay inside one zone, and that stay under 1 MiB. Plain CPU work: the
+  // I/O is issued afterwards so ranges on different NAND channels overlap.
   const std::uint64_t zone_size = ssd_.zone_size();
   constexpr std::uint64_t kMaxGap = 4096;
   constexpr std::uint64_t kMaxRange = MiB(1);
 
+  struct Range {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    std::size_t first = 0;  // [first, last) into uniq
+    std::size_t last = 0;
+  };
+  std::vector<Range> ranges;
   std::size_t i = 0;
-  while (i < order.size()) {
-    const std::uint64_t range_start = refs[order[i]].addr;
-    const std::uint64_t zone_end =
-        (range_start / zone_size + 1) * zone_size;
-    std::uint64_t range_end = range_start + refs[order[i]].len;
+  while (i < uniq.size()) {
+    const std::uint64_t range_start = refs[uniq[i]].addr;
+    const std::uint64_t zone_end = (range_start / zone_size + 1) * zone_size;
+    std::uint64_t range_end = range_start + refs[uniq[i]].len;
     std::size_t j = i + 1;
-    while (j < order.size()) {
-      const ValueRef& next = refs[order[j]];
+    while (j < uniq.size()) {
+      const ValueRef& next = refs[uniq[j]];
       const std::uint64_t next_end = next.addr + next.len;
       if (next.addr > range_end + kMaxGap) break;
       if (next_end > zone_end) break;
@@ -87,18 +143,37 @@ sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
       range_end = std::max(range_end, next_end);
       ++j;
     }
-    std::string buffer(range_end - range_start, '\0');
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
-    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
-        range_start,
-        std::span<std::byte>(reinterpret_cast<std::byte*>(buffer.data()),
-                             buffer.size())));
-    for (std::size_t k = i; k < j; ++k) {
-      const ValueRef& ref = refs[order[k]];
-      out[order[k]] = buffer.substr(ref.addr - range_start, ref.len);
-    }
+    ranges.push_back(Range{range_start, range_end, i, j});
     i = j;
   }
+
+  stats().counter("device.gather.refs").Add(refs.size());
+  stats().counter("device.gather.dup_refs").Add(dup_refs);
+  stats().counter("device.gather.ranges").Add(ranges.size());
+
+  // Fan the range reads out with a bounded inflight. Each worker writes
+  // disjoint uniq_values slots, so results are independent of completion
+  // order — parallelism changes timing, never contents.
+  std::vector<std::string> uniq_values(uniq.size());
+  auto read_range = [&](std::size_t r) -> sim::Task<Status> {
+    const Range& range = ranges[r];
+    std::string buffer(range.end - range.start, '\0');
+    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
+        range.start,
+        std::span<std::byte>(reinterpret_cast<std::byte*>(buffer.data()),
+                             buffer.size())));
+    for (std::size_t u = range.first; u < range.last; ++u) {
+      const ValueRef& ref = refs[uniq[u]];
+      uniq_values[u] = buffer.substr(ref.addr - range.start, ref.len);
+    }
+    co_return Status::Ok();
+  };
+  KVCSD_CO_RETURN_IF_ERROR(co_await sim::ParallelFor(
+      sim_, ranges.size(), std::max<std::uint32_t>(config_.gather_fanout, 1),
+      read_range));
+
+  for (std::size_t k = 0; k < refs.size(); ++k) out[k] = uniq_values[owner[k]];
   co_return out;
 }
 
@@ -109,10 +184,22 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
         "keyspace is not queryable (state " +
         std::string(KeyspaceStateName(ks->state)) + ")");
   }
+  // Bloom first: a definite negative answers from DRAM alone, skipping
+  // both the index-block read and the value gather.
+  bool bloom_said_maybe = false;
+  if (!ks->pidx_bloom.empty()) {
+    co_await cpu_.Compute(config_.costs.bloom_check);
+    if (!BloomFilterMayContain(Slice(ks->pidx_bloom), Slice(key))) {
+      stats().counter("device.bloom.negative").Increment();
+      co_return Status::NotFound();
+    }
+    bloom_said_maybe = true;
+    stats().counter("device.bloom.maybe").Increment();
+  }
   const std::size_t pos = SketchLowerBlock(ks->pidx_sketch, key);
   if (pos >= ks->pidx_sketch.size()) co_return Status::NotFound();
 
-  auto block = co_await ReadIndexBlock(ks->pidx_sketch[pos]);
+  auto block = co_await ReadIndexBlock(ks->id, ks->pidx_sketch[pos]);
   if (!block.ok()) co_return block.status();
   std::uint16_t count = 0;
   Slice in;
@@ -133,6 +220,9 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
     }
     if (Slice(key) < entry.key) break;  // sorted: key is absent
   }
+  if (bloom_said_maybe) {
+    stats().counter("device.bloom.false_positive").Increment();
+  }
   co_return Status::NotFound();
 }
 
@@ -143,26 +233,80 @@ sim::Task<Status> Device::QueryPrimaryRange(
   if (ks->state != KeyspaceState::kCompacted) {
     co_return Status::FailedPrecondition("keyspace is not queryable");
   }
-  if (ks->pidx_sketch.empty()) co_return Status::Ok();
+  const std::vector<SketchEntry>& sketch = ks->pidx_sketch;
+  if (sketch.empty()) co_return Status::Ok();
 
-  std::size_t pos = SketchRangeStart(ks->pidx_sketch, lo);
+  std::size_t pos = SketchRangeStart(sketch, lo);
 
+  // Two alternating prefetch slots keep block pos+1's flash read in
+  // flight while block pos is awaited and parsed; the pivot guard below
+  // never fetches past `hi`, so at most one read (a mid-block limit cut)
+  // is ever wasted. All error exits fall through the drain below — the
+  // slots live in this frame and a detached prefetch must not outlive it.
+  IndexPrefetch slots[2];
+  auto issue = [&](std::size_t p) {
+    IndexPrefetch& s = slots[p % 2];
+    s.active = true;
+    s.pos = p;
+    if (!s.done) {
+      s.done = std::make_unique<sim::Event>(sim_);
+    } else {
+      s.done->Reset();
+    }
+    sim_->Spawn(PrefetchIndexBlock(ks->id, sketch[p], &s));
+  };
+
+  Status scan_status = Status::Ok();
   std::vector<std::pair<std::string, ValueRef>> matches;
-  for (; pos < ks->pidx_sketch.size(); ++pos) {
-    if (ks->pidx_sketch[pos].pivot > hi) break;
-    auto block = co_await ReadIndexBlock(ks->pidx_sketch[pos]);
-    if (!block.ok()) co_return block.status();
+  std::string prev_key;
+  bool have_prev = false;
+  for (; pos < sketch.size(); ++pos) {
+    if (sketch[pos].pivot > hi) break;
+    Result<std::string> block = Status::Aborted("unread");
+    if (config_.index_prefetch) {
+      IndexPrefetch& cur = slots[pos % 2];
+      if (cur.active && cur.pos != pos) {  // stale slot: drain before reuse
+        co_await cur.done->Wait();
+        cur.active = false;
+      }
+      if (!cur.active) issue(pos);
+      if (pos + 1 < sketch.size() && !(sketch[pos + 1].pivot > hi) &&
+          !slots[(pos + 1) % 2].active) {
+        stats().counter("device.prefetch.issued").Increment();
+        issue(pos + 1);
+      }
+      co_await cur.done->Wait();
+      cur.active = false;
+      block = std::move(cur.block);
+    } else {
+      block = co_await ReadIndexBlock(ks->id, sketch[pos]);
+    }
+    if (!block.ok()) {
+      scan_status = block.status();
+      break;
+    }
     std::uint16_t count = 0;
     Slice in;
     if (!wire::OpenIndexBlock(*block, &count, &in)) {
-      co_return Status::Corruption("undersized PIDX block");
+      scan_status = Status::Corruption("undersized PIDX block");
+      break;
     }
     bool past_hi = false;
     for (std::uint16_t i = 0; i < count; ++i) {
       wire::PidxEntry entry;
       if (!wire::ParsePidxEntry(&in, &entry)) {
-        co_return Status::Corruption("bad PIDX block");
+        scan_status = Status::Corruption("bad PIDX block");
+        break;
       }
+      // The merge emits PIDX entries in nondecreasing key order across
+      // block boundaries; a violation means a corrupt or misdirected
+      // block and would silently mis-cut `limit`, so fail loudly.
+      if (have_prev && entry.key < Slice(prev_key)) {
+        scan_status = Status::Corruption("PIDX entries out of key order");
+        break;
+      }
+      prev_key = entry.key.ToString();
+      have_prev = true;
       if (entry.key < Slice(lo)) continue;
       if (Slice(hi) < entry.key) {
         past_hi = true;
@@ -175,8 +319,16 @@ sim::Task<Status> Device::QueryPrimaryRange(
         break;
       }
     }
-    if (past_hi) break;
+    if (!scan_status.ok() || past_hi) break;
   }
+  for (IndexPrefetch& s : slots) {
+    if (s.active) {
+      co_await s.done->Wait();
+      s.active = false;
+      stats().counter("device.prefetch.wasted").Increment();
+    }
+  }
+  KVCSD_CO_RETURN_IF_ERROR(scan_status);
 
   std::vector<ValueRef> refs;
   refs.reserve(matches.size());
@@ -202,26 +354,84 @@ sim::Task<Status> Device::QuerySecondaryRange(
     co_return Status::NotFound("no such secondary index: " + index_name);
   }
   const SecondaryIndex& sidx = sidx_it->second;
-  if (sidx.sketch.empty()) co_return Status::Ok();
+  const std::vector<SketchEntry>& sketch = sidx.sketch;
+  if (sketch.empty()) co_return Status::Ok();
 
-  std::size_t pos = SketchRangeStart(sidx.sketch, lo);
+  std::size_t pos = SketchRangeStart(sketch, lo);
 
+  IndexPrefetch slots[2];
+  auto issue = [&](std::size_t p) {
+    IndexPrefetch& s = slots[p % 2];
+    s.active = true;
+    s.pos = p;
+    if (!s.done) {
+      s.done = std::make_unique<sim::Event>(sim_);
+    } else {
+      s.done->Reset();
+    }
+    sim_->Spawn(PrefetchIndexBlock(ks->id, sketch[p], &s));
+  };
+
+  Status scan_status = Status::Ok();
   std::vector<std::pair<std::string, ValueRef>> matches;  // pkey, value ref
-  for (; pos < sidx.sketch.size(); ++pos) {
-    if (sidx.sketch[pos].pivot > hi) break;
-    auto block = co_await ReadIndexBlock(sidx.sketch[pos]);
-    if (!block.ok()) co_return block.status();
+  // SIDX blocks are globally sorted by (skey, pkey) — SidxMergeToBlocks
+  // emits them in exactly that order — so when `limit` lands inside a run
+  // of tied secondary keys, the cut is deterministic: the survivors are
+  // always the lexicographically-smallest primary keys of the tie,
+  // independent of core count, gather fan-out, or cache state. Verify the
+  // invariant while scanning; a violation would silently randomize the
+  // cut, so it fails loudly as corruption.
+  std::string prev_skey;
+  std::string prev_pkey;
+  bool have_prev = false;
+  for (; pos < sketch.size(); ++pos) {
+    if (sketch[pos].pivot > hi) break;
+    Result<std::string> block = Status::Aborted("unread");
+    if (config_.index_prefetch) {
+      IndexPrefetch& cur = slots[pos % 2];
+      if (cur.active && cur.pos != pos) {  // stale slot: drain before reuse
+        co_await cur.done->Wait();
+        cur.active = false;
+      }
+      if (!cur.active) issue(pos);
+      if (pos + 1 < sketch.size() && !(sketch[pos + 1].pivot > hi) &&
+          !slots[(pos + 1) % 2].active) {
+        stats().counter("device.prefetch.issued").Increment();
+        issue(pos + 1);
+      }
+      co_await cur.done->Wait();
+      cur.active = false;
+      block = std::move(cur.block);
+    } else {
+      block = co_await ReadIndexBlock(ks->id, sketch[pos]);
+    }
+    if (!block.ok()) {
+      scan_status = block.status();
+      break;
+    }
     std::uint16_t count = 0;
     Slice in;
     if (!wire::OpenIndexBlock(*block, &count, &in)) {
-      co_return Status::Corruption("undersized SIDX block");
+      scan_status = Status::Corruption("undersized SIDX block");
+      break;
     }
     bool past_hi = false;
     for (std::uint16_t i = 0; i < count; ++i) {
       wire::SidxEntry entry;
       if (!wire::ParseSidxEntry(&in, &entry)) {
-        co_return Status::Corruption("bad SIDX block");
+        scan_status = Status::Corruption("bad SIDX block");
+        break;
       }
+      if (have_prev && (entry.skey < Slice(prev_skey) ||
+                        (entry.skey == Slice(prev_skey) &&
+                         entry.pkey < Slice(prev_pkey)))) {
+        scan_status =
+            Status::Corruption("SIDX entries out of (skey, pkey) order");
+        break;
+      }
+      prev_skey = entry.skey.ToString();
+      prev_pkey = entry.pkey.ToString();
+      have_prev = true;
       if (entry.skey < Slice(lo)) continue;
       if (Slice(hi) < entry.skey) {
         past_hi = true;
@@ -234,8 +444,16 @@ sim::Task<Status> Device::QuerySecondaryRange(
         break;
       }
     }
-    if (past_hi) break;
+    if (!scan_status.ok() || past_hi) break;
   }
+  for (IndexPrefetch& s : slots) {
+    if (s.active) {
+      co_await s.done->Wait();
+      s.active = false;
+      stats().counter("device.prefetch.wasted").Increment();
+    }
+  }
+  KVCSD_CO_RETURN_IF_ERROR(scan_status);
 
   std::vector<ValueRef> refs;
   refs.reserve(matches.size());

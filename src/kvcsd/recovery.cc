@@ -74,6 +74,10 @@ sim::Task<Status> Device::Recover() {
                            (faults_ != nullptr ? faults_->crash_point()
                                                : std::string()) +
                            "')");
+  // The snapshot about to load may describe different index layouts than
+  // whatever queries cached before; a restarted Device starts with an
+  // empty cache anyway, but Recover() can also re-run over a live one.
+  index_cache_.Clear();
   auto recovered = co_await keyspace_manager_.Recover();
   KVCSD_CO_RETURN_IF_ERROR(recovered.status());
   log.Info("recovery",
@@ -113,6 +117,7 @@ sim::Task<Status> Device::Recover() {
     ks->pidx_clusters.clear();
     ks->sorted_value_clusters.clear();
     ks->pidx_sketch.clear();
+    ks->pidx_bloom.clear();
     ks->secondary_indexes.clear();
     ks->state = ks->klog_clusters.empty() ? KeyspaceState::kEmpty
                                           : KeyspaceState::kWritable;

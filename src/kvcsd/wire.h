@@ -131,6 +131,13 @@ inline bool ParsePidxEntry(Slice* in, PidxEntry* out) {
 
 // --- SIDX ---
 
+// SIDX blocks are written by compaction in nondecreasing (skey, pkey)
+// order: entries sort by the order-encoded secondary key first, with the
+// primary key breaking ties. Readers depend on this — a secondary range
+// scan with a row limit cuts the result at the limit, so when many rows
+// share the boundary secondary key, the survivors are deterministically
+// the ones with the smallest primary keys. QueryPoint/QuerySecondaryRange
+// assert the invariant while parsing and fail Corruption on violation.
 struct SidxEntry {
   Slice skey;  // order-encoded secondary key
   Slice pkey;

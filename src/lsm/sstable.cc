@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/coding.h"
-#include "lsm/bloom.h"
+#include "common/bloom.h"
 
 namespace kvcsd::lsm {
 

@@ -21,7 +21,7 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "lsm/block_cache.h"
-#include "lsm/bloom.h"
+#include "common/bloom.h"
 #include "lsm/env.h"
 #include "lsm/internal_key.h"
 #include "sim/task.h"

@@ -1,4 +1,4 @@
-#include "lsm/bloom.h"
+#include "common/bloom.h"
 
 #include <gtest/gtest.h>
 
@@ -7,7 +7,7 @@
 
 #include "common/keys.h"
 
-namespace kvcsd::lsm {
+namespace kvcsd {
 namespace {
 
 std::string BuildFilter(int n, int bits_per_key = 10) {
@@ -94,4 +94,4 @@ TEST(BloomTest, VariableLengthKeys) {
 }
 
 }  // namespace
-}  // namespace kvcsd::lsm
+}  // namespace kvcsd
