@@ -7,33 +7,157 @@
 
 namespace kvcsd::client {
 
-sim::Stats& Client::stats() { return queue_->sim()->stats(); }
+Client::Client(nvme::QueueSet* queues, sim::CpuPool* host_cpu,
+               const hostenv::CostModel& host_costs, ClientConfig config)
+    : queues_(queues),
+      host_cpu_(host_cpu),
+      costs_(host_costs),
+      config_(std::move(config)),
+      window_(queues->sim(), std::max<std::uint32_t>(config_.max_inflight, 1)),
+      cq_ring_(queues->sim()) {}
+
+sim::Stats& Client::stats() { return queues_->sim()->stats(); }
+
+nvme::QueuePair* Client::SubmitPair() {
+  const std::uint32_t n = queues_->num_queues();
+  if (config_.queue_id != ClientConfig::kAnyQueue) {
+    return queues_->pair(config_.queue_id % n);
+  }
+  const std::uint32_t q = rr_cursor_;
+  rr_cursor_ = (rr_cursor_ + 1) % n;
+  return queues_->pair(q);
+}
+
+void Client::StampCommand(nvme::Command* command, Tick begin) {
+  sim::Simulation* sim = queues_->sim();
+  // Stamp the causal id: everything this command touches — queue wait,
+  // dispatch, execution, any compaction it spawns — traces back to it.
+  command->cmd_id = sim->AllocateCmdId();
+  command->submit_tick = begin;
+  if (sim->tracer().enabled()) {
+    sim->tracer().FlowBegin(sim->tracer().Track("client"), "cmd",
+                            command->cmd_id, begin);
+  }
+}
 
 sim::Task<nvme::Completion> Client::Call(nvme::Command command) {
   const nvme::Opcode op = command.opcode;
-  sim::Simulation* sim = queue_->sim();
+  sim::Simulation* sim = queues_->sim();
   const Tick begin = sim->Now();
-  // Stamp the causal id: everything this command touches — queue wait,
-  // dispatch, execution, any compaction it spawns — traces back to it.
-  command.cmd_id = sim->AllocateCmdId();
-  command.submit_tick = begin;
   sim::TraceSpan span(sim, "client", nvme::OpcodeName(op));
+  StampCommand(&command, begin);
   span.Arg("cmd_id", command.cmd_id);
-  if (sim->tracer().enabled()) {
-    sim->tracer().FlowBegin(sim->tracer().Track("client"), "cmd",
-                            command.cmd_id, begin);
-  }
   // Userspace driver work on the host: packing + doorbell. No kernel.
   co_await host_cpu_->Compute(costs_.syscall_overhead);
-  nvme::Completion completion = co_await queue_->Submit(std::move(command));
+  nvme::Completion completion =
+      co_await SubmitPair()->Submit(std::move(command));
   // Host-visible round trip, including the client-side driver compute —
   // what an application would measure around a Put/Get call.
   if (const char* cls = nvme::OpcodeLatencyClass(op)) {
     sim->stats()
-        .histogram(std::string("client.cmd.") + cls + "_ns")
+        .histogram(config_.stats_prefix + "cmd." + cls + "_ns")
         .Record(sim->Now() - begin);
   }
   co_return completion;
+}
+
+sim::Task<void> Client::Reactor() {
+  sim::Simulation* sim = queues_->sim();
+  for (;;) {
+    std::shared_ptr<nvme::ReplyState> state = co_await cq_ring_.Pop();
+    const Tick now = sim->Now();
+    if (const char* cls = nvme::OpcodeLatencyClass(state->opcode)) {
+      sim->stats()
+          .histogram(config_.stats_prefix + "cmd." + cls + "_ns")
+          .Record(now - state->submit_begin);
+    }
+    if (sim->tracer().enabled() && state->cmd_id != 0) {
+      // The async client span: submit stamp -> reap. Mirrors what the
+      // RAII span records on the synchronous path.
+      sim->tracer().CompleteSpan(
+          sim->tracer().Track("client"), nvme::OpcodeName(state->opcode),
+          state->submit_begin, now,
+          {{"cmd_id", std::to_string(state->cmd_id)}});
+    }
+    --async_inflight_;
+    window_.Release();
+    state->done.Set();
+  }
+}
+
+void Client::EnsureReactor() {
+  if (reactor_started_) return;
+  reactor_started_ = true;
+  queues_->sim()->Spawn(Reactor());
+}
+
+sim::Task<CallFuture> Client::CallAsync(nvme::Command command) {
+  sim::Simulation* sim = queues_->sim();
+  const Tick begin = sim->Now();
+  StampCommand(&command, begin);
+  EnsureReactor();
+  co_await window_.Acquire();
+  ++async_inflight_;
+  co_await host_cpu_->Compute(costs_.syscall_overhead);
+  std::shared_ptr<nvme::ReplyState> state =
+      co_await SubmitPair()->SubmitAsync(std::move(command), &cq_ring_);
+  co_return CallFuture(std::move(state));
+}
+
+sim::Task<std::vector<CallFuture>> Client::CallBatchAsync(
+    std::vector<nvme::Command> commands) {
+  sim::Simulation* sim = queues_->sim();
+  std::vector<CallFuture> futures;
+  futures.reserve(commands.size());
+  if (commands.empty()) co_return futures;
+  EnsureReactor();
+  const std::uint32_t window_cap = std::max<std::uint32_t>(
+      config_.max_inflight, 1);
+  std::size_t next = 0;
+  while (next < commands.size()) {
+    // Chunk to the admission window so the permit acquisition below can
+    // never wait on completions of this very batch.
+    const std::size_t chunk =
+        std::min<std::size_t>(commands.size() - next, window_cap);
+    const Tick begin = sim->Now();
+    std::vector<nvme::Command> batch;
+    batch.reserve(chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      StampCommand(&commands[next + i], begin);
+      batch.push_back(std::move(commands[next + i]));
+    }
+    for (std::size_t i = 0; i < chunk; ++i) {
+      co_await window_.Acquire();
+      ++async_inflight_;
+    }
+    // One doorbell ring on the host side for the whole chunk.
+    co_await host_cpu_->Compute(costs_.syscall_overhead);
+    nvme::QueuePair* pair = SubmitPair();
+    std::vector<std::shared_ptr<nvme::ReplyState>> states =
+        co_await pair->SubmitBatch(std::move(batch), &cq_ring_);
+    for (auto& state : states) {
+      futures.push_back(CallFuture(std::move(state)));
+    }
+    next += chunk;
+  }
+  co_return futures;
+}
+
+sim::Task<nvme::Completion> CallFuture::AwaitImpl(
+    std::shared_ptr<nvme::ReplyState> state) {
+  co_await state->done.Wait();
+  co_return std::move(state->completion);
+}
+
+sim::Task<Status> StatusFuture::AwaitImpl(CallFuture call) {
+  nvme::Completion completion = co_await call.Await();
+  co_return completion.status;
+}
+
+sim::Task<Result<std::string>> GetFuture::AwaitImpl(CallFuture call) {
+  nvme::Completion completion = co_await call.Await();
+  if (!completion.status.ok()) co_return completion.status;
+  co_return std::move(completion.value);
 }
 
 sim::Task<Result<KeyspaceHandle>> Client::CreateKeyspace(
@@ -79,6 +203,46 @@ sim::Task<Status> KeyspaceHandle::Put(const std::string& key,
   co_return completion.status;
 }
 
+sim::Task<StatusFuture> KeyspaceHandle::PutAsync(const std::string& key,
+                                                 const std::string& value) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKvStore;
+  cmd.keyspace_id = id_;
+  cmd.key = key;
+  cmd.value = value;
+  CallFuture call = co_await client_->CallAsync(std::move(cmd));
+  co_return StatusFuture(std::move(call));
+}
+
+sim::Task<std::vector<StatusFuture>> KeyspaceHandle::PutBatchAsync(
+    std::vector<std::pair<std::string, std::string>> pairs) {
+  std::vector<nvme::Command> commands;
+  commands.reserve(pairs.size());
+  for (auto& [key, value] : pairs) {
+    nvme::Command cmd;
+    cmd.opcode = nvme::Opcode::kKvStore;
+    cmd.keyspace_id = id_;
+    cmd.key = std::move(key);
+    cmd.value = std::move(value);
+    commands.push_back(std::move(cmd));
+  }
+  std::vector<CallFuture> calls =
+      co_await client_->CallBatchAsync(std::move(commands));
+  std::vector<StatusFuture> futures;
+  futures.reserve(calls.size());
+  for (auto& call : calls) futures.push_back(StatusFuture(std::move(call)));
+  co_return futures;
+}
+
+sim::Task<GetFuture> KeyspaceHandle::GetAsync(const std::string& key) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKvRetrieve;
+  cmd.keyspace_id = id_;
+  cmd.key = key;
+  CallFuture call = co_await client_->CallAsync(std::move(cmd));
+  co_return GetFuture(std::move(call));
+}
+
 sim::Task<Status> KeyspaceHandle::BulkWriter::Add(const std::string& key,
                                                   const std::string& value) {
   // Frame format consumed by Device::DoBulkPut: length-prefixed key then
@@ -91,8 +255,17 @@ sim::Task<Status> KeyspaceHandle::BulkWriter::Add(const std::string& key,
   co_return Status::Ok();
 }
 
+sim::Task<void> KeyspaceHandle::BulkWriter::ReapOldest() {
+  CallFuture oldest = std::move(window_.front());
+  window_.pop_front();
+  nvme::Completion completion = co_await oldest.Await();
+  if (first_error_.ok() && !completion.status.ok()) {
+    first_error_ = completion.status;
+  }
+}
+
 sim::Task<Status> KeyspaceHandle::BulkWriter::Flush() {
-  if (frame_.empty()) co_return Status::Ok();
+  if (frame_.empty()) co_return first_error_;
   // Client-side packing cost for the whole frame.
   co_await client_->host_cpu_->ComputeBytes(
       frame_.size(), client_->costs_.memcpy_bytes_per_sec);
@@ -102,8 +275,26 @@ sim::Task<Status> KeyspaceHandle::BulkWriter::Flush() {
   cmd.value = std::move(frame_);
   frame_.clear();
   ++frames_sent_;
-  auto completion = co_await client_->Call(std::move(cmd));
-  co_return completion.status;
+  const std::uint32_t depth =
+      std::max<std::uint32_t>(client_->config().bulk_inflight_frames, 1);
+  if (depth <= 1) {
+    auto completion = co_await client_->Call(std::move(cmd));
+    co_return completion.status;
+  }
+  // Pipelined: keep up to `depth` frames on the wire; ship this frame as
+  // soon as a window slot frees. Errors from earlier frames surface here
+  // (and definitively at Drain()).
+  while (window_.size() >= depth) co_await ReapOldest();
+  CallFuture future = co_await client_->CallAsync(std::move(cmd));
+  window_.push_back(std::move(future));
+  co_return first_error_;
+}
+
+sim::Task<Status> KeyspaceHandle::BulkWriter::Drain() {
+  Status flush_status = co_await Flush();
+  while (!window_.empty()) co_await ReapOldest();
+  if (!flush_status.ok()) co_return flush_status;
+  co_return std::exchange(first_error_, Status::Ok());
 }
 
 sim::Task<Status> KeyspaceHandle::Sync() {
@@ -115,8 +306,22 @@ sim::Task<Status> KeyspaceHandle::Sync() {
 }
 
 sim::Task<Status> KeyspaceHandle::SyncWithRetry(std::uint32_t attempts) {
+  sim::Simulation* sim = client_->queues_->sim();
+  const ClientConfig& config = client_->config();
   Status last = Status::Ok();
-  for (std::uint32_t i = 0; i < std::max<std::uint32_t>(attempts, 1); ++i) {
+  const std::uint32_t bounded = std::max<std::uint32_t>(attempts, 1);
+  for (std::uint32_t i = 0; i < bounded; ++i) {
+    if (i > 0) {
+      // Exponential backoff before each retry: base << (attempt-1),
+      // capped. Hammering immediate retries would re-flush into the same
+      // transient fault window.
+      const std::uint32_t shift = std::min<std::uint32_t>(i - 1, 20);
+      const Tick backoff = std::min<Tick>(
+          config.retry_backoff_base << shift, config.retry_backoff_cap);
+      client_->stats().counter(config.stats_prefix + "sync.retries")
+          .Increment();
+      co_await sim->Delay(backoff);
+    }
     last = co_await Sync();
     if (last.ok() || !last.IsRetryable()) co_return last;
   }

@@ -9,16 +9,36 @@
 //     auto ks = (co_await db->CreateKeyspace("particles")).value();
 //     auto writer = ks.NewBulkWriter();
 //     for (...) co_await writer.Add(key, value);
-//     co_await writer.Flush();
+//     co_await writer.Drain();
 //     co_await ks.Compact();          // returns immediately (offloaded)
 //     co_await ks.WaitCompaction();   // barrier before querying
 //     co_await ks.CreateSecondaryIndexF32("energy", 28);
 //     std::vector<std::pair<std::string, std::string>> hits;
 //     co_await ks.QuerySecondaryRangeF32("energy", 1.2f, 9e9f, 0, &hits);
 //   }
+//
+// Async path (DESIGN.md §11): PutAsync/GetAsync return futures immediately
+// after the submission DMA; a per-client reactor coroutine reaps
+// completions off the client's CQ ring, so many commands ride the wire
+// concurrently under one bounded in-flight window:
+//
+//   std::deque<client::StatusFuture> window;
+//   for (...) {
+//     if (window.size() >= depth) {
+//       co_await window.front().Await();
+//       window.pop_front();
+//     }
+//     window.push_back(co_await ks.PutAsync(key, value));
+//   }
+//   while (!window.empty()) {
+//     co_await window.front().Await();
+//     window.pop_front();
+//   }
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,9 +56,82 @@ namespace kvcsd::client {
 struct ClientConfig {
   // Bulk-put frame capacity (the paper's prototype uses 128 KB messages).
   std::uint64_t bulk_frame_bytes = KiB(128);
+
+  // --- async path ---
+  // Admission window: CallAsync blocks once this many commands from this
+  // client are submitted-but-unreaped (bounds memory and queue depth).
+  std::uint32_t max_inflight = 64;
+  // BulkWriter pipelining: how many bulk frames may be in flight at once.
+  // 1 recovers the fully synchronous flush-per-frame behavior.
+  std::uint32_t bulk_inflight_frames = 1;
+  // Pin every command from this client to one SQ of the queue set;
+  // kAnyQueue spreads submissions round-robin across all pairs.
+  static constexpr std::uint32_t kAnyQueue = 0xffffffffu;
+  std::uint32_t queue_id = kAnyQueue;
+  // Prefix for this client's stats ("client." -> client.cmd.put_ns).
+  // Multi-tenant benches use distinct prefixes (client.t3.) so per-tenant
+  // latency distributions stay separable.
+  std::string stats_prefix = "client.";
+
+  // SyncWithRetry backoff: base doubles per retryable failure, capped.
+  Tick retry_backoff_base = Microseconds(50);
+  Tick retry_backoff_cap = Milliseconds(5);
 };
 
 class Client;
+
+// Awaitable handle to one in-flight command. Copyable (shared state);
+// Await() the same future once — the completion payload is moved out.
+class CallFuture {
+ public:
+  CallFuture() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  // True once the device's completion has DMA'd back (Await won't block).
+  bool completed() const { return state_ != nullptr && state_->completed; }
+
+  sim::Task<nvme::Completion> Await() { return AwaitImpl(state_); }
+
+ private:
+  friend class Client;
+  explicit CallFuture(std::shared_ptr<nvme::ReplyState> state)
+      : state_(std::move(state)) {}
+  // Static so the coroutine frame owns its own reference and the future
+  // object itself may die while the await is pending.
+  static sim::Task<nvme::Completion> AwaitImpl(
+      std::shared_ptr<nvme::ReplyState> state);
+  std::shared_ptr<nvme::ReplyState> state_;
+};
+
+// Typed wrappers over CallFuture for the hot ops.
+class StatusFuture {
+ public:
+  StatusFuture() = default;
+  bool valid() const { return call_.valid(); }
+  bool completed() const { return call_.completed(); }
+  sim::Task<Status> Await() { return AwaitImpl(call_); }
+
+ private:
+  friend class Client;
+  friend class KeyspaceHandle;
+  explicit StatusFuture(CallFuture call) : call_(std::move(call)) {}
+  static sim::Task<Status> AwaitImpl(CallFuture call);
+  CallFuture call_;
+};
+
+class GetFuture {
+ public:
+  GetFuture() = default;
+  bool valid() const { return call_.valid(); }
+  bool completed() const { return call_.completed(); }
+  sim::Task<Result<std::string>> Await() { return AwaitImpl(call_); }
+
+ private:
+  friend class KeyspaceHandle;
+  explicit GetFuture(CallFuture call) : call_(std::move(call)) {}
+  static sim::Task<Result<std::string>> AwaitImpl(CallFuture call);
+  CallFuture call_;
+};
 
 // A handle to one keyspace. Cheap to copy.
 class KeyspaceHandle {
@@ -50,23 +143,43 @@ class KeyspaceHandle {
 
   // --- writes ---
   sim::Task<Status> Put(const std::string& key, const std::string& value);
+  // Async variant: returns after the submission DMA; the device's answer
+  // arrives through the future.
+  sim::Task<StatusFuture> PutAsync(const std::string& key,
+                                   const std::string& value);
+  // Batched async puts: every pair ships in one doorbell ring (the
+  // per-command request latency is paid once per batch).
+  sim::Task<std::vector<StatusFuture>> PutBatchAsync(
+      std::vector<std::pair<std::string, std::string>> pairs);
 
   // Accumulates pairs into bulk frames; each full frame ships as one
-  // NVMe command. Always Flush() before Compact().
+  // NVMe command. With config.bulk_inflight_frames > 1, Flush() only
+  // *launches* the frame and errors surface on a later Flush/Drain —
+  // always Drain() before Compact() or reading your own writes.
   class BulkWriter {
    public:
     sim::Task<Status> Add(const std::string& key, const std::string& value);
     sim::Task<Status> Flush();
+    // Flushes the partial frame and awaits every in-flight frame; returns
+    // the first error any of them produced. Terminal barrier — call
+    // before Compact()/Sync().
+    sim::Task<Status> Drain();
     std::uint64_t frames_sent() const { return frames_sent_; }
+    std::uint64_t frames_inflight() const { return window_.size(); }
 
    private:
     friend class KeyspaceHandle;
     BulkWriter(Client* client, std::uint64_t keyspace_id)
         : client_(client), keyspace_id_(keyspace_id) {}
+    // Awaits the oldest in-flight frame, folding its status into
+    // first_error_.
+    sim::Task<void> ReapOldest();
     Client* client_;
     std::uint64_t keyspace_id_;
     std::string frame_;
     std::uint64_t frames_sent_ = 0;
+    std::deque<CallFuture> window_;
+    Status first_error_ = Status::Ok();
   };
   BulkWriter NewBulkWriter() { return BulkWriter(client_, id_); }
 
@@ -83,10 +196,13 @@ class KeyspaceHandle {
   sim::Task<Status> Sync();
 
   // Sync with bounded retries on retryable failures (transient injected
-  // I/O errors). The device re-queues a failed flush batch into the
-  // keyspace's write buffer, so the retry re-flushes the same entries and
-  // re-persists — success here means everything put so far IS durable,
-  // not merely that the retry found an empty buffer.
+  // I/O errors), sleeping with exponential backoff between attempts
+  // (config.retry_backoff_base doubling up to retry_backoff_cap) and
+  // counting each retry in "<stats_prefix>sync.retries". The device
+  // re-queues a failed flush batch into the keyspace's write buffer, so
+  // the retry re-flushes the same entries and re-persists — success here
+  // means everything put so far IS durable, not merely that the retry
+  // found an empty buffer.
   sim::Task<Status> SyncWithRetry(std::uint32_t attempts = 3);
 
   // --- lifecycle ---
@@ -108,6 +224,7 @@ class KeyspaceHandle {
 
   // --- queries (keyspace must be COMPACTED) ---
   sim::Task<Result<std::string>> Get(const std::string& key);
+  sim::Task<GetFuture> GetAsync(const std::string& key);
   sim::Task<Status> Scan(const std::string& lo, const std::string& hi,
                          std::uint32_t limit,
                          std::vector<std::pair<std::string, std::string>>*
@@ -138,35 +255,57 @@ class KeyspaceHandle {
 
 class Client {
  public:
-  Client(nvme::QueuePair* queue, sim::CpuPool* host_cpu,
-         const hostenv::CostModel& host_costs, ClientConfig config = {})
-      : queue_(queue),
-        host_cpu_(host_cpu),
-        costs_(host_costs),
-        config_(config) {}
+  Client(nvme::QueueSet* queues, sim::CpuPool* host_cpu,
+         const hostenv::CostModel& host_costs, ClientConfig config = {});
 
   sim::Task<Result<KeyspaceHandle>> CreateKeyspace(const std::string& name);
   sim::Task<Result<KeyspaceHandle>> OpenKeyspace(const std::string& name);
   sim::Task<Status> DropKeyspace(const std::string& name);
 
   const ClientConfig& config() const { return config_; }
-  nvme::QueuePair& queue() { return *queue_; }
+  nvme::QueueSet& queue() { return *queues_; }
 
   // The simulation-wide stats registry. The client records host-visible
-  // round-trip latency histograms ("client.cmd.<class>_ns") for the
+  // round-trip latency histograms ("<prefix>cmd.<class>_ns") for the
   // put/get/range/secondary_range classes.
   sim::Stats& stats();
+
+  // Commands submitted through CallAsync and not yet reaped.
+  std::uint64_t async_inflight() const { return async_inflight_; }
 
  private:
   friend class KeyspaceHandle;
 
   // Client-side cost (packing, doorbell) + submit + await completion.
   sim::Task<nvme::Completion> Call(nvme::Command command);
+  // Decoupled variant: returns once the command is on the device's SQ;
+  // completion arrives through the future, reaped by the reactor.
+  sim::Task<CallFuture> CallAsync(nvme::Command command);
+  // Batched variant: all commands ring one doorbell on one SQ (split into
+  // admission-window-sized chunks), so the per-command DMA-setup latency
+  // amortizes across the batch.
+  sim::Task<std::vector<CallFuture>> CallBatchAsync(
+      std::vector<nvme::Command> commands);
 
-  nvme::QueuePair* queue_;
+  // Reaps completions off cq_ring_: records round-trip latency, releases
+  // the admission window, and resolves the future. Parked forever once
+  // the simulation drains (reclaimed by ~Simulation).
+  sim::Task<void> Reactor();
+  void EnsureReactor();
+  // The SQ this client submits on next (config.queue_id, or rotating).
+  nvme::QueuePair* SubmitPair();
+  // Stamps cmd_id/submit_tick and opens the causal flow for one command.
+  void StampCommand(nvme::Command* command, Tick begin);
+
+  nvme::QueueSet* queues_;
   sim::CpuPool* host_cpu_;
   hostenv::CostModel costs_;
   ClientConfig config_;
+  sim::Semaphore window_;
+  nvme::CqRing cq_ring_;
+  bool reactor_started_ = false;
+  std::uint32_t rr_cursor_ = 0;
+  std::uint64_t async_inflight_ = 0;
 };
 
 }  // namespace kvcsd::client

@@ -15,14 +15,16 @@ std::string TestbedConfig::Describe() const {
       "conventional SSD %u ch\n"
       "  KV-CSD : %u ARM cores, %s SoC DRAM, ZNS %u zones x %s (%u ch), "
       "write buffer %s\n"
-      "  PCIe   : %.1f GB/s, %s request latency\n",
+      "  PCIe   : %.1f GB/s, %s request latency, %u SQ/CQ pair(s)\n",
       host_cores, FormatBytes(page_cache_bytes).c_str(),
       FormatBytes(block_cache_bytes).c_str(), host_ssd.nand.channels,
       device.soc_cores, FormatBytes(device.dram_bytes).c_str(),
       device.zns.num_zones, FormatBytes(device.zns.zone_size).c_str(),
       device.zns.nand.channels,
       FormatBytes(device.write_buffer_bytes).c_str(),
-      pcie.bytes_per_sec / 1e9, FormatSeconds(pcie.request_latency).c_str());
+      queues.pcie.bytes_per_sec / 1e9,
+      FormatSeconds(queues.pcie.request_latency).c_str(),
+      queues.num_queues);
   return buf;
 }
 

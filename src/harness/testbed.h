@@ -37,7 +37,9 @@ struct TestbedConfig {
 
   // --- KV-CSD (Table I, right column) ---
   device::DeviceConfig device;
-  nvme::PcieConfig pcie;
+  // PCIe link plus SQ/CQ topology: queues.num_queues pairs (default 1),
+  // queues.sq_depth_cap per-queue depth, queues.arbitration policy.
+  nvme::QueueSetConfig queues;
 
   // --- RocksLite instance defaults ---
   lsm::DbOptions db_options;
@@ -83,7 +85,7 @@ class CsdTestbed {
   explicit CsdTestbed(const TestbedConfig& config,
                       std::uint32_t host_cores_override = 0)
       : config_(config),
-        queue_(&sim_, config.pcie),
+        queue_(&sim_, config.queues),
         device_(&sim_, config.device, &queue_),
         host_cpu_(&sim_, "host",
                   host_cores_override ? host_cores_override
@@ -103,13 +105,13 @@ class CsdTestbed {
   sim::Simulation& sim() { return sim_; }
   client::Client& client() { return client_; }
   device::Device& dev() { return device_; }
-  nvme::QueuePair& queue() { return queue_; }
+  nvme::QueueSet& queue() { return queue_; }
   sim::CpuPool& host_cpu() { return host_cpu_; }
 
  private:
   TestbedConfig config_;
   sim::Simulation sim_;
-  nvme::QueuePair queue_;
+  nvme::QueueSet queue_;
   device::Device device_;
   sim::CpuPool host_cpu_;
   client::Client client_;

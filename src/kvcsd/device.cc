@@ -37,10 +37,10 @@ bool IsKeyspaceScoped(nvme::Opcode op) {
 }  // namespace
 
 Device::Device(sim::Simulation* sim, const DeviceConfig& config,
-               nvme::QueuePair* queue)
+               nvme::QueueSet* queues)
     : sim_(sim),
       config_(config),
-      queue_(queue),
+      queues_(queues),
       ssd_(sim, config.zns),
       zone_manager_(&ssd_, config.zones),
       keyspace_manager_(&ssd_, &zone_manager_),
@@ -58,8 +58,17 @@ Device::Device(sim::Simulation* sim, const DeviceConfig& config,
 Device::~Device() { sim_->telemetry().RemoveSource(telemetry_token_); }
 
 void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
-  out->emplace_back("nvme.sq_depth", queue_->sq_depth());
-  out->emplace_back("nvme.inflight", queue_->inflight());
+  out->emplace_back("nvme.sq_depth", queues_->sq_depth());
+  out->emplace_back("nvme.inflight", queues_->inflight());
+  if (queues_->num_queues() > 1) {
+    // Per-queue gauges so multi-queue runs can see imbalance; single-queue
+    // runs keep the exact legacy gauge set.
+    for (std::uint32_t q = 0; q < queues_->num_queues(); ++q) {
+      const std::string prefix = "nvme.q" + std::to_string(q) + ".";
+      out->emplace_back(prefix + "sq_depth", queues_->pair(q)->sq_depth());
+      out->emplace_back(prefix + "inflight", queues_->pair(q)->inflight());
+    }
+  }
   out->emplace_back("device.inflight_cmds", inflight_commands_);
   out->emplace_back("device.compactions_running", compactions_running_);
   out->emplace_back("device.compact.bytes_read", compaction_stats_.bytes_read);
@@ -105,13 +114,13 @@ void Device::Start() {
 
 std::unique_ptr<Device> Device::Restart(sim::Simulation* sim,
                                         const DeviceConfig& config,
-                                        nvme::QueuePair* queue,
+                                        nvme::QueueSet* queues,
                                         const Device& prior) {
   // Clear the crashed flag (and stale crash hooks/error rules) BEFORE the
   // new device constructs its ZnsSsd, which re-registers a torn-tail hook
   // bound to the new object.
   if (config.zns.faults != nullptr) config.zns.faults->ResetForRestart();
-  auto device = std::make_unique<Device>(sim, config, queue);
+  auto device = std::make_unique<Device>(sim, config, queues);
   device->ssd_.CloneStateFrom(prior.ssd_);
   return device;
 }
@@ -142,7 +151,7 @@ sim::Event* Device::CompactionDone(std::uint64_t keyspace_id) {
 
 sim::Task<void> Device::MainLoop() {
   for (;;) {
-    nvme::QueuePair::Incoming incoming = co_await queue_->NextCommand();
+    nvme::QueuePair::Incoming incoming = co_await queues_->NextCommand();
     incoming.dequeue_tick = sim_->Now();
     sim_->stats()
         .histogram("client.stage.queue_wait_ns")
@@ -152,7 +161,8 @@ sim::Task<void> Device::MainLoop() {
           sim_->tracer().Track("nvme.sq"), "queue_wait", incoming.enqueue_tick,
           incoming.dequeue_tick,
           {{"cmd_id", std::to_string(incoming.cmd_id)},
-           {"op", nvme::OpcodeName(incoming.opcode)}});
+           {"op", nvme::OpcodeName(incoming.opcode)},
+           {"q", std::to_string(incoming.queue_id)}});
     }
     // Every command pays the SPDK-ish userspace dispatch cost once.
     co_await cpu_.Compute(config_.costs.syscall_overhead);
@@ -174,7 +184,7 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
     }
     nvme::Completion dead;
     dead.status = Status::IoError("device powered off");
-    co_await queue_->Complete(std::move(incoming), std::move(dead));
+    co_await queues_->Complete(std::move(incoming), std::move(dead));
     co_return;
   }
   const nvme::Opcode op = incoming.command.opcode;
@@ -216,7 +226,7 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
     completion = nvme::Completion{};
     completion.status = Status::IoError("device powered off (in flight)");
   }
-  co_await queue_->Complete(std::move(incoming), std::move(completion));
+  co_await queues_->Complete(std::move(incoming), std::move(completion));
 }
 
 sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {

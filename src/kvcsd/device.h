@@ -116,7 +116,7 @@ struct CompactionStats {
 class Device {
  public:
   Device(sim::Simulation* sim, const DeviceConfig& config,
-         nvme::QueuePair* queue);
+         nvme::QueueSet* queues);
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
   ~Device();
@@ -128,11 +128,11 @@ class Device {
   // ZNS byte state of `prior`. Resets `prior`'s fault injector (if any)
   // so the new device's I/O is live again, then clones the zone payloads.
   // The caller Start()s the new device and runs Recover() on it; `prior`
-  // must stay alive (it still parks a coroutine on its old queue pair)
-  // but is permanently idle. `queue` must be a fresh queue pair.
+  // must stay alive (it still parks a coroutine on its old queue set)
+  // but is permanently idle. `queues` must be a fresh queue set.
   static std::unique_ptr<Device> Restart(sim::Simulation* sim,
                                          const DeviceConfig& config,
-                                         nvme::QueuePair* queue,
+                                         nvme::QueueSet* queues,
                                          const Device& prior);
 
   // Crash-consistent recovery (recovery.cc): loads the newest intact
@@ -182,6 +182,9 @@ class Device {
   friend struct DeviceTestPeer;
 
   // --- plumbing ---
+  // Services every SQ/CQ pair of the queue set: commands are popped in
+  // the set's arbitration order (round-robin by default), so one full
+  // queue cannot starve its neighbors.
   sim::Task<void> MainLoop();
   sim::Task<void> HandleCommand(nvme::QueuePair::Incoming incoming);
   sim::Task<nvme::Completion> Dispatch(nvme::Command& cmd);
@@ -344,7 +347,7 @@ class Device {
 
   sim::Simulation* sim_;
   DeviceConfig config_;
-  nvme::QueuePair* queue_;
+  nvme::QueueSet* queues_;
   storage::ZnsSsd ssd_;
   ZoneManager zone_manager_;
   KeyspaceManager keyspace_manager_;

@@ -1,0 +1,243 @@
+#include "nvme/queue.h"
+
+#include <algorithm>
+
+#include "sim/simulation.h"
+#include "sim/tracer.h"
+
+namespace kvcsd::nvme {
+
+QueuePair::QueuePair(sim::Simulation* sim, const PcieConfig& config)
+    : sim_(sim),
+      owned_h2d_(std::make_unique<sim::BandwidthResource>(
+          sim, "pcie.h2d", config.bytes_per_sec, config.request_latency)),
+      owned_d2h_(std::make_unique<sim::BandwidthResource>(
+          sim, "pcie.d2h", config.bytes_per_sec, config.completion_latency)),
+      host_to_device_(owned_h2d_.get()),
+      device_to_host_(owned_d2h_.get()),
+      submissions_(sim) {}
+
+QueuePair::QueuePair(sim::Simulation* sim, QueueSet* set, std::uint32_t id,
+                     sim::BandwidthResource* h2d, sim::BandwidthResource* d2h,
+                     std::uint32_t depth_cap)
+    : sim_(sim),
+      set_(set),
+      id_(id),
+      host_to_device_(h2d),
+      device_to_host_(d2h),
+      config_depth_cap_(depth_cap),
+      submissions_(sim) {
+  if (depth_cap > 0) {
+    depth_slots_ = std::make_unique<sim::Semaphore>(sim, depth_cap);
+  }
+}
+
+void QueuePair::Enqueue(Command command, std::shared_ptr<ReplyState> state) {
+  Incoming incoming;
+  incoming.cmd_id = command.cmd_id;
+  incoming.opcode = command.opcode;
+  incoming.queue_id = id_;
+  incoming.enqueue_tick = sim_->Now();
+  const Tick prepare_begin =
+      command.submit_tick ? command.submit_tick : incoming.enqueue_tick;
+  sim_->stats()
+      .histogram("client.stage.submit_ns")
+      .Record(incoming.enqueue_tick - prepare_begin);
+  state->cmd_id = command.cmd_id;
+  state->opcode = command.opcode;
+  state->queue_id = id_;
+  state->submit_begin = prepare_begin;
+  incoming.command = std::move(command);
+  incoming.reply = std::move(state);
+  submissions_.Push(std::move(incoming));
+  if (set_ != nullptr) set_->NotifyWork();
+}
+
+sim::Task<Completion> QueuePair::Submit(Command command) {
+  if (depth_slots_) co_await depth_slots_->Acquire();
+  ++submitted_;
+  const Tick begin = sim_->Now();
+  if (command.submit_tick == 0) command.submit_tick = begin;
+  // Spans the whole host-visible round trip: submission DMA, device
+  // service time, completion DMA.
+  sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
+  const std::uint64_t wire = CommandWireSize(command);
+  if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
+  span.Arg("wire_bytes", wire);
+  co_await host_to_device_->Transfer(wire);
+
+  // NOTE: named + std::make_shared, never a prvalue temporary — see the
+  // "GCC 12 pitfall" note in sim/task.h.
+  auto state = std::make_shared<ReplyState>(sim_);
+  std::shared_ptr<ReplyState> keep = state;
+  Enqueue(std::move(command), std::move(state));
+  co_await keep->done.Wait();
+  co_return std::move(keep->completion);
+}
+
+sim::Task<std::shared_ptr<ReplyState>> QueuePair::SubmitAsync(Command command,
+                                                              CqRing* ring) {
+  if (depth_slots_) co_await depth_slots_->Acquire();
+  ++submitted_;
+  const Tick begin = sim_->Now();
+  if (command.submit_tick == 0) command.submit_tick = begin;
+  // Async spans cover the submission DMA only; the client-side reactor
+  // records the full round trip when it reaps the completion.
+  sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
+  const std::uint64_t wire = CommandWireSize(command);
+  if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
+  span.Arg("wire_bytes", wire);
+  co_await host_to_device_->Transfer(wire);
+
+  auto state = std::make_shared<ReplyState>(sim_);
+  state->cq_ring = ring;
+  std::shared_ptr<ReplyState> keep = state;
+  Enqueue(std::move(command), std::move(state));
+  co_return keep;
+}
+
+sim::Task<std::vector<std::shared_ptr<ReplyState>>> QueuePair::SubmitBatch(
+    std::vector<Command> commands, CqRing* ring) {
+  std::vector<std::shared_ptr<ReplyState>> states;
+  states.reserve(commands.size());
+  std::size_t next = 0;
+  while (next < commands.size()) {
+    // With a depth cap, chunk to at most `cap` commands per doorbell: a
+    // chunk never waits on permits that only its own DMA could free, so
+    // acquiring them (as earlier in-flight commands complete) is safe.
+    std::size_t chunk = commands.size() - next;
+    if (depth_slots_) {
+      chunk = std::min<std::size_t>(chunk, config_depth_cap_);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        co_await depth_slots_->Acquire();
+      }
+    }
+    const Tick begin = sim_->Now();
+    std::uint64_t wire = 0;
+    for (std::size_t i = next; i < next + chunk; ++i) {
+      if (commands[i].submit_tick == 0) commands[i].submit_tick = begin;
+      wire += CommandWireSize(commands[i]);
+    }
+    submitted_ += chunk;
+    sim::TraceSpan span(sim_, "nvme", "batch_submit");
+    span.Arg("count", static_cast<std::uint64_t>(chunk));
+    span.Arg("wire_bytes", wire);
+    // One doorbell for the whole chunk: a single link operation pays
+    // `request_latency` once, then streams every command's bytes.
+    co_await host_to_device_->Transfer(wire);
+    for (std::size_t i = next; i < next + chunk; ++i) {
+      auto state = std::make_shared<ReplyState>(sim_);
+      state->cq_ring = ring;
+      states.push_back(state);
+      Enqueue(std::move(commands[i]), std::move(state));
+    }
+    next += chunk;
+  }
+  co_return states;
+}
+
+sim::Task<void> QueuePair::Complete(Incoming incoming, Completion completion) {
+  ++completed_;
+  const Tick begin = sim_->Now();
+  const std::uint64_t wire = CompletionWireSize(completion);
+  // Hand the payload to the submitter before suspending: the submitter
+  // only wakes after the Set()/ring push below, but moving first keeps
+  // the data's lifetime independent of this frame.
+  std::shared_ptr<ReplyState> reply = std::move(incoming.reply);
+  reply->completion = std::move(completion);
+  co_await device_to_host_->Transfer(wire);
+  const Tick end = sim_->Now();
+  sim_->stats().histogram("client.stage.complete_ns").Record(end - begin);
+  if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
+    sim_->tracer().CompleteSpan(
+        sim_->tracer().Track("nvme.cq"), "complete", begin, end,
+        {{"cmd_id", std::to_string(incoming.cmd_id)},
+         {"op", OpcodeName(incoming.opcode)},
+         {"q", std::to_string(incoming.queue_id)}});
+  }
+  if (depth_slots_) depth_slots_->Release();
+  reply->completed = true;
+  if (reply->cq_ring != nullptr) {
+    CqRing* ring = reply->cq_ring;
+    ring->Push(std::move(reply));
+  } else {
+    reply->done.Set();
+  }
+}
+
+QueueSet::QueueSet(sim::Simulation* sim, const QueueSetConfig& config)
+    : sim_(sim),
+      config_(config),
+      host_to_device_(sim, "pcie.h2d", config.pcie.bytes_per_sec,
+                      config.pcie.request_latency),
+      device_to_host_(sim, "pcie.d2h", config.pcie.bytes_per_sec,
+                      config.pcie.completion_latency),
+      work_(sim, 0) {
+  const std::uint32_t n = std::max<std::uint32_t>(config.num_queues, 1);
+  pairs_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    pairs_.emplace_back(new QueuePair(sim, this, i, &host_to_device_,
+                                      &device_to_host_,
+                                      config.sq_depth_cap));
+  }
+  arb_credits_ = WeightOf(0);
+}
+
+sim::Task<QueuePair::Incoming> QueueSet::NextCommand() {
+  // One token per queued command: only scan when work exists.
+  co_await work_.Acquire();
+  const std::uint32_t n = num_queues();
+  if (config_.arbitration == Arbitration::kWeighted) {
+    // Deficit-free WRR: spend the current queue's quantum while it has
+    // work, then rotate. Terminates because the token guarantees at
+    // least one pair is non-empty and every weight is >= 1.
+    for (;;) {
+      if (arb_credits_ > 0) {
+        if (auto item = pairs_[arb_cursor_]->TryTake()) {
+          --arb_credits_;
+          co_return std::move(*item);
+        }
+      }
+      arb_cursor_ = (arb_cursor_ + 1) % n;
+      arb_credits_ = WeightOf(arb_cursor_);
+    }
+  }
+  // Round-robin: take one command from the first non-empty queue at or
+  // after the cursor, then advance past it.
+  for (;;) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const std::uint32_t q = (arb_cursor_ + i) % n;
+      if (auto item = pairs_[q]->TryTake()) {
+        arb_cursor_ = (q + 1) % n;
+        co_return std::move(*item);
+      }
+    }
+    assert(false && "work token without a queued command");
+  }
+}
+
+std::size_t QueueSet::sq_depth() const {
+  std::size_t total = 0;
+  for (const auto& pair : pairs_) total += pair->sq_depth();
+  return total;
+}
+
+std::uint64_t QueueSet::inflight() const {
+  std::uint64_t total = 0;
+  for (const auto& pair : pairs_) total += pair->inflight();
+  return total;
+}
+
+std::uint64_t QueueSet::submitted() const {
+  std::uint64_t total = 0;
+  for (const auto& pair : pairs_) total += pair->submitted();
+  return total;
+}
+
+std::uint64_t QueueSet::completed() const {
+  std::uint64_t total = 0;
+  for (const auto& pair : pairs_) total += pair->completed();
+  return total;
+}
+
+}  // namespace kvcsd::nvme

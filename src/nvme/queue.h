@@ -1,16 +1,37 @@
-// NVMe-style submission/completion queue pair over a PCIe link model.
+// NVMe-style submission/completion queues over a PCIe link model.
 //
-// The host side calls Submit() and awaits the completion; data movement in
-// both directions is charged to the PCIe link (DMA), and the device side
-// services commands by popping the submission channel — exactly the
-// client-library / device-server split the paper describes (§VI: "the
-// translation and sending of the requests take place in userspace and
-// completely bypass the host OS kernel").
+// The host side calls Submit() (synchronous round trip) or SubmitAsync()/
+// SubmitBatch() (decoupled submit/complete) and data movement in both
+// directions is charged to the PCIe link (DMA); the device side services
+// commands by popping the submission channels — exactly the client-library
+// / device-server split the paper describes (§VI: "the translation and
+// sending of the requests take place in userspace and completely bypass
+// the host OS kernel").
+//
+// Two layers:
+//
+//   QueuePair — one SQ/CQ pair. Standalone (owns its own PCIe link) for
+//       unit tests, or a member of a QueueSet (shares the set's link).
+//       Doorbell batching: SubmitBatch() rings one doorbell for K commands,
+//       paying `request_latency` once instead of K times.
+//   QueueSet  — N pairs multiplexed over one PCIe link plus the device-side
+//       arbitration point: NextCommand() serves all pairs round-robin (or
+//       weighted), so no queue can starve while another is full.
+//
+// Completion delivery (ReplyState): the synchronous path awaits the state's
+// `done` event; the async path instead routes the completed state onto the
+// submitting client's CQ ring (a channel), where a per-client reactor
+// coroutine reaps it — one parked reactor per client instead of one parked
+// awaiter per command.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "nvme/command.h"
 #include "sim/resources.h"
@@ -25,48 +46,181 @@ struct PcieConfig {
   Tick completion_latency = Microseconds(5);
 };
 
+// Device-side service order across the pairs of a QueueSet.
+enum class Arbitration : std::uint8_t {
+  kRoundRobin = 0,  // one command per non-empty queue, rotating
+  kWeighted = 1,    // up to weights[i] consecutive commands from queue i
+};
+
+struct QueueSetConfig {
+  PcieConfig pcie;
+  std::uint32_t num_queues = 1;
+  // Max commands submitted-and-uncompleted per pair; 0 = unbounded.
+  // Submitters block (before the submission DMA) until a slot frees.
+  std::uint32_t sq_depth_cap = 0;
+  Arbitration arbitration = Arbitration::kRoundRobin;
+  // kWeighted service quanta, one per queue; missing/zero entries count
+  // as 1. Ignored under kRoundRobin.
+  std::vector<std::uint32_t> weights;
+};
+
+class QueuePair;
+class QueueSet;
+
+// Shared completion slot for one in-flight command. The submitter holds a
+// reference (directly or through a client-level future), the in-flight
+// Incoming holds another until the device completes it.
+struct ReplyState {
+  explicit ReplyState(sim::Simulation* sim) : done(sim) {}
+
+  sim::Event done;
+  Completion completion;
+  bool completed = false;
+  // Causal identity, for reactors that record latency/tracing on reap.
+  std::uint64_t cmd_id = 0;
+  Opcode opcode = Opcode::kKvStore;
+  Tick submit_begin = 0;     // host-side stamp (command.submit_tick)
+  std::uint32_t queue_id = 0;
+  // When set, completion is delivered by pushing this state onto the ring
+  // (async path; the reaper calls done.Set()). When null, Complete() sets
+  // `done` directly (synchronous path).
+  sim::Channel<std::shared_ptr<ReplyState>>* cq_ring = nullptr;
+};
+
+using CqRing = sim::Channel<std::shared_ptr<ReplyState>>;
+
 class QueuePair {
  public:
-  QueuePair(sim::Simulation* sim, const PcieConfig& config)
-      : sim_(sim),
-        config_(config),
-        host_to_device_(sim, "pcie.h2d", config.bytes_per_sec,
-                        config.request_latency),
-        device_to_host_(sim, "pcie.d2h", config.bytes_per_sec,
-                        config.completion_latency),
-        submissions_(sim) {}
+  // Standalone pair owning its own PCIe link (unit tests, single-queue
+  // tools). Pairs inside a QueueSet are built by the set instead.
+  QueuePair(sim::Simulation* sim, const PcieConfig& config);
 
   // Host side: send a command, await its completion. Safe for any number
   // of concurrent host threads (each submission carries its own reply
-  // event).
+  // state).
   sim::Task<Completion> Submit(Command command);
 
-  // Device side: wait for the next command to service.
+  // Host side, decoupled: DMA the command in, return its reply state
+  // without waiting for execution. Completion is pushed to `ring` when
+  // non-null (reactor reaping), otherwise signalled via the state's
+  // `done` event.
+  sim::Task<std::shared_ptr<ReplyState>> SubmitAsync(Command command,
+                                                     CqRing* ring = nullptr);
+
+  // Doorbell batching: rings one doorbell for the whole batch, so the
+  // per-command `request_latency` (doorbell + DMA setup) is paid once
+  // instead of `commands.size()` times; the byte service time is
+  // unchanged. With a depth cap the batch is split into cap-sized chunks
+  // (each chunk still amortizes within itself).
+  sim::Task<std::vector<std::shared_ptr<ReplyState>>> SubmitBatch(
+      std::vector<Command> commands, CqRing* ring = nullptr);
+
+  // Device side: one submitted command plus its completion route.
   struct Incoming {
     Command command;
-    // Device calls this exactly once; it DMAs the completion back to the
-    // host and wakes the submitter.
-    sim::Event* reply_event;
-    Completion* reply_slot;
+    std::shared_ptr<ReplyState> reply;
     // Causal id / opcode copies that outlive moves of `command`, plus the
     // SQ enqueue and dequeue ticks for queue-wait attribution.
     std::uint64_t cmd_id = 0;
     Opcode opcode = Opcode::kKvStore;
+    std::uint32_t queue_id = 0;
     Tick enqueue_tick = 0;
     Tick dequeue_tick = 0;
   };
-  auto NextCommand() { return submissions_.Pop(); }
 
-  // Submitted-but-not-yet-popped commands (the SQ depth gauge).
-  std::size_t sq_depth() const { return submissions_.size(); }
-  // Popped by the device, completion not yet posted.
-  std::uint64_t inflight() const { return submitted_ - completed_; }
+  // Device side: wait for the next command on THIS pair. Single-queue
+  // path; multi-queue devices arbitrate via QueueSet::NextCommand().
+  auto NextCommand() { return submissions_.Pop(); }
 
   // Device-side completion path (charged to the PCIe link).
   sim::Task<void> Complete(Incoming incoming, Completion completion);
 
+  // Submitted-but-not-yet-popped commands (the SQ depth gauge).
+  std::size_t sq_depth() const { return submissions_.size(); }
+  // Submitted, completion not yet posted.
+  std::uint64_t inflight() const { return submitted_ - completed_; }
+
   std::uint64_t submitted() const { return submitted_; }
   std::uint64_t completed() const { return completed_; }
+  std::uint64_t host_to_device_bytes() const {
+    return host_to_device_->total_bytes();
+  }
+  std::uint64_t device_to_host_bytes() const {
+    return device_to_host_->total_bytes();
+  }
+
+  std::uint32_t id() const { return id_; }
+  sim::Simulation* sim() const { return sim_; }
+
+ private:
+  friend class QueueSet;
+
+  // Set-member pair: shares the set's PCIe link and depth-cap policy.
+  QueuePair(sim::Simulation* sim, QueueSet* set, std::uint32_t id,
+            sim::BandwidthResource* h2d, sim::BandwidthResource* d2h,
+            std::uint32_t depth_cap);
+
+  // Enqueues one DMA-delivered command onto the SQ (no suspension).
+  void Enqueue(Command command, std::shared_ptr<ReplyState> state);
+  std::optional<Incoming> TryTake() { return submissions_.TryPop(); }
+
+  sim::Simulation* sim_;
+  QueueSet* set_ = nullptr;  // null for standalone pairs
+  std::uint32_t id_ = 0;
+  // Standalone pairs own their link; set members borrow the set's.
+  std::unique_ptr<sim::BandwidthResource> owned_h2d_;
+  std::unique_ptr<sim::BandwidthResource> owned_d2h_;
+  sim::BandwidthResource* host_to_device_;
+  sim::BandwidthResource* device_to_host_;
+  // Depth cap (null = unbounded). Acquired per command before the
+  // submission DMA, released when its completion has DMA'd back.
+  std::uint32_t config_depth_cap_ = 0;
+  std::unique_ptr<sim::Semaphore> depth_slots_;
+  sim::Channel<Incoming> submissions_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+// N SQ/CQ pairs sharing one PCIe link, plus the device-side arbitration
+// point. Hosts submit to a specific pair (pair(i)->Submit...); the device
+// services all pairs through NextCommand() under the configured policy.
+class QueueSet {
+ public:
+  QueueSet(sim::Simulation* sim, const QueueSetConfig& config);
+  // Single-queue convenience, used by fixtures that predate multi-queue.
+  QueueSet(sim::Simulation* sim, const PcieConfig& pcie)
+      : QueueSet(sim, MakeSingleQueueConfig(pcie)) {}
+
+  std::uint32_t num_queues() const {
+    return static_cast<std::uint32_t>(pairs_.size());
+  }
+  QueuePair* pair(std::uint32_t id) { return pairs_[id].get(); }
+  const QueuePair* pair(std::uint32_t id) const { return pairs_[id].get(); }
+
+  // Convenience forwarder for single-queue callers: submit on pair 0.
+  sim::Task<Completion> Submit(Command command) {
+    return pairs_[0]->Submit(std::move(command));
+  }
+
+  // Device side: the next command across ALL pairs, in arbitration order.
+  // Round-robin serves one command per non-empty queue in rotation;
+  // weighted serves up to weights[i] consecutive commands from queue i
+  // before moving on. Either way a non-empty queue is never skipped
+  // indefinitely — a full competing queue cannot starve its neighbors.
+  sim::Task<QueuePair::Incoming> NextCommand();
+
+  // Routes the completion back through the pair the command arrived on.
+  sim::Task<void> Complete(QueuePair::Incoming incoming,
+                           Completion completion) {
+    return pairs_[incoming.queue_id]->Complete(std::move(incoming),
+                                               std::move(completion));
+  }
+
+  // Aggregates across pairs (the device-level gauges).
+  std::size_t sq_depth() const;
+  std::uint64_t inflight() const;
+  std::uint64_t submitted() const;
+  std::uint64_t completed() const;
   std::uint64_t host_to_device_bytes() const {
     return host_to_device_.total_bytes();
   }
@@ -74,67 +228,37 @@ class QueuePair {
     return device_to_host_.total_bytes();
   }
 
+  const QueueSetConfig& config() const { return config_; }
   sim::Simulation* sim() const { return sim_; }
 
  private:
+  friend class QueuePair;
+
+  static QueueSetConfig MakeSingleQueueConfig(const PcieConfig& pcie) {
+    QueueSetConfig config;
+    config.pcie = pcie;
+    return config;
+  }
+
+  // Called by a pair on every SQ push: one work token per queued command.
+  void NotifyWork() { work_.Release(); }
+  std::uint32_t WeightOf(std::uint32_t queue) const {
+    if (queue < config_.weights.size() && config_.weights[queue] > 0) {
+      return config_.weights[queue];
+    }
+    return 1;
+  }
+
   sim::Simulation* sim_;
-  PcieConfig config_;
+  QueueSetConfig config_;
   sim::BandwidthResource host_to_device_;
   sim::BandwidthResource device_to_host_;
-  sim::Channel<Incoming> submissions_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t completed_ = 0;
+  std::vector<std::unique_ptr<QueuePair>> pairs_;
+  // Counts queued-but-unserved commands across all pairs; NextCommand()
+  // acquires one token per command so it only scans when work exists.
+  sim::Semaphore work_;
+  std::uint32_t arb_cursor_ = 0;   // next queue to consider
+  std::uint32_t arb_credits_ = 0;  // remaining quantum at arb_cursor_
 };
-
-inline sim::Task<Completion> QueuePair::Submit(Command command) {
-  ++submitted_;
-  const Tick begin = sim_->Now();
-  const Tick prepare_begin = command.submit_tick ? command.submit_tick : begin;
-  // Spans the whole host-visible round trip: submission DMA, device
-  // service time, completion DMA.
-  sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
-  const std::uint64_t wire = CommandWireSize(command);
-  if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
-  span.Arg("wire_bytes", wire);
-  co_await host_to_device_.Transfer(wire);
-
-  Incoming incoming;
-  incoming.cmd_id = command.cmd_id;
-  incoming.opcode = command.opcode;
-  incoming.enqueue_tick = sim_->Now();
-  sim_->stats()
-      .histogram("client.stage.submit_ns")
-      .Record(incoming.enqueue_tick - prepare_begin);
-  sim::Event reply(sim_);
-  Completion slot;
-  incoming.command = std::move(command);
-  incoming.reply_event = &reply;
-  incoming.reply_slot = &slot;
-  submissions_.Push(std::move(incoming));
-  co_await reply.Wait();
-  co_return slot;
-}
-
-inline sim::Task<void> QueuePair::Complete(Incoming incoming,
-                                           Completion completion) {
-  ++completed_;
-  const Tick begin = sim_->Now();
-  const std::uint64_t wire = CompletionWireSize(completion);
-  // Hand the payload to the submitter before suspending: the submitter
-  // only wakes after the Set() below, but moving first keeps the data's
-  // lifetime independent of this frame.
-  *incoming.reply_slot = std::move(completion);
-  sim::Event* reply_event = incoming.reply_event;
-  co_await device_to_host_.Transfer(wire);
-  const Tick end = sim_->Now();
-  sim_->stats().histogram("client.stage.complete_ns").Record(end - begin);
-  if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
-    sim_->tracer().CompleteSpan(
-        sim_->tracer().Track("nvme.cq"), "complete", begin, end,
-        {{"cmd_id", std::to_string(incoming.cmd_id)},
-         {"op", OpcodeName(incoming.opcode)}});
-  }
-  reply_event->Set();
-}
 
 }  // namespace kvcsd::nvme

@@ -172,6 +172,16 @@ class Channel {
     return Awaiter{this};
   }
 
+  // Non-blocking pop: empty optional when no item is queued. Safe to mix
+  // with Pop() — poppers only ever park while `items_` is empty, so a
+  // successful TryPop can never race a parked popper out of its item.
+  std::optional<T> TryPop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   std::size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 

@@ -35,7 +35,7 @@ struct Fixture {
   }
 
   sim::Simulation sim;
-  nvme::QueuePair qp{&sim, nvme::PcieConfig{}};
+  nvme::QueueSet qp{&sim, nvme::PcieConfig{}};
   Device dev;
   sim::CpuPool host{&sim, "host", 8};
   client::Client db{&qp, &host, hostenv::CostModel::Host()};

@@ -27,7 +27,7 @@ DeviceConfig SmallDevice() {
 
 struct CsdFixture {
   sim::Simulation sim;
-  nvme::QueuePair qp{&sim, nvme::PcieConfig{}};
+  nvme::QueueSet qp{&sim, nvme::PcieConfig{}};
   Device dev{&sim, SmallDevice(), &qp};
   sim::CpuPool host{&sim, "host", 8};
   client::Client db{&qp, &host, hostenv::CostModel::Host()};
@@ -314,7 +314,7 @@ TEST(CsdTest, MetadataSurvivesPowerCycle) {
   // Build a keyspace, then attach a new Device "head" to the same
   // simulated SSD and recover the keyspace table from the metadata zone.
   sim::Simulation sim;
-  nvme::QueuePair qp(&sim, nvme::PcieConfig{});
+  nvme::QueueSet qp(&sim, nvme::PcieConfig{});
   auto dev = std::make_unique<Device>(&sim, SmallDevice(), &qp);
   dev->Start();
   sim::CpuPool host(&sim, "host", 8);

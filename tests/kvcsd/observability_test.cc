@@ -39,14 +39,14 @@ struct Fixture {
   sim::Simulation sim;
   sim::FaultInjector faults{11};
   DeviceConfig cfg;
-  std::vector<std::unique_ptr<nvme::QueuePair>> qps;
+  std::vector<std::unique_ptr<nvme::QueueSet>> qps;
   std::vector<std::unique_ptr<Device>> devs;
   sim::CpuPool host{&sim, "host", 8};
   std::unique_ptr<client::Client> db;
 
   Fixture() : cfg(SmallDevice()) {
     cfg.zns.faults = &faults;
-    qps.push_back(std::make_unique<nvme::QueuePair>(&sim, nvme::PcieConfig{}));
+    qps.push_back(std::make_unique<nvme::QueueSet>(&sim, nvme::PcieConfig{}));
     devs.push_back(std::make_unique<Device>(&sim, cfg, qps.back().get()));
     devs.back()->Start();
     db = std::make_unique<client::Client>(qps.back().get(), &host,
@@ -54,10 +54,10 @@ struct Fixture {
   }
 
   Device* dev() { return devs.back().get(); }
-  nvme::QueuePair* qp() { return qps.back().get(); }
+  nvme::QueueSet* qp() { return qps.back().get(); }
 
   void Restart() {
-    qps.push_back(std::make_unique<nvme::QueuePair>(&sim, nvme::PcieConfig{}));
+    qps.push_back(std::make_unique<nvme::QueueSet>(&sim, nvme::PcieConfig{}));
     devs.push_back(
         Device::Restart(&sim, cfg, qps.back().get(), *devs.back()));
     devs.back()->Start();

@@ -45,7 +45,7 @@ DeviceConfig SmallDevice() {
 
 struct ReadPathFixture {
   sim::Simulation sim;
-  nvme::QueuePair qp{&sim, nvme::PcieConfig{}};
+  nvme::QueueSet qp{&sim, nvme::PcieConfig{}};
   Device dev;
   sim::CpuPool host{&sim, "host", 8};
   client::Client db{&qp, &host, hostenv::CostModel::Host()};
@@ -66,7 +66,7 @@ struct PowerCycleFixture {
   sim::Simulation sim;
   sim::FaultInjector faults{7};
   DeviceConfig cfg;
-  std::vector<std::unique_ptr<nvme::QueuePair>> qps;
+  std::vector<std::unique_ptr<nvme::QueueSet>> qps;
   std::vector<std::unique_ptr<Device>> devs;
   sim::CpuPool host{&sim, "host", 8};
   std::unique_ptr<client::Client> db;
@@ -74,7 +74,7 @@ struct PowerCycleFixture {
   explicit PowerCycleFixture(DeviceConfig config = SmallDevice())
       : cfg(config) {
     cfg.zns.faults = &faults;
-    qps.push_back(std::make_unique<nvme::QueuePair>(&sim, nvme::PcieConfig{}));
+    qps.push_back(std::make_unique<nvme::QueueSet>(&sim, nvme::PcieConfig{}));
     devs.push_back(std::make_unique<Device>(&sim, cfg, qps.back().get()));
     devs.back()->Start();
     db = std::make_unique<client::Client>(qps.back().get(), &host,
@@ -84,7 +84,7 @@ struct PowerCycleFixture {
   Device* dev() { return devs.back().get(); }
 
   void Restart() {
-    qps.push_back(std::make_unique<nvme::QueuePair>(&sim, nvme::PcieConfig{}));
+    qps.push_back(std::make_unique<nvme::QueueSet>(&sim, nvme::PcieConfig{}));
     devs.push_back(
         Device::Restart(&sim, cfg, qps.back().get(), *devs.back()));
     devs.back()->Start();

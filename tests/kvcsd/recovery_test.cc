@@ -37,7 +37,7 @@ struct PowerCycleFixture {
   sim::Simulation sim;
   sim::FaultInjector faults{7};
   DeviceConfig cfg;
-  std::vector<std::unique_ptr<nvme::QueuePair>> qps;
+  std::vector<std::unique_ptr<nvme::QueueSet>> qps;
   std::vector<std::unique_ptr<Device>> devs;
   sim::CpuPool host{&sim, "host", 8};
   std::unique_ptr<client::Client> db;
@@ -46,7 +46,7 @@ struct PowerCycleFixture {
       : cfg(config) {
     cfg.zns.faults = &faults;
     faults.set_torn_tail_keep(0.5);
-    qps.push_back(std::make_unique<nvme::QueuePair>(&sim, nvme::PcieConfig{}));
+    qps.push_back(std::make_unique<nvme::QueueSet>(&sim, nvme::PcieConfig{}));
     devs.push_back(std::make_unique<Device>(&sim, cfg, qps.back().get()));
     devs.back()->Start();
     db = std::make_unique<client::Client>(qps.back().get(), &host,
@@ -57,7 +57,7 @@ struct PowerCycleFixture {
 
   // Simulated power cycle; the caller runs Recover() on the new device.
   void Restart() {
-    qps.push_back(std::make_unique<nvme::QueuePair>(&sim, nvme::PcieConfig{}));
+    qps.push_back(std::make_unique<nvme::QueueSet>(&sim, nvme::PcieConfig{}));
     devs.push_back(
         Device::Restart(&sim, cfg, qps.back().get(), *devs.back()));
     devs.back()->Start();
@@ -462,7 +462,7 @@ TEST(RecoveryTest, UnknownOpcodeRejected) {
   PowerCycleFixture f;
   testutil::RunSim(
       f.sim,
-      [](client::Client* db, nvme::QueuePair* qp) -> sim::Task<void> {
+      [](client::Client* db, nvme::QueueSet* qp) -> sim::Task<void> {
         auto ks = co_await db->CreateKeyspace("ops");
         KVCSD_CO_ASSERT_OK(ks);
 

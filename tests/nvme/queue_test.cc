@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "../testutil.h"
 #include "nvme/skey.h"
 
@@ -111,6 +117,188 @@ TEST(QueuePairTest, ConcurrentSubmittersEachGetTheirReply) {
   }
   sim.Run();
   EXPECT_EQ(correct, 8);
+}
+
+// Doorbell batching (DESIGN.md §11): a batch of K commands rings one
+// doorbell, so the per-command request latency is paid once. K serial
+// async submits pay it K times; the byte service time is identical.
+TEST(QueuePairTest, BatchedSubmitAmortizesDoorbell) {
+  sim::Simulation sim;
+  PcieConfig pcie;
+  pcie.bytes_per_sec = 1e9;
+  pcie.request_latency = Microseconds(10);
+  QueuePair serial_qp(&sim, pcie);  // each pair owns its own link
+  QueuePair batch_qp(&sim, pcie);
+  constexpr std::uint64_t kCommands = 8;
+
+  Command probe;
+  probe.opcode = Opcode::kKvStore;
+  probe.key = std::string(16, 'k');
+  probe.value = std::string(1024, 'v');
+  const std::uint64_t wire = CommandWireSize(probe);
+
+  Tick serial_done = 0;
+  sim.Spawn([](sim::Simulation* s, QueuePair* qp,
+               Tick* out) -> sim::Task<void> {
+    for (std::uint64_t i = 0; i < kCommands; ++i) {
+      Command cmd;
+      cmd.opcode = Opcode::kKvStore;
+      cmd.key = std::string(16, 'k');
+      cmd.value = std::string(1024, 'v');
+      (void)co_await qp->SubmitAsync(std::move(cmd));
+    }
+    *out = s->Now();
+  }(&sim, &serial_qp, &serial_done));
+
+  Tick batch_done = 0;
+  sim.Spawn([](sim::Simulation* s, QueuePair* qp,
+               Tick* out) -> sim::Task<void> {
+    std::vector<Command> cmds;
+    for (std::uint64_t i = 0; i < kCommands; ++i) {
+      Command cmd;
+      cmd.opcode = Opcode::kKvStore;
+      cmd.key = std::string(16, 'k');
+      cmd.value = std::string(1024, 'v');
+      cmds.push_back(std::move(cmd));
+    }
+    (void)co_await qp->SubmitBatch(std::move(cmds));
+    *out = s->Now();
+  }(&sim, &batch_qp, &batch_done));
+
+  sim.Run();
+
+  // Serial: every submit pays request_latency + its own service time.
+  EXPECT_EQ(serial_done,
+            kCommands * (Microseconds(10) + TransferTicks(wire, 1e9)));
+  // Batched: one doorbell, one back-to-back DMA of all K payloads.
+  EXPECT_EQ(batch_done,
+            Microseconds(10) + TransferTicks(kCommands * wire, 1e9));
+  EXPECT_LT(batch_done, serial_done);
+  EXPECT_GE(serial_done - batch_done, (kCommands - 1) * Microseconds(10));
+  EXPECT_EQ(serial_qp.sq_depth(), kCommands);
+  EXPECT_EQ(batch_qp.sq_depth(), kCommands);
+}
+
+TEST(QueueSetTest, RoundRobinAlternatesAcrossPairs) {
+  sim::Simulation sim;
+  QueueSetConfig cfg;
+  cfg.num_queues = 2;
+  QueueSet set(&sim, cfg);
+
+  for (std::uint32_t q = 0; q < 2; ++q) {
+    sim.Spawn([](QueueSet* s, std::uint32_t queue) -> sim::Task<void> {
+      for (int i = 0; i < 3; ++i) {
+        Command cmd;
+        cmd.opcode = Opcode::kKvStore;
+        cmd.key = "q" + std::to_string(queue) + "-" + std::to_string(i);
+        (void)co_await s->pair(queue)->SubmitAsync(std::move(cmd));
+      }
+    }(&set, q));
+  }
+
+  std::vector<std::uint32_t> order;
+  sim.Spawn([](sim::Simulation* s, QueueSet* qs,
+               std::vector<std::uint32_t>* out) -> sim::Task<void> {
+    // Let both submitters fill their SQs before the device starts popping.
+    co_await s->Delay(Milliseconds(1));
+    for (int i = 0; i < 6; ++i) {
+      auto incoming = co_await qs->NextCommand();
+      out->push_back(incoming.queue_id);
+      Completion reply;
+      co_await qs->Complete(std::move(incoming), std::move(reply));
+    }
+  }(&sim, &set, &order));
+
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(set.submitted(), 6u);
+  EXPECT_EQ(set.completed(), 6u);
+  EXPECT_EQ(set.sq_depth(), 0u);
+}
+
+TEST(QueueSetTest, WeightedArbitrationSpendsQuanta) {
+  sim::Simulation sim;
+  QueueSetConfig cfg;
+  cfg.num_queues = 2;
+  cfg.arbitration = Arbitration::kWeighted;
+  cfg.weights = {2, 1};
+  QueueSet set(&sim, cfg);
+
+  sim.Spawn([](QueueSet* s) -> sim::Task<void> {
+    for (int i = 0; i < 4; ++i) {
+      Command cmd;
+      cmd.opcode = Opcode::kKvStore;
+      (void)co_await s->pair(0)->SubmitAsync(std::move(cmd));
+    }
+    for (int i = 0; i < 2; ++i) {
+      Command cmd;
+      cmd.opcode = Opcode::kKvStore;
+      (void)co_await s->pair(1)->SubmitAsync(std::move(cmd));
+    }
+  }(&set));
+
+  std::vector<std::uint32_t> order;
+  sim.Spawn([](sim::Simulation* s, QueueSet* qs,
+               std::vector<std::uint32_t>* out) -> sim::Task<void> {
+    co_await s->Delay(Milliseconds(1));
+    for (int i = 0; i < 6; ++i) {
+      auto incoming = co_await qs->NextCommand();
+      out->push_back(incoming.queue_id);
+      Completion reply;
+      co_await qs->Complete(std::move(incoming), std::move(reply));
+    }
+  }(&sim, &set, &order));
+
+  sim.Run();
+  // weights {2,1}: two from queue 0, one from queue 1, repeat.
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 0, 1, 0, 0, 1}));
+}
+
+TEST(QueueSetTest, DepthCapBlocksSubmittersUntilCompletionsFreeSlots) {
+  // Without a device, the third submission blocks on the per-queue cap.
+  {
+    sim::Simulation sim;
+    QueueSetConfig cfg;
+    cfg.sq_depth_cap = 2;
+    QueueSet set(&sim, cfg);
+    sim.Spawn([](QueueSet* s) -> sim::Task<void> {
+      for (int i = 0; i < 3; ++i) {
+        Command cmd;
+        cmd.opcode = Opcode::kKvStore;
+        (void)co_await s->pair(0)->SubmitAsync(std::move(cmd));
+      }
+    }(&set));
+    sim.Run();
+    EXPECT_EQ(set.submitted(), 2u);
+  }
+  // With a device completing commands, slots recycle and all finish.
+  {
+    sim::Simulation sim;
+    QueueSetConfig cfg;
+    cfg.sq_depth_cap = 2;
+    QueueSet set(&sim, cfg);
+    sim.Spawn([](QueueSet* s) -> sim::Task<void> {
+      for (int i = 0; i < 5; ++i) {
+        auto incoming = co_await s->NextCommand();
+        Completion reply;
+        co_await s->Complete(std::move(incoming), std::move(reply));
+      }
+    }(&set));
+    sim.Spawn([](QueueSet* s) -> sim::Task<void> {
+      std::vector<std::shared_ptr<ReplyState>> states;
+      for (int i = 0; i < 5; ++i) {
+        Command cmd;
+        cmd.opcode = Opcode::kKvStore;
+        auto state = co_await s->pair(0)->SubmitAsync(std::move(cmd));
+        states.push_back(std::move(state));
+      }
+      for (auto& state : states) co_await state->done.Wait();
+    }(&set));
+    sim.Run();
+    EXPECT_EQ(set.submitted(), 5u);
+    EXPECT_EQ(set.completed(), 5u);
+    EXPECT_EQ(set.inflight(), 0u);
+  }
 }
 
 TEST(SkeyTest, TypedEncodersPreserveOrder) {

@@ -7,6 +7,9 @@ Consumes the ``--trace=`` Chrome trace_event JSON emitted by the benches
   * a per-opcode critical-path breakdown: how much of each command's
     round trip was spent waiting in the NVMe submission queue vs
     executing on the device vs in completion delivery, with p50/p99,
+  * a per-submission-queue queue-wait breakdown (the ``queue_wait``
+    span carries the SQ id in ``args.q``), exposing arbitration skew
+    between queues in multi-SQ runs,
   * the top-N slowest individual commands with their stage split,
   * a summary of every telemetry gauge (samples / min / mean / max / last).
 
@@ -140,6 +143,8 @@ def collect_commands(events, tracks):
             c["ts"] = float(e.get("ts", 0))
         elif track == "nvme.sq" and e.get("name") == "queue_wait":
             c["queue_wait"] = dur_ns
+            if "q" in args:
+                c["queue_id"] = str(args["q"])
         elif track == "device":
             c["exec"] = dur_ns
             c.setdefault("opcode", e.get("name", "?"))
@@ -166,6 +171,30 @@ def print_breakdown(cmds):
             cols.append("%10s/%-10s" % (fmt_ns(percentile(vals, 50)),
                                         fmt_ns(percentile(vals, 99))))
         print("  ".join(cols))
+
+
+def print_queue_breakdown(cmds):
+    """Per-SQ queue-wait stats; silent for traces without queue ids."""
+    by_q = defaultdict(list)
+    for c in cmds.values():
+        if "queue_wait" in c and "queue_id" in c:
+            by_q[c["queue_id"]].append(c["queue_wait"])
+    if not by_q:
+        return
+    grand_total = sum(sum(vals) for vals in by_q.values())
+    print()
+    hdr = "%-8s %8s  %21s %12s %12s %7s" % (
+        "queue", "count", "queue_wait p50/p99", "max", "total", "share")
+    print(hdr)
+    print("-" * len(hdr))
+    for qid in sorted(by_q, key=lambda q: (len(q), q)):
+        vals = sorted(by_q[qid])
+        total = sum(vals)
+        print("%-8s %8d  %10s/%-10s %12s %12s %6.1f%%" % (
+            "sq%s" % qid, len(vals),
+            fmt_ns(percentile(vals, 50)), fmt_ns(percentile(vals, 99)),
+            fmt_ns(vals[-1]), fmt_ns(total),
+            100.0 * total / grand_total if grand_total else 0.0))
 
 
 def print_slowest(cmds, top_n):
@@ -248,6 +277,7 @@ def main(argv):
         ", %d BAD" % bad_flows if bad_flows else ""))
     print()
     print_breakdown(cmds)
+    print_queue_breakdown(cmds)
     print_slowest(cmds, top_n)
     if telemetry_path:
         print_telemetry(telemetry_path)
