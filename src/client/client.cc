@@ -214,6 +214,24 @@ sim::Task<StatusFuture> KeyspaceHandle::PutAsync(const std::string& key,
   co_return StatusFuture(std::move(call));
 }
 
+sim::Task<Status> KeyspaceHandle::Delete(const std::string& key) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKvDelete;
+  cmd.keyspace_id = id_;
+  cmd.key = key;
+  auto completion = co_await client_->Call(std::move(cmd));
+  co_return completion.status;
+}
+
+sim::Task<StatusFuture> KeyspaceHandle::DeleteAsync(const std::string& key) {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kKvDelete;
+  cmd.keyspace_id = id_;
+  cmd.key = key;
+  CallFuture call = co_await client_->CallAsync(std::move(cmd));
+  co_return StatusFuture(std::move(call));
+}
+
 sim::Task<std::vector<StatusFuture>> KeyspaceHandle::PutBatchAsync(
     std::vector<std::pair<std::string, std::string>> pairs) {
   std::vector<nvme::Command> commands;

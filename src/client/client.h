@@ -152,6 +152,12 @@ class KeyspaceHandle {
   sim::Task<std::vector<StatusFuture>> PutBatchAsync(
       std::vector<std::pair<std::string, std::string>> pairs);
 
+  // Blind point delete: writes a tombstone; deleting an absent key is Ok.
+  // Valid while the keyspace is WRITABLE and after compaction (delta
+  // mode); kBusy while a (re)compaction is running.
+  sim::Task<Status> Delete(const std::string& key);
+  sim::Task<StatusFuture> DeleteAsync(const std::string& key);
+
   // Accumulates pairs into bulk frames; each full frame ships as one
   // NVMe command. With config.bulk_inflight_frames > 1, Flush() only
   // *launches* the frame and errors surface on a later Flush/Drain —

@@ -67,6 +67,22 @@ std::string BloomFilterBuilder::Finish() {
   return filter;
 }
 
+void BloomFilterAddKey(std::string* filter, const Slice& key) {
+  if (filter->size() < 2) return;
+  const std::size_t bytes = filter->size() - 1;
+  const std::size_t bits = bytes * 8;
+  const int num_probes = static_cast<unsigned char>((*filter)[bytes]);
+  if (num_probes > 30) return;  // reserved encodings: leave untouched
+
+  std::uint32_t h = BloomHash(key);
+  std::uint32_t delta = (h >> 17) | (h << 15);
+  for (int p = 0; p < num_probes; ++p) {
+    const std::size_t bit = h % bits;
+    (*filter)[bit / 8] |= static_cast<char>(1 << (bit % 8));
+    h += delta;
+  }
+}
+
 bool BloomFilterMayContain(const Slice& filter, const Slice& key) {
   if (filter.size() < 2) return true;  // degenerate: treat as "maybe"
   const std::size_t bytes = filter.size() - 1;

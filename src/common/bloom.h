@@ -29,6 +29,14 @@ class BloomFilterBuilder {
 // True if the key may be in the set; false means definitely absent.
 bool BloomFilterMayContain(const Slice& filter, const Slice& key);
 
+// Sets the key's probe bits in an already-serialized filter in place
+// (incremental re-compaction folds new keys into the compaction-built
+// filter without rebuilding it). The filter only ever gains bits, so the
+// no-false-negative guarantee holds; the false-positive rate drifts up
+// until the next full compaction resizes the filter. No-op on an empty or
+// degenerate filter.
+void BloomFilterAddKey(std::string* filter, const Slice& key);
+
 // FNV-1a-flavoured hash used by both sides.
 std::uint32_t BloomHash(const Slice& key);
 

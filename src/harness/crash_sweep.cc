@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -26,8 +27,34 @@ struct KeyspaceModel {
   bool create_acked = false;
   bool drop_issued = false;
   bool drop_acked = false;
-  std::map<std::string, std::string> sent;   // every PUT issued
-  std::map<std::string, std::string> acked;  // covered by an OK Sync
+  // Latest issued value per key (a DELETE erases the key here).
+  std::map<std::string, std::string> sent;
+  // Snapshot of `sent` at the last OK Sync.
+  std::map<std::string, std::string> acked;
+  // Every value ever issued for a key: after a crash any prefix of the
+  // log may survive, so a recovered value is legal iff it was sent once.
+  std::map<std::string, std::set<std::string>> values_ever;
+  // Values issued since the last OK Sync: an acked key may legally come
+  // back with one of these instead of its acked value (the newer, still
+  // unacknowledged overwrite reached flash before the power cut).
+  std::map<std::string, std::set<std::string>> unacked_values;
+  std::set<std::string> tombstones_sent;   // DELETE issued
+  std::set<std::string> tombstones_acked;  // snapshot at the last OK Sync
+  // Mutations issued after the keyspace first reached COMPACTED: each
+  // lands in the delta log, where an overwrite double-counts against
+  // num_kvs until an incremental re-compaction folds it into the run.
+  std::uint64_t post_compact_mutations = 0;
+
+  // Deletes issued but never sealed by an OK Sync: their tombstones may
+  // or may not have reached flash, so each relaxes the acked lower
+  // bounds by one.
+  std::uint64_t UnackedDeletes() const {
+    std::uint64_t n = 0;
+    for (const std::string& key : tombstones_sent) {
+      if (tombstones_acked.count(key) == 0) ++n;
+    }
+    return n;
+  }
 };
 
 struct SweepState {
@@ -93,6 +120,8 @@ sim::Task<void> WorkloadBody(SweepState* st, client::Client* db) {
         Status put = co_await m.handle.Put(key, value);
         if (put.ok()) {
           m.sent[key] = value;
+          m.values_ever[key].insert(value);
+          m.unacked_values[key].insert(value);
         } else if (!st->crashed()) {
           st->Violation("put failed without a crash: " + put.message());
           co_return;
@@ -102,6 +131,8 @@ sim::Task<void> WorkloadBody(SweepState* st, client::Client* db) {
       Status sync = co_await m.handle.Sync();
       if (sync.ok()) {
         m.acked = m.sent;
+        m.tombstones_acked = m.tombstones_sent;
+        m.unacked_values.clear();
       } else if (!st->crashed()) {
         st->Violation("sync failed without a crash: " + sync.message());
         co_return;
@@ -179,6 +210,105 @@ sim::Task<void> WorkloadBody(SweepState* st, client::Client* db) {
       st->Violation("pre-crash get returned a wrong value for " + key);
     }
   }
+
+  // Post-compaction mutation leg on the now-COMPACTED last keyspace:
+  // overwrites and point deletes land in the delta log, a Sync seals
+  // them, and an incremental re-compaction folds the delta into the run.
+  // Walks the delta-append crash points (flush/sync over delta chains)
+  // and the recompact.* commit protocol.
+  const std::uint32_t stride = cfg.keys_per_keyspace / 8 + 1;
+  const std::uint32_t half = cfg.keys_per_keyspace / 2;
+  for (std::uint32_t k = 0; k < half; k += stride) {
+    const std::string key = KeyFor(last, k);
+    std::string value = "w:" + key;
+    value.resize(cfg.value_bytes, '.');
+    Status put = co_await m.handle.Put(key, value);
+    if (put.ok()) {
+      m.sent[key] = value;
+      m.values_ever[key].insert(value);
+      m.unacked_values[key].insert(value);
+      ++m.post_compact_mutations;
+    } else if (!st->crashed()) {
+      st->Violation("delta put failed without a crash: " + put.message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+  }
+  for (std::uint32_t k = half; k < cfg.keys_per_keyspace; k += stride) {
+    const std::string key = KeyFor(last, k);
+    Status del = co_await m.handle.Delete(key);
+    if (del.ok()) {
+      m.sent.erase(key);
+      m.tombstones_sent.insert(key);
+      ++m.post_compact_mutations;
+    } else if (!st->crashed()) {
+      st->Violation("delta delete failed without a crash: " + del.message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+  }
+  for (std::uint32_t k = cfg.keys_per_keyspace;
+       k < cfg.keys_per_keyspace + 3; ++k) {
+    const std::string key = KeyFor(last, k);
+    const std::string value = ValueFor(cfg, key);
+    Status put = co_await m.handle.Put(key, value);
+    if (put.ok()) {
+      m.sent[key] = value;
+      m.values_ever[key].insert(value);
+      m.unacked_values[key].insert(value);
+      ++m.post_compact_mutations;
+    } else if (!st->crashed()) {
+      st->Violation("delta insert failed without a crash: " + put.message());
+      co_return;
+    }
+    if (st->crashed()) co_return;
+  }
+  Status delta_sync = co_await m.handle.Sync();
+  if (delta_sync.ok()) {
+    m.acked = m.sent;
+    m.tombstones_acked = m.tombstones_sent;
+    m.unacked_values.clear();
+  } else if (!st->crashed()) {
+    st->Violation("delta sync failed without a crash: " +
+                  delta_sync.message());
+    co_return;
+  }
+  if (st->crashed()) co_return;
+
+  s = co_await m.handle.Compact();  // incremental re-compaction
+  if (!s.ok() && !st->crashed()) {
+    st->Violation("re-compaction failed without a crash: " + s.message());
+    co_return;
+  }
+  if (st->crashed()) co_return;
+  s = co_await m.handle.WaitCompaction();
+  if (!s.ok() && !st->crashed()) {
+    st->Violation("re-compaction wait failed without a crash: " +
+                  s.message());
+    co_return;
+  }
+  if (st->crashed()) co_return;
+
+  // Merged read-back over the folded run.
+  for (std::uint32_t k = 0; k < half; k += stride) {
+    const std::string key = KeyFor(last, k);
+    auto got = co_await m.handle.Get(key);
+    if (st->crashed()) co_return;
+    if (!got.ok()) {
+      st->Violation("post-fold get failed without a crash: " +
+                    got.status().message());
+    } else if (*got != m.sent[key]) {
+      st->Violation("post-fold get returned a stale value for " + key);
+    }
+  }
+  for (std::uint32_t k = half; k < cfg.keys_per_keyspace; k += stride) {
+    auto got = co_await m.handle.Get(KeyFor(last, k));
+    if (st->crashed()) co_return;
+    if (!got.status().IsNotFound()) {
+      st->Violation("post-fold get of a deleted key did not return "
+                    "NotFound: " + KeyFor(last, k));
+    }
+  }
 }
 
 sim::Task<void> RunWorkload(SweepState* st, client::Client* db) {
@@ -254,8 +384,9 @@ sim::Task<void> VerifyKeyspace(SweepState* st, client::Client* db,
                   stat.status().message());
     co_return;
   }
-  if (stat->state == "COMPACTING") {
-    st->Violation("keyspace recovered in COMPACTING state: " + m->name);
+  if (stat->state == "COMPACTING" || stat->state == "RECOMPACTING") {
+    st->Violation("keyspace recovered in " + stat->state + " state: " +
+                  m->name);
     co_return;
   }
   if (stat->state == "EMPTY") {
@@ -283,31 +414,60 @@ sim::Task<void> VerifyKeyspace(SweepState* st, client::Client* db,
     }
   }
 
+  // Bounds carry delta slack: until the replayed delta is folded, an
+  // overwrite double-counts and a tombstone does not subtract from the
+  // run, so num_kvs may exceed the live-key count by up to one per
+  // post-compaction mutation; unacked deletes relax the lower bound.
   auto stat2 = co_await handle.GetStat();
   if (stat2.ok()) {
-    if (stat2->num_kvs < m->acked.size() ||
-        stat2->num_kvs > m->sent.size()) {
+    const std::uint64_t slack = m->UnackedDeletes();
+    const std::uint64_t lower =
+        m->acked.size() > slack ? m->acked.size() - slack : 0;
+    const std::uint64_t upper = m->sent.size() + m->tombstones_sent.size() +
+                                m->post_compact_mutations;
+    if (stat2->num_kvs < lower || stat2->num_kvs > upper) {
       st->Violation("num_kvs=" + std::to_string(stat2->num_kvs) +
-                    " outside [acked=" + std::to_string(m->acked.size()) +
-                    ", sent=" + std::to_string(m->sent.size()) + "] for " +
-                    m->name);
+                    " outside [" + std::to_string(lower) + ", " +
+                    std::to_string(upper) + "] for " + m->name);
     }
   }
 
-  // Durability: every acknowledged key readable with its exact value.
+  // Durability: every acknowledged key readable with its acked value —
+  // or with a newer, unacknowledged overwrite that reached flash before
+  // the cut. A key with an unacked DELETE in flight may be absent.
   int losses = 0;
   for (const auto& [key, value] : m->acked) {
     auto got = co_await handle.Get(key);
     if (!got.ok()) {
+      if (got.status().IsNotFound() &&
+          m->tombstones_sent.count(key) > 0) {
+        continue;  // the unacked tombstone legally survived
+      }
       st->Violation("acked key lost after recovery: " + key + " (" +
                     got.status().message() + ")");
     } else if (*got != value) {
+      auto newer = m->unacked_values.find(key);
+      if (newer != m->unacked_values.end() &&
+          newer->second.count(*got) > 0) {
+        continue;  // a newer unacked overwrite survived — legal
+      }
       st->Violation("acked key has wrong value after recovery: " + key);
     } else {
       continue;
     }
     if (++losses >= 5) {
       st->Violation("... further key losses in " + m->name + " suppressed");
+      break;
+    }
+  }
+
+  // Acked deletes stay deleted (no later re-insert was issued for these
+  // keys in this workload).
+  for (const std::string& key : m->tombstones_acked) {
+    if (m->sent.count(key) > 0) continue;
+    auto got = co_await handle.Get(key);
+    if (!got.status().IsNotFound()) {
+      st->Violation("acked delete resurfaced after recovery: " + key);
       break;
     }
   }
@@ -323,11 +483,14 @@ sim::Task<void> VerifyKeyspace(SweepState* st, client::Client* db,
   }
   int phantoms = 0;
   for (const auto& [key, value] : all) {
-    auto it = m->sent.find(key);
-    if (it == m->sent.end()) {
+    auto ever = m->values_ever.find(key);
+    if (ever == m->values_ever.end()) {
       st->Violation("recovered key was never sent: " + key);
-    } else if (it->second != value) {
-      st->Violation("recovered value mismatch for sent key: " + key);
+    } else if (ever->second.count(value) == 0) {
+      st->Violation("recovered value was never sent for key: " + key);
+    } else if (m->tombstones_acked.count(key) > 0 &&
+               m->sent.count(key) == 0) {
+      st->Violation("acked delete resurfaced in scan: " + key);
     } else {
       continue;
     }
@@ -337,7 +500,7 @@ sim::Task<void> VerifyKeyspace(SweepState* st, client::Client* db,
       break;
     }
   }
-  if (all.size() < m->acked.size()) {
+  if (all.size() + m->UnackedDeletes() < m->acked.size()) {
     st->Violation("scan returned " + std::to_string(all.size()) +
                   " keys, fewer than the " +
                   std::to_string(m->acked.size()) + " acked in " + m->name);
@@ -356,8 +519,9 @@ sim::Task<void> VerifyBody(SweepState* st, sim::Simulation* sim,
 
   CheckZoneAccounting(st, dev);
   for (const auto& [id, ks] : dev->keyspaces().all()) {
-    if (ks->state == device::KeyspaceState::kCompacting) {
-      st->Violation("keyspace table holds a COMPACTING keyspace: " +
+    if (ks->state == device::KeyspaceState::kCompacting ||
+        ks->state == device::KeyspaceState::kRecompacting) {
+      st->Violation("keyspace table holds a mid-compaction keyspace: " +
                     ks->name);
     }
   }

@@ -100,9 +100,13 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
     if (current.empty()) co_return Status::Ok();
     co_await cpu_.ComputeBytes(current_bytes,
                                config_.costs.merge_bytes_per_sec);
+    // (key, seq): duplicate keys stay newest-last within the run, matching
+    // KlogMergeTraits so the merge's last-writer-wins pass sees every
+    // version of a key adjacently in seq order.
     std::sort(current.begin(), current.end(),
               [](const KlogEntry& a, const KlogEntry& b) {
-                return a.key < b.key;
+                if (a.key != b.key) return a.key < b.key;
+                return a.seq < b.seq;
               });
     SpilledRun spilled;
     std::string chunk;
@@ -123,7 +127,8 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
       if (chunk.size() + e.key.size() + 20 > config_.output_batch_bytes) {
         KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
       }
-      wire::AppendKlogEntry(&chunk, e.key, e.value_addr, e.value_len);
+      wire::AppendKlogEntry(&chunk, e.key, e.value_addr, e.value_len, e.seq,
+                            e.tombstone);
       ++spilled.entries;
     }
     KVCSD_CO_RETURN_IF_ERROR(co_await flush_chunk());
@@ -633,6 +638,23 @@ sim::Task<Status> Device::RunCompaction(
   {
     auto batch = std::make_unique<ValueBatch>();
     std::uint64_t merged_bytes = 0;
+    // Last-writer-wins: the merge yields every version of a key
+    // adjacently in ascending mutation-seq order (KlogMergeTraits), so
+    // only the final entry of an equal-key group is live. `pending` holds
+    // the group's newest version so far; it is admitted when the key
+    // changes — unless it is a tombstone, which simply vanishes along
+    // with every older version it shadowed.
+    std::optional<KlogEntry> pending;
+    auto admit = [&](KlogEntry&& entry) -> sim::Task<Status> {
+      batch->value_bytes += entry.value_len;
+      batch->entries.push_back(std::move(entry));
+      if (batch->value_bytes >= batch_budget) {
+        Status emitted = co_await emit_batch(std::move(batch));
+        batch = std::make_unique<ValueBatch>();
+        KVCSD_CO_RETURN_IF_ERROR(emitted);
+      }
+      co_return Status::Ok();
+    };
     while (!merger.Empty() && !pipe.failed) {
       KlogEntry entry;
       Status s = co_await merger.Pop(&entry);
@@ -646,23 +668,27 @@ sim::Task<Status> Device::RunCompaction(
                                    config_.costs.merge_bytes_per_sec);
         merged_bytes = 0;
       }
-      batch->value_bytes += entry.value_len;
-      batch->entries.push_back(std::move(entry));
-      if (batch->value_bytes >= batch_budget) {
-        Status emitted = co_await emit_batch(std::move(batch));
-        batch = std::make_unique<ValueBatch>();
-        if (!emitted.ok()) {
-          pipeline_status = emitted;
+      if (pending.has_value() && pending->key != entry.key &&
+          !pending->tombstone) {
+        Status admitted = co_await admit(std::move(*pending));
+        if (!admitted.ok()) {
+          pipeline_status = admitted;
           break;
         }
       }
+      pending = std::move(entry);
     }
     if (pipeline_status.ok() && !pipe.failed) {
+      if (pending.has_value() && !pending->tombstone) {
+        pipeline_status = co_await admit(std::move(*pending));
+      }
       if (merged_bytes > 0) {
         co_await cpu_.ComputeBytes(merged_bytes,
                                    config_.costs.merge_bytes_per_sec);
       }
-      pipeline_status = co_await emit_batch(std::move(batch));
+      if (pipeline_status.ok()) {
+        pipeline_status = co_await emit_batch(std::move(batch));
+      }
     }
   }
   // Always close + join: the consumer must see end-of-stream even on the
@@ -737,6 +763,7 @@ sim::Task<Status> Device::RunCompaction(
   const std::uint64_t old_klog_bytes = ks->klog_bytes;
   const std::uint64_t old_vlog_bytes = ks->vlog_bytes;
   const std::uint64_t old_num_kvs = ks->num_kvs;
+  const std::uint64_t old_run_entries = ks->run_entries;
   ks->klog_clusters.clear();
   ks->vlog_clusters.clear();
   ks->klog_bytes = 0;
@@ -747,7 +774,12 @@ sim::Task<Status> Device::RunCompaction(
   // The bloom filter rides the same snapshot as the sketch, so recovery
   // restores both or neither; empty when bloom is disabled.
   ks->pidx_bloom = bloom.has_value() ? bloom->Finish() : std::string();
+  // After the LWW pass, entries_total is the exact count of distinct live
+  // keys in the run (duplicates collapsed, tombstone winners dropped).
   ks->num_kvs = pipe.entries_total;
+  ks->run_entries = pipe.entries_total;
+  ks->delta_index.clear();
+  ks->delta_live = 0;
   ks->secondary_indexes = std::move(fused_indexes);
   ks->state = KeyspaceState::kCompacted;
   Status commit = co_await keyspace_manager_.Persist();
@@ -762,6 +794,7 @@ sim::Task<Status> Device::RunCompaction(
     ks->klog_bytes = old_klog_bytes;
     ks->vlog_bytes = old_vlog_bytes;
     ks->num_kvs = old_num_kvs;
+    ks->run_entries = old_run_entries;
     ks->state = KeyspaceState::kCompacting;
     co_return commit;
   }

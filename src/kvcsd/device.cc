@@ -18,6 +18,7 @@ namespace {
 bool IsKeyspaceScoped(nvme::Opcode op) {
   switch (op) {
     case nvme::Opcode::kKvStore:
+    case nvme::Opcode::kKvDelete:
     case nvme::Opcode::kBulkStore:
     case nvme::Opcode::kCompact:
     case nvme::Opcode::kCompactWithIndexes:
@@ -149,6 +150,12 @@ sim::Event* Device::CompactionDone(std::uint64_t keyspace_id) {
   return event.get();
 }
 
+sim::Event* Device::ReadersIdle(std::uint64_t keyspace_id) {
+  auto& event = readers_idle_[keyspace_id];
+  if (!event) event = std::make_unique<sim::Event>(sim_);
+  return event.get();
+}
+
 sim::Task<void> Device::MainLoop() {
   for (;;) {
     nvme::QueuePair::Incoming incoming = co_await queues_->NextCommand();
@@ -219,6 +226,11 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
   }
   if (!completion.status.ok()) {
     sim_->stats().counter("device.cmd.errors").Increment();
+    // Per-opcode error breakdown alongside the aggregate, so a workload
+    // can tell rejected deletes from failed compactions at a glance.
+    sim_->stats()
+        .counter(std::string("device.cmd.") + nvme::OpcodeName(op) + ".errors")
+        .Increment();
   }
   if (faults_ != nullptr && faults_->crashed()) {
     // The power cut landed mid-command; whatever Dispatch claims, the
@@ -260,10 +272,6 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
       out.status = co_await DropKeyspace(*ks);
       break;
     }
-    case nvme::Opcode::kKvDelete:
-      out.status = Status::Unimplemented(
-          "point deletes are not part of the simulation-pipeline workflow");
-      break;
     default: {
       if (!IsKeyspaceScoped(cmd.opcode)) {
         // Unknown opcode: Unimplemented must win over whatever a
@@ -308,11 +316,36 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
       out.status = co_await DoPut(ks, std::move(cmd.key),
                                   std::move(cmd.value));
       break;
+    case nvme::Opcode::kKvDelete:
+      out.status = co_await DoDelete(ks, std::move(cmd.key));
+      break;
     case nvme::Opcode::kBulkStore:
       out.status = co_await DoBulkPut(ks, cmd.value);
       break;
     case nvme::Opcode::kCompact:
     case nvme::Opcode::kCompactWithIndexes: {
+      if (cmd.opcode == nvme::Opcode::kCompact &&
+          ks->state == KeyspaceState::kCompacted) {
+        // Re-compaction: fold the delta log into the existing sorted run
+        // incrementally (DESIGN.md §12) instead of re-sorting everything.
+        if (ks->delta_index.empty()) {
+          out.status = Status::Ok();  // no delta: nothing to fold
+          break;
+        }
+        ks->state = KeyspaceState::kRecompacting;
+        CompactionDone(ks->id)->Reset();
+        if (sim_->tracer().enabled() && cmd.cmd_id != 0) {
+          sim_->tracer().FlowBegin(sim_->tracer().Track("device"), "compact",
+                                   cmd.cmd_id, sim_->Now());
+        }
+        sim_->Spawn([](Device* device, Keyspace* target,
+                       std::uint64_t trigger) -> sim::Task<void> {
+          Status s = co_await device->RecompactKeyspace(target, trigger);
+          (void)s;  // failure rolls back to COMPACTED; surfaced via Stat
+        }(this, ks, cmd.cmd_id));
+        out.status = Status::Ok();
+        break;
+      }
       if (ks->state != KeyspaceState::kWritable &&
           ks->state != KeyspaceState::kEmpty) {
         out.status = Status::FailedPrecondition(
@@ -352,7 +385,8 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
       out.status = co_await DoSync(ks);
       break;
     case nvme::Opcode::kCompactWait:
-      if (ks->state == KeyspaceState::kCompacting) {
+      while (ks->state == KeyspaceState::kCompacting ||
+             ks->state == KeyspaceState::kRecompacting) {
         co_await CompactionDone(ks->id)->Wait();
       }
       out.status = Status::Ok();
@@ -419,25 +453,110 @@ sim::Task<Result<std::uint64_t>> Device::AppendToChain(
   co_return co_await zone_manager_.Append(*cluster, data);
 }
 
+Status Device::CheckMutable(Keyspace* ks) const {
+  switch (ks->state) {
+    case KeyspaceState::kEmpty:
+    case KeyspaceState::kWritable:
+    case KeyspaceState::kCompacted:  // delta mode: mutations land in a
+                                     // fresh KLOG/VLOG log beside the run
+      return Status::Ok();
+    case KeyspaceState::kCompacting:
+    case KeyspaceState::kRecompacting:
+      // The compactor owns the logs right now; the host retries once the
+      // keyspace settles (kBusy is retryable, unlike the old blanket
+      // FailedPrecondition).
+      return Status::Busy("keyspace is compacting; retry");
+  }
+  return Status::FailedPrecondition("keyspace not writable");
+}
+
+void Device::ApplyDeltaMutation(Keyspace* ks, const std::string& key,
+                                std::string value, std::uint64_t seq,
+                                bool tombstone) {
+  DeltaEntry& entry = ks->delta_index[key];
+  if (entry.seq != 0 && !entry.tombstone) --ks->delta_live;
+  entry.seq = seq;
+  entry.tombstone = tombstone;
+  entry.vaddr = 0;
+  entry.vlen = static_cast<std::uint32_t>(value.size());
+  entry.has_value = !tombstone;
+  entry.value = std::move(value);
+  if (!tombstone) ++ks->delta_live;
+  // Estimate: run overwrites double-count and run deletes don't subtract
+  // (telling them apart needs an index lookup); re-compaction restores the
+  // exact count. Recovery's delta replay computes the same value.
+  ks->num_kvs = ks->run_entries + ks->delta_live;
+}
+
 sim::Task<Status> Device::DoPut(Keyspace* ks, std::string key,
                                 std::string value) {
   if (ks->state == KeyspaceState::kEmpty) {
     ks->state = KeyspaceState::kWritable;
   }
-  if (ks->state != KeyspaceState::kWritable) {
-    co_return Status::FailedPrecondition("keyspace not writable");
-  }
+  KVCSD_CO_RETURN_IF_ERROR(CheckMutable(ks));
   sim::Semaphore* lock = WriteLock(ks->id);
   co_await lock->Acquire();
+  // Re-check under the lock: a re-compaction can start while this command
+  // waits for the lock, and a mutation admitted past its delta snapshot
+  // would be silently dropped by the fold's commit.
+  if (Status admit = CheckMutable(ks); !admit.ok()) {
+    lock->Release();
+    co_return admit;
+  }
 
   co_await cpu_.Compute(config_.costs.kv_op_fixed);
   WriteBuffer& buffer = buffers_[ks->id];
   buffer.bytes += key.size() + value.size();
-  ++ks->num_kvs;
   ++puts_;
   if (ks->min_key.empty() || key < ks->min_key) ks->min_key = key;
   if (ks->max_key.empty() || key > ks->max_key) ks->max_key = key;
-  buffer.entries.emplace_back(std::move(key), std::move(value));
+  const std::uint64_t seq = ks->next_seq++;
+  if (ks->state == KeyspaceState::kCompacted) {
+    ApplyDeltaMutation(ks, key, value, seq, /*tombstone=*/false);
+  } else {
+    ++ks->num_kvs;
+  }
+  buffer.entries.push_back(
+      WriteEntry{std::move(key), std::move(value), seq, false});
+
+  Status s = Status::Ok();
+  if (buffer.bytes >= config_.write_buffer_bytes) {
+    s = co_await FlushBuffer(ks);
+  }
+  lock->Release();
+  co_return s;
+}
+
+// Blind point delete: appends a tombstone record to the (delta) log and
+// acknowledges whether or not the key exists — existence would cost an
+// index lookup on the write path. Visibility is immediate (the delta
+// index/write buffer shadows the run); durability follows the same
+// flush + Sync contract as PUT.
+sim::Task<Status> Device::DoDelete(Keyspace* ks, std::string key) {
+  if (ks->state == KeyspaceState::kEmpty) {
+    ks->state = KeyspaceState::kWritable;
+  }
+  KVCSD_CO_RETURN_IF_ERROR(CheckMutable(ks));
+  sim::Semaphore* lock = WriteLock(ks->id);
+  co_await lock->Acquire();
+  if (Status admit = CheckMutable(ks); !admit.ok()) {
+    lock->Release();
+    co_return admit;
+  }
+
+  co_await cpu_.Compute(config_.costs.kv_op_fixed);
+  WriteBuffer& buffer = buffers_[ks->id];
+  buffer.bytes += key.size();
+  const std::uint64_t seq = ks->next_seq++;
+  if (ks->state == KeyspaceState::kCompacted) {
+    ApplyDeltaMutation(ks, key, std::string(), seq, /*tombstone=*/true);
+  } else {
+    // WRITABLE: num_kvs counts log records (replay recomputes the same);
+    // compaction's last-writer-wins pass collapses it to live keys.
+    ++ks->num_kvs;
+  }
+  buffer.entries.push_back(WriteEntry{std::move(key), std::string(), seq,
+                                      /*tombstone=*/true});
 
   Status s = Status::Ok();
   if (buffer.bytes >= config_.write_buffer_bytes) {
@@ -451,11 +570,13 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
   if (ks->state == KeyspaceState::kEmpty) {
     ks->state = KeyspaceState::kWritable;
   }
-  if (ks->state != KeyspaceState::kWritable) {
-    co_return Status::FailedPrecondition("keyspace not writable");
-  }
+  KVCSD_CO_RETURN_IF_ERROR(CheckMutable(ks));
   sim::Semaphore* lock = WriteLock(ks->id);
   co_await lock->Acquire();
+  if (Status admit = CheckMutable(ks); !admit.ok()) {
+    lock->Release();
+    co_return admit;
+  }
 
   // Unpack the 128 KB bulk frame. The frame transfer is cheap, but each
   // record still costs per-record handling on the weak SoC cores — this is
@@ -475,7 +596,6 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
       break;
     }
     buffer.bytes += key.size() + value.size();
-    ++ks->num_kvs;
     ++puts_;
     ++records_uncharged;
     if (ks->min_key.empty() || key.view() < ks->min_key) {
@@ -484,7 +604,15 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
     if (ks->max_key.empty() || key.view() > ks->max_key) {
       ks->max_key = key.ToString();
     }
-    buffer.entries.emplace_back(key.ToString(), value.ToString());
+    const std::uint64_t seq = ks->next_seq++;
+    if (ks->state == KeyspaceState::kCompacted) {
+      ApplyDeltaMutation(ks, key.ToString(), value.ToString(), seq,
+                         /*tombstone=*/false);
+    } else {
+      ++ks->num_kvs;
+    }
+    buffer.entries.push_back(
+        WriteEntry{key.ToString(), value.ToString(), seq, false});
     if (records_uncharged >= 512) {
       co_await cpu_.Compute(records_uncharged * config_.costs.kv_op_fixed);
       records_uncharged = 0;
@@ -541,17 +669,22 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
   }
 
   if (result.ok()) {
-    // Values: one contiguous VLOG record.
+    // Values: one contiguous VLOG record. Tombstones carry no value, so a
+    // tombstone-only batch skips the VLOG append entirely.
     std::string values;
     values.reserve(batch.bytes);
-    for (const auto& [key, value] : batch.entries) values += value;
+    for (const auto& e : batch.entries) values += e.value;
     co_await cpu_.ComputeBytes(values.size(),
                                config_.costs.memcpy_bytes_per_sec);
     co_await cpu_.Compute(config_.costs.io_path_overhead);
-    auto vaddr = co_await AppendToChain(
-        &ks->vlog_clusters, ZoneType::kVlog,
-        std::span<const std::byte>(
-            reinterpret_cast<const std::byte*>(values.data()), values.size()));
+    Result<std::uint64_t> vaddr{std::uint64_t{0}};
+    if (!values.empty()) {
+      vaddr = co_await AppendToChain(
+          &ks->vlog_clusters, ZoneType::kVlog,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(values.data()),
+              values.size()));
+    }
     if (vaddr.ok() && CrashPoint("flush.between_logs")) {
       // Values landed, keys did not: the VLOG record is unreachable
       // garbage recovery must not resurrect (nothing references it).
@@ -564,10 +697,12 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
       std::string payload;
       payload.reserve(batch.bytes / 2 + batch.entries.size() * 12);
       std::uint64_t offset = 0;
-      for (const auto& [key, value] : batch.entries) {
-        wire::AppendKlogEntry(&payload, key, *vaddr + offset,
-                              static_cast<std::uint32_t>(value.size()));
-        offset += value.size();
+      for (const auto& e : batch.entries) {
+        wire::AppendKlogEntry(&payload, e.key,
+                              e.tombstone ? 0 : *vaddr + offset,
+                              static_cast<std::uint32_t>(e.value.size()),
+                              e.seq, e.tombstone);
+        offset += e.value.size();
       }
       std::string klog;
       klog.reserve(payload.size() + 16);
@@ -618,9 +753,12 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
 // commits the cluster references to the metadata zone — only then is the
 // data guaranteed to survive a power cut.
 sim::Task<Status> Device::DoSync(Keyspace* ks) {
-  if (ks->state != KeyspaceState::kWritable &&
-      ks->state != KeyspaceState::kEmpty) {
-    co_return Status::Ok();  // compacted data is already durable
+  if (ks->state == KeyspaceState::kCompacting ||
+      ks->state == KeyspaceState::kRecompacting) {
+    // The compactor owns the logs and drained every flush before taking
+    // over; mutations have been rejected (kBusy) since, so there is
+    // nothing buffered to persist.
+    co_return Status::Ok();
   }
   sim::Semaphore* lock = WriteLock(ks->id);
   co_await lock->Acquire();
@@ -656,7 +794,8 @@ sim::Task<void> Device::ReleaseClustersBestEffort(std::vector<ClusterId> ids) {
 }
 
 sim::Task<Status> Device::DropKeyspace(Keyspace* ks) {
-  if (ks->state == KeyspaceState::kCompacting || ks->inflight > 0) {
+  if (ks->state == KeyspaceState::kCompacting ||
+      ks->state == KeyspaceState::kRecompacting || ks->inflight > 0) {
     // Deferred deletion: the compactor or the pinned handlers finish
     // first (paper: "deletion may be deferred due to on-going
     // compaction"). The tombstone must be durable BEFORE the ack — an
@@ -710,7 +849,8 @@ sim::Task<Status> Device::FinishDrop(Keyspace* ks) {
 
 sim::Task<void> Device::MaybeFinishPendingDelete(Keyspace* ks) {
   if (!ks->pending_delete || ks->inflight > 0 ||
-      ks->state == KeyspaceState::kCompacting) {
+      ks->state == KeyspaceState::kCompacting ||
+      ks->state == KeyspaceState::kRecompacting) {
     co_return;
   }
   // Clear before the first await so concurrent callers cannot double-drop.

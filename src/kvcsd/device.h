@@ -76,10 +76,14 @@ struct DeviceConfig {
 };
 
 // An unsorted log entry parsed back from KLOG (key + pointer to VLOG).
+// `seq` is the keyspace mutation sequence that decides last-writer-wins
+// between duplicate keys; `tombstone` marks a point DELETE.
 struct KlogEntry {
   std::string key;
-  std::uint64_t value_addr;
-  std::uint32_t value_len;
+  std::uint64_t value_addr = 0;
+  std::uint32_t value_len = 0;
+  std::uint64_t seq = 0;
+  bool tombstone = false;
 };
 
 // A sorted run spilled to TEMP zone clusters during an external sort: a
@@ -204,13 +208,30 @@ class Device {
                                                      data);
 
   // --- write path ---
+  struct WriteEntry {
+    std::string key;
+    std::string value;
+    std::uint64_t seq = 0;
+    bool tombstone = false;
+  };
   struct WriteBuffer {
-    std::vector<std::pair<std::string, std::string>> entries;
+    std::vector<WriteEntry> entries;
     std::uint64_t bytes = 0;
   };
   sim::Task<Status> DoPut(Keyspace* ks, std::string key, std::string value);
   sim::Task<Status> DoBulkPut(Keyspace* ks, const std::string& frame);
+  // Point DELETE: a tombstone record in the (delta) log. Blind — deleting
+  // an absent key is Ok. kBusy while a (re)compaction owns the logs.
+  sim::Task<Status> DoDelete(Keyspace* ks, std::string key);
   sim::Task<Status> FlushBuffer(Keyspace* ks);
+  // Shared admission for PUT/DELETE: promotes EMPTY, accepts WRITABLE and
+  // COMPACTED (delta mode), rejects (kBusy) during (re)compaction.
+  Status CheckMutable(Keyspace* ks) const;
+  // Records one mutation in the COMPACTED delta index (newest wins) and
+  // refreshes num_kvs from run_entries + delta_live.
+  void ApplyDeltaMutation(Keyspace* ks, const std::string& key,
+                          std::string value, std::uint64_t seq,
+                          bool tombstone);
 
   // --- compaction (compactor.cc) ---
   // Sorts the keyspace; when `fused_specs` is non-empty, also builds those
@@ -277,6 +298,24 @@ class Device {
       Keyspace* ks, const nvme::SecondaryIndexSpec& spec,
       SidxSortState* state, SecondaryIndex* out);
 
+  // --- incremental re-compaction (recompact.cc) ---
+  // Folds a COMPACTED keyspace's delta into the existing sorted run:
+  // rewrites only the PIDX/SIDX blocks the delta keys touch (untouched
+  // blocks stay in place, their old clusters retained), appends the delta
+  // values to fresh SORTED_VALUES clusters, adds new keys to the bloom
+  // filter in place, and commits by persisting the merged table —
+  // DESIGN.md §12. Failure-handling shell mirroring CompactKeyspace.
+  sim::Task<Status> RecompactKeyspace(Keyspace* ks,
+                                      std::uint64_t trigger_cmd_id = 0);
+  sim::Task<Status> RunRecompaction(Keyspace* ks,
+                                    std::vector<ClusterId>* scratch);
+  // Loads a delta entry's value bytes (inline if the device never lost
+  // power since the PUT, otherwise gathered from the VLOG delta).
+  sim::Task<Result<std::string>> LoadDeltaValue(const DeltaEntry& entry);
+  // Queries arriving while a re-compaction owns the keyspace wait here
+  // (the commit swaps clusters under the reader otherwise).
+  sim::Task<Status> AwaitQueryable(Keyspace* ks);
+
   // --- explicit persistence ---
   sim::Task<Status> DoSync(Keyspace* ks);
 
@@ -340,10 +379,17 @@ class Device {
   // Streams a WRITABLE keyspace's KLOG chain to rebuild num_kvs, min_key,
   // max_key, klog_bytes and vlog_bytes after a restart.
   sim::Task<Status> ReplayKlogChains(Keyspace* ks);
+  // Streams a COMPACTED keyspace's KLOG *delta* chain to rebuild the
+  // in-DRAM delta index (newest seq per key), next_seq, and the byte
+  // counters, truncating any torn tail.
+  sim::Task<Status> ReplayDeltaChains(Keyspace* ks);
 
   // Per-keyspace write serialization + compaction-completion events.
   sim::Semaphore* WriteLock(std::uint64_t keyspace_id);
   sim::Event* CompactionDone(std::uint64_t keyspace_id);
+  // Set when the keyspace's active_readers count drops to zero; the
+  // re-compaction commit waits on it (recompact.cc).
+  sim::Event* ReadersIdle(std::uint64_t keyspace_id);
 
   sim::Simulation* sim_;
   DeviceConfig config_;
@@ -359,6 +405,7 @@ class Device {
   std::map<std::uint64_t, WriteBuffer> buffers_;
   std::map<std::uint64_t, std::unique_ptr<sim::Semaphore>> write_locks_;
   std::map<std::uint64_t, std::unique_ptr<sim::Event>> compaction_done_;
+  std::map<std::uint64_t, std::unique_ptr<sim::Event>> readers_idle_;
   // Flush pipelining: a bounded number of log flushes per keyspace may be
   // in flight; compaction drains them via the wait group.
   static constexpr std::uint64_t kMaxInflightFlushes = 4;

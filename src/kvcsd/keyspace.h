@@ -1,10 +1,17 @@
 // Keyspace metadata (paper §IV "Keyspace Manager").
 //
 // A keyspace is a named container of key-value pairs with the lifecycle
-//   EMPTY -> WRITABLE -> COMPACTING -> COMPACTED
+//   EMPTY -> WRITABLE -> COMPACTING -> COMPACTED <-> RECOMPACTING
 // Only COMPACTED keyspaces are queryable; secondary indexes attach only in
 // the COMPACTED state. The keyspace table also stores the per-block pivot
 // "sketches" that primary and secondary queries start from.
+//
+// A COMPACTED keyspace stays mutable (DESIGN.md §12): PUT/DELETE traffic
+// lands in a fresh KLOG/VLOG *delta log* (reusing the klog/vlog chains,
+// empty right after compaction) with an in-DRAM per-key delta index for
+// merged reads. kCompact on a COMPACTED keyspace folds the delta back
+// into the sorted run incrementally (RECOMPACTING), rewriting only the
+// index blocks the delta touches.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +29,10 @@ enum class KeyspaceState : std::uint8_t {
   kWritable,
   kCompacting,
   kCompacted,
+  // Incremental re-compaction in progress: the sorted run and the delta
+  // are both intact (queries wait for the fold to finish); a crash rolls
+  // straight back to kCompacted.
+  kRecompacting,
 };
 
 std::string_view KeyspaceStateName(KeyspaceState state);
@@ -39,6 +50,21 @@ struct SecondaryIndex {
   std::vector<ClusterId> sidx_clusters;
   std::vector<SketchEntry> sketch;  // pivot = order-encoded secondary key
   std::uint64_t entries = 0;
+};
+
+// Newest live mutation for one key of a COMPACTED keyspace's delta log.
+// The durable form is the KLOG/VLOG delta; this index is the DRAM view
+// merged reads consult first, rebuilt by delta replay after a power cut.
+// While the device stays up the value rides inline (written by the PUT
+// before its flush lands); after a replay only the VLOG pointer survives
+// and readers gather the value from flash.
+struct DeltaEntry {
+  std::uint64_t seq = 0;
+  std::uint64_t vaddr = 0;
+  std::uint32_t vlen = 0;
+  bool tombstone = false;
+  bool has_value = false;  // value below is the authoritative bytes
+  std::string value;
 };
 
 struct Keyspace {
@@ -69,6 +95,24 @@ struct Keyspace {
 
   std::map<std::string, SecondaryIndex> secondary_indexes;
 
+  // Live entries in the sorted run (exact count produced by the last
+  // LWW-deduped compaction; persisted). num_kvs for a COMPACTED keyspace
+  // is run_entries plus the delta's live (non-tombstone) key count — an
+  // estimate, since a delta PUT may overwrite a run key.
+  std::uint64_t run_entries = 0;
+
+  // Next mutation sequence. NOT persisted: recovery derives it as
+  // (max replayed seq + 1); compaction releases the logs that carried the
+  // old sequences, so restarting the counter per delta generation is safe
+  // — LWW only ever compares sequences within one log generation.
+  std::uint64_t next_seq = 1;
+
+  // COMPACTED-phase delta (DESIGN.md §12): newest mutation per key,
+  // rebuilt from the klog/vlog delta chains at recovery. Number of
+  // non-tombstone entries is tracked in delta_live.
+  std::map<std::string, DeltaEntry> delta_index;
+  std::uint64_t delta_live = 0;
+
   // Deletion requested while compaction/index build was running (paper:
   // "deletion may be deferred due to on-going compaction"). Persisted in
   // the metadata snapshot before the drop is acknowledged, so recovery
@@ -79,6 +123,12 @@ struct Keyspace {
   // the keyspace for the span of its coroutine so a concurrent drop
   // cannot free it mid-await; DropKeyspace defers until this drains.
   std::uint32_t inflight = 0;
+
+  // Queries that passed AwaitQueryable and are reading the COMPACTED
+  // structures right now. A re-compaction commit waits for this to drain
+  // (new readers block in AwaitQueryable once the state flips), so the
+  // cluster swap can never happen under an in-flight scan. Not persisted.
+  std::uint32_t active_readers = 0;
 };
 
 }  // namespace kvcsd::device

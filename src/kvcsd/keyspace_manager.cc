@@ -117,6 +117,9 @@ std::string KeyspaceManager::SerializeTable(std::uint64_t seq) const {
     // complete the drop if power dies before the deferred FinishDrop.
     body.push_back(ks->pending_delete ? 1 : 0);
     PutVarint64(&body, ks->num_kvs);
+    // Exact live count of the sorted run; recovery re-derives num_kvs for
+    // COMPACTED keyspaces as run_entries + replayed delta live count.
+    PutVarint64(&body, ks->run_entries);
     PutString(&body, ks->min_key);
     PutString(&body, ks->max_key);
     PutClusterVec(&body, ks->klog_clusters);
@@ -184,6 +187,7 @@ Status KeyspaceManager::DeserializeTable(const std::string& raw,
       ok = false;
     }
     ok = ok && GetVarint64(&in, &ks->num_kvs) &&
+         GetVarint64(&in, &ks->run_entries) &&
          GetString(&in, &ks->min_key) && GetString(&in, &ks->max_key) &&
          GetClusterVec(&in, &ks->klog_clusters) &&
          GetClusterVec(&in, &ks->vlog_clusters) &&
@@ -349,6 +353,8 @@ std::string_view KeyspaceStateName(KeyspaceState state) {
       return "COMPACTING";
     case KeyspaceState::kCompacted:
       return "COMPACTED";
+    case KeyspaceState::kRecompacting:
+      return "RECOMPACTING";
   }
   return "UNKNOWN";
 }

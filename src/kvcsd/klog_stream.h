@@ -63,8 +63,8 @@ class KlogZoneStream {
             co_return Status::Corruption(
                 "bad KLOG entry inside verified frame");
           }
-          out->push_back(
-              KlogEntry{entry.key.ToString(), entry.vaddr, entry.vlen});
+          out->push_back(KlogEntry{entry.key.ToString(), entry.vaddr,
+                                   entry.vlen, entry.seq, entry.tombstone});
         }
         continue;
       }

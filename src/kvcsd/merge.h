@@ -93,7 +93,12 @@ class LoserTree {
   std::size_t k_ = 0;
 };
 
-// Merge traits for KLOG-format runs (phase-1 key merge).
+// Merge traits for KLOG-format runs (phase-1 key merge). Duplicate keys
+// (overwrites, tombstones) order by ascending mutation seq, so the merge
+// pops every version of a key adjacently with the NEWEST last — the
+// consumer keeps the final entry of each equal-key group and last-writer
+// -wins falls out of the stream order regardless of which run (zone) held
+// which version.
 struct KlogMergeTraits {
   using Entry = KlogEntry;
   static bool Parse(Slice* in, Entry* out) {
@@ -102,9 +107,14 @@ struct KlogMergeTraits {
     out->key.assign(e.key.data(), e.key.size());
     out->value_addr = e.vaddr;
     out->value_len = e.vlen;
+    out->seq = e.seq;
+    out->tombstone = e.tombstone;
     return true;
   }
-  static bool Less(const Entry& a, const Entry& b) { return a.key < b.key; }
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  }
 };
 
 // Merge traits for SIDX-format runs (<skey, pkey> external sort).

@@ -15,16 +15,47 @@
 //     current one is parsed (one-slot-ahead pipeline).
 //   - GatherValues dedupes identical refs, coalesces address-adjacent
 //     reads, and fans the coalesced ranges out across NAND channels.
+//
+// Mutability (DESIGN.md §12): a COMPACTED keyspace carries a delta index
+// of post-compaction mutations. Point lookups consult it first (it is
+// strictly newer than the run); range and secondary scans two-way merge
+// the sorted run with the key-ordered delta under last-writer-wins, with
+// tombstones suppressing run entries. While an incremental re-compaction
+// folds the delta back in, queries wait in AwaitQueryable and in-flight
+// scans hold a reader count the fold's commit drains before swapping the
+// on-flash structures.
 #include <algorithm>
 
 #include "common/bloom.h"
 #include "kvcsd/device.h"
 #include "kvcsd/wire.h"
+#include "nvme/skey.h"
 #include "sim/parallel.h"
+#include "sim/tracer.h"
 
 namespace kvcsd::device {
 
 namespace {
+
+// Pins the keyspace's COMPACTED structures for the lifetime of one query
+// coroutine; the destructor runs on every exit path (including error
+// co_returns) and wakes a re-compaction commit waiting for readers to
+// drain.
+class ReaderGuard {
+ public:
+  ReaderGuard(Keyspace* ks, sim::Event* idle) : ks_(ks), idle_(idle) {
+    ++ks_->active_readers;
+  }
+  ReaderGuard(const ReaderGuard&) = delete;
+  ReaderGuard& operator=(const ReaderGuard&) = delete;
+  ~ReaderGuard() {
+    if (--ks_->active_readers == 0) idle_->Set();
+  }
+
+ private:
+  Keyspace* ks_;
+  sim::Event* idle_;
+};
 
 // Index of the sketch block that could contain `key`: the last block whose
 // pivot (first key) is <= key. Returns sketch.size() if key precedes all.
@@ -177,12 +208,38 @@ sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
   co_return out;
 }
 
-sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
-                                                  const std::string& key) {
+sim::Task<Status> Device::AwaitQueryable(Keyspace* ks) {
+  // A re-compaction is transparent to readers: wait it out rather than
+  // failing. Any other non-COMPACTED state is a caller error, same as
+  // before keyspaces were mutable.
+  while (ks->state == KeyspaceState::kRecompacting) {
+    co_await CompactionDone(ks->id)->Wait();
+  }
   if (ks->state != KeyspaceState::kCompacted) {
     co_return Status::FailedPrecondition(
         "keyspace is not queryable (state " +
         std::string(KeyspaceStateName(ks->state)) + ")");
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
+                                                  const std::string& key) {
+  KVCSD_CO_RETURN_IF_ERROR(co_await AwaitQueryable(ks));
+  ReaderGuard reader(ks, ReadersIdle(ks->id));
+  sim::TraceSpan span(sim_, "query", "point_lookup");
+  // The delta index is authoritative for every key it holds — strictly
+  // newer than anything in the run.
+  if (auto it = ks->delta_index.find(key); it != ks->delta_index.end()) {
+    co_await cpu_.Compute(config_.costs.block_search);
+    if (it->second.tombstone) {
+      span.Arg("src", "delta_tombstone");
+      stats().counter("device.query.delta_hits").Increment();
+      co_return Status::NotFound();
+    }
+    span.Arg("src", "delta");
+    stats().counter("device.query.delta_hits").Increment();
+    co_return co_await LoadDeltaValue(it->second);
   }
   // Bloom first: a definite negative answers from DRAM alone, skipping
   // both the index-block read and the value gather.
@@ -191,13 +248,17 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
     co_await cpu_.Compute(config_.costs.bloom_check);
     if (!BloomFilterMayContain(Slice(ks->pidx_bloom), Slice(key))) {
       stats().counter("device.bloom.negative").Increment();
+      span.Arg("src", "bloom_negative");
       co_return Status::NotFound();
     }
     bloom_said_maybe = true;
     stats().counter("device.bloom.maybe").Increment();
   }
   const std::size_t pos = SketchLowerBlock(ks->pidx_sketch, key);
-  if (pos >= ks->pidx_sketch.size()) co_return Status::NotFound();
+  if (pos >= ks->pidx_sketch.size()) {
+    span.Arg("src", "miss");
+    co_return Status::NotFound();
+  }
 
   auto block = co_await ReadIndexBlock(ks->id, ks->pidx_sketch[pos]);
   if (!block.ok()) co_return block.status();
@@ -216,6 +277,7 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
       one.push_back(ValueRef{entry.vaddr, entry.vlen});
       auto values = co_await GatherValues(std::move(one));
       if (!values.ok()) co_return values.status();
+      span.Arg("src", "run");
       co_return std::move((*values)[0]);
     }
     if (Slice(key) < entry.key) break;  // sorted: key is absent
@@ -223,6 +285,7 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
   if (bloom_said_maybe) {
     stats().counter("device.bloom.false_positive").Increment();
   }
+  span.Arg("src", "miss");
   co_return Status::NotFound();
 }
 
@@ -230,13 +293,25 @@ sim::Task<Status> Device::QueryPrimaryRange(
     Keyspace* ks, const std::string& lo, const std::string& hi,
     std::uint32_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
-  if (ks->state != KeyspaceState::kCompacted) {
-    co_return Status::FailedPrecondition("keyspace is not queryable");
-  }
-  const std::vector<SketchEntry>& sketch = ks->pidx_sketch;
-  if (sketch.empty()) co_return Status::Ok();
+  KVCSD_CO_RETURN_IF_ERROR(co_await AwaitQueryable(ks));
+  ReaderGuard reader(ks, ReadersIdle(ks->id));
 
-  std::size_t pos = SketchRangeStart(sketch, lo);
+  // Snapshot the in-range slice of the delta (the map is key-ordered, so
+  // this is already sorted). Every in-range tombstone can suppress one run
+  // row, so the run scan collects that many extra rows to keep `limit`
+  // honest; the merge below trims back to `limit`. DeltaEntry pointers
+  // stay valid across awaits: the map is node-based and the re-compaction
+  // that clears it drains active_readers first.
+  std::vector<std::pair<std::string, const DeltaEntry*>> delta_rows;
+  std::uint32_t scan_limit = limit;
+  for (auto it = ks->delta_index.lower_bound(lo);
+       it != ks->delta_index.end() && it->first <= hi; ++it) {
+    delta_rows.emplace_back(it->first, &it->second);
+    if (limit != 0 && it->second.tombstone) ++scan_limit;
+  }
+
+  const std::vector<SketchEntry>& sketch = ks->pidx_sketch;
+  std::size_t pos = sketch.empty() ? 0 : SketchRangeStart(sketch, lo);
 
   // Two alternating prefetch slots keep block pos+1's flash read in
   // flight while block pos is awaited and parsed; the pivot guard below
@@ -314,7 +389,7 @@ sim::Task<Status> Device::QueryPrimaryRange(
       }
       matches.emplace_back(entry.key.ToString(),
                            ValueRef{entry.vaddr, entry.vlen});
-      if (limit != 0 && matches.size() >= limit) {
+      if (scan_limit != 0 && matches.size() >= scan_limit) {
         past_hi = true;
         break;
       }
@@ -330,14 +405,66 @@ sim::Task<Status> Device::QueryPrimaryRange(
   }
   KVCSD_CO_RETURN_IF_ERROR(scan_status);
 
+  // Two-way merge with the delta snapshot: the delta wins ties (strictly
+  // newer), tombstones suppress their run rows, and delta-only keys slot
+  // into key order.
+  struct Row {
+    std::string key;
+    ValueRef ref{0, 0};
+    const DeltaEntry* delta = nullptr;
+  };
+  std::vector<Row> rows;
+  rows.reserve(matches.size() + delta_rows.size());
+  std::size_t ri = 0;
+  std::size_t di = 0;
+  while ((ri < matches.size() || di < delta_rows.size()) &&
+         (limit == 0 || rows.size() < limit)) {
+    const bool run_left = ri < matches.size();
+    const bool delta_left = di < delta_rows.size();
+    if (delta_left && (!run_left || delta_rows[di].first <= matches[ri].first)) {
+      if (run_left && delta_rows[di].first == matches[ri].first) {
+        ++ri;  // the run row is stale
+      }
+      const DeltaEntry* d = delta_rows[di].second;
+      if (!d->tombstone) {
+        rows.push_back(Row{delta_rows[di].first, ValueRef{0, 0}, d});
+      }
+      ++di;
+    } else {
+      rows.push_back(
+          Row{std::move(matches[ri].first), matches[ri].second, nullptr});
+      ++ri;
+    }
+  }
+
+  // One batched gather covers everything that lives on flash: run values
+  // plus delta values that only survive as VLOG pointers after a power
+  // cycle. Inline delta values copy straight from DRAM.
   std::vector<ValueRef> refs;
-  refs.reserve(matches.size());
-  for (const auto& [key, ref] : matches) refs.push_back(ref);
+  std::vector<std::size_t> ref_slot;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].delta == nullptr) {
+      refs.push_back(rows[r].ref);
+      ref_slot.push_back(r);
+    } else if (!rows[r].delta->has_value && rows[r].delta->vlen > 0) {
+      refs.push_back(ValueRef{rows[r].delta->vaddr, rows[r].delta->vlen});
+      ref_slot.push_back(r);
+    }
+  }
   auto values = co_await GatherValues(std::move(refs));
   if (!values.ok()) co_return values.status();
-  out->reserve(out->size() + matches.size());
-  for (std::size_t i = 0; i < matches.size(); ++i) {
-    out->emplace_back(std::move(matches[i].first), std::move((*values)[i]));
+  std::vector<std::string> vals(rows.size());
+  for (std::size_t k = 0; k < ref_slot.size(); ++k) {
+    vals[ref_slot[k]] = std::move((*values)[k]);
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].delta != nullptr && rows[r].delta->has_value) {
+      vals[r] = rows[r].delta->value;
+    }
+  }
+  out->reserve(out->size() + rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out->emplace_back(std::move(rows[r].key), std::move(vals[r]));
   }
   co_return Status::Ok();
 }
@@ -346,18 +473,51 @@ sim::Task<Status> Device::QuerySecondaryRange(
     Keyspace* ks, const std::string& index_name, const std::string& lo,
     const std::string& hi, std::uint32_t limit,
     std::vector<std::pair<std::string, std::string>>* out) {
-  if (ks->state != KeyspaceState::kCompacted) {
-    co_return Status::FailedPrecondition("keyspace is not queryable");
-  }
+  KVCSD_CO_RETURN_IF_ERROR(co_await AwaitQueryable(ks));
+  ReaderGuard reader(ks, ReadersIdle(ks->id));
   auto sidx_it = ks->secondary_indexes.find(index_name);
   if (sidx_it == ks->secondary_indexes.end()) {
     co_return Status::NotFound("no such secondary index: " + index_name);
   }
   const SecondaryIndex& sidx = sidx_it->second;
-  const std::vector<SketchEntry>& sketch = sidx.sketch;
-  if (sketch.empty()) co_return Status::Ok();
 
-  std::size_t pos = SketchRangeStart(sketch, lo);
+  // Every delta key's run tuple (if any) is stale — an overwrite may have
+  // moved the row's secondary key, a tombstone removed it — so the scan
+  // below drops run tuples whose pkey appears in the delta and this loop
+  // contributes the replacement tuples: load each live delta value,
+  // extract + order-encode its secondary key, keep the in-range ones.
+  // Any delta key may hide one run tuple anywhere in range, so the scan
+  // over-collects by the delta size to keep `limit` honest.
+  struct FreshTuple {
+    std::string skey;
+    std::string pkey;
+    std::string value;
+  };
+  std::vector<FreshTuple> fresh;
+  std::uint32_t scan_limit = limit;
+  for (const auto& [pkey, entry] : ks->delta_index) {
+    if (limit != 0) ++scan_limit;
+    if (entry.tombstone) continue;
+    auto value = co_await LoadDeltaValue(entry);
+    if (!value.ok()) co_return value.status();
+    if (sidx.spec.value_offset + sidx.spec.value_length > value->size()) {
+      co_return Status::InvalidArgument("secondary key range beyond value");
+    }
+    auto skey = nvme::EncodeSecondaryKeyBytes(
+        Slice(value->data() + sidx.spec.value_offset, sidx.spec.value_length),
+        sidx.spec);
+    if (!skey.ok()) co_return skey.status();
+    if (*skey < lo || hi < *skey) continue;
+    fresh.push_back(FreshTuple{std::move(*skey), pkey, std::move(*value)});
+  }
+  std::sort(fresh.begin(), fresh.end(),
+            [](const FreshTuple& a, const FreshTuple& b) {
+              if (a.skey != b.skey) return a.skey < b.skey;
+              return a.pkey < b.pkey;
+            });
+
+  const std::vector<SketchEntry>& sketch = sidx.sketch;
+  std::size_t pos = sketch.empty() ? 0 : SketchRangeStart(sketch, lo);
 
   IndexPrefetch slots[2];
   auto issue = [&](std::size_t p) {
@@ -373,7 +533,12 @@ sim::Task<Status> Device::QuerySecondaryRange(
   };
 
   Status scan_status = Status::Ok();
-  std::vector<std::pair<std::string, ValueRef>> matches;  // pkey, value ref
+  struct RunTuple {
+    std::string skey;
+    std::string pkey;
+    ValueRef ref;
+  };
+  std::vector<RunTuple> matches;
   // SIDX blocks are globally sorted by (skey, pkey) — SidxMergeToBlocks
   // emits them in exactly that order — so when `limit` lands inside a run
   // of tied secondary keys, the cut is deterministic: the survivors are
@@ -437,9 +602,12 @@ sim::Task<Status> Device::QuerySecondaryRange(
         past_hi = true;
         break;
       }
-      matches.emplace_back(entry.pkey.ToString(),
-                           ValueRef{entry.vaddr, entry.vlen});
-      if (limit != 0 && matches.size() >= limit) {
+      if (ks->delta_index.contains(entry.pkey.ToString())) {
+        continue;  // stale: this row was overwritten or deleted
+      }
+      matches.push_back(RunTuple{entry.skey.ToString(), entry.pkey.ToString(),
+                                 ValueRef{entry.vaddr, entry.vlen}});
+      if (scan_limit != 0 && matches.size() >= scan_limit) {
         past_hi = true;
         break;
       }
@@ -455,14 +623,62 @@ sim::Task<Status> Device::QuerySecondaryRange(
   }
   KVCSD_CO_RETURN_IF_ERROR(scan_status);
 
+  // Merge run survivors with the fresh delta tuples by (skey, pkey) — the
+  // two sets are disjoint by construction (run tuples whose pkey is in the
+  // delta were dropped above) — and cut at `limit`.
+  struct OutRow {
+    std::string pkey;
+    bool from_fresh = false;
+    std::size_t fresh_idx = 0;
+    ValueRef ref{0, 0};
+  };
+  std::vector<OutRow> rows;
+  rows.reserve(matches.size() + fresh.size());
+  std::size_t ri = 0;
+  std::size_t fi = 0;
+  while ((ri < matches.size() || fi < fresh.size()) &&
+         (limit == 0 || rows.size() < limit)) {
+    bool take_fresh;
+    if (ri >= matches.size()) {
+      take_fresh = true;
+    } else if (fi >= fresh.size()) {
+      take_fresh = false;
+    } else {
+      const FreshTuple& f = fresh[fi];
+      const RunTuple& m = matches[ri];
+      take_fresh =
+          f.skey < m.skey || (f.skey == m.skey && f.pkey < m.pkey);
+    }
+    if (take_fresh) {
+      rows.push_back(OutRow{std::move(fresh[fi].pkey), true, fi, {0, 0}});
+      ++fi;
+    } else {
+      rows.push_back(
+          OutRow{std::move(matches[ri].pkey), false, 0, matches[ri].ref});
+      ++ri;
+    }
+  }
+
   std::vector<ValueRef> refs;
-  refs.reserve(matches.size());
-  for (const auto& [pkey, ref] : matches) refs.push_back(ref);
+  std::vector<std::size_t> ref_slot;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (!rows[r].from_fresh) {
+      refs.push_back(rows[r].ref);
+      ref_slot.push_back(r);
+    }
+  }
   auto values = co_await GatherValues(std::move(refs));
   if (!values.ok()) co_return values.status();
-  out->reserve(out->size() + matches.size());
-  for (std::size_t i = 0; i < matches.size(); ++i) {
-    out->emplace_back(std::move(matches[i].first), std::move((*values)[i]));
+  std::vector<std::string> vals(rows.size());
+  for (std::size_t k = 0; k < ref_slot.size(); ++k) {
+    vals[ref_slot[k]] = std::move((*values)[k]);
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].from_fresh) vals[r] = std::move(fresh[rows[r].fresh_idx].value);
+  }
+  out->reserve(out->size() + rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out->emplace_back(std::move(rows[r].pkey), std::move(vals[r]));
   }
   co_return Status::Ok();
 }

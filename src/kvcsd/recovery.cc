@@ -23,6 +23,7 @@
 //      min_key / max_key, truncating the torn tail a power cut may have
 //      left mid-zone so future appends never follow garbage.
 //   6. Persist the recovered state, giving the next crash a clean base.
+#include <algorithm>
 #include <set>
 
 #include "kvcsd/device.h"
@@ -108,6 +109,19 @@ sim::Task<Status> Device::Recover() {
   for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
     Keyspace* ks = ks_ptr.get();
     ks->inflight = 0;
+    ks->active_readers = 0;
+    if (ks->state == KeyspaceState::kRecompacting) {
+      // An uncommitted incremental re-compaction: the sorted run and the
+      // delta log are both intact (the fold writes only fresh clusters
+      // before its commit persist), so roll straight back to COMPACTED.
+      // Whatever partial outputs exist are referenced by no keyspace and
+      // die in steps 3/4; step 5 replays the delta chains.
+      ks->state = KeyspaceState::kCompacted;
+      log.Warn("recovery",
+               "rolled back uncommitted re-compaction on keyspace '" +
+                   ks->name + "'");
+      continue;
+    }
     if (ks->state != KeyspaceState::kCompacting) continue;
     AppendAll(&doomed, ks->pidx_clusters);
     AppendAll(&doomed, ks->sorted_value_clusters);
@@ -172,7 +186,10 @@ sim::Task<Status> Device::Recover() {
              "reset " + std::to_string(zones_reset) + " unowned zone(s)");
   }
 
-  // Step 5: rebuild the write-path counters from the logs themselves.
+  // Step 5: rebuild the write-path counters from the logs themselves. For
+  // a COMPACTED keyspace the klog/vlog chains are its post-compaction
+  // delta log; replaying them rebuilds the DRAM delta index merged reads
+  // consult (and the next_seq last-writer-wins counter).
   for (const auto& [id, ks_ptr] : keyspace_manager_.all()) {
     Keyspace* ks = ks_ptr.get();
     if (ks->state == KeyspaceState::kWritable) {
@@ -183,6 +200,16 @@ sim::Task<Status> Device::Recover() {
       ks->max_key.clear();
       ks->klog_bytes = 0;
       ks->vlog_bytes = 0;
+    } else if (ks->state == KeyspaceState::kCompacted) {
+      if (!ks->klog_clusters.empty()) {
+        KVCSD_CO_RETURN_IF_ERROR(co_await ReplayDeltaChains(ks));
+      } else {
+        ks->delta_index.clear();
+        ks->delta_live = 0;
+        ks->num_kvs = ks->run_entries;
+        ks->klog_bytes = 0;
+        ks->vlog_bytes = 0;
+      }
     }
   }
 
@@ -201,6 +228,8 @@ sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
   ks->num_kvs = 0;
   ks->min_key.clear();
   ks->max_key.clear();
+  bool have_bounds = false;
+  std::uint64_t max_seq = 0;
   std::vector<KlogEntry> parsed;
   for (ClusterId cluster : ks->klog_clusters) {
     for (std::uint32_t zone : zone_manager_.cluster_zones(cluster)) {
@@ -212,9 +241,15 @@ sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
         if (!more.ok()) co_return more.status();
         if (!*more) break;
         for (const KlogEntry& e : parsed) {
-          if (ks->num_kvs == 0 || e.key < ks->min_key) ks->min_key = e.key;
-          if (ks->num_kvs == 0 || e.key > ks->max_key) ks->max_key = e.key;
+          max_seq = std::max(max_seq, e.seq);
+          // num_kvs counts log records, matching the write path (DoDelete
+          // increments it too); min/max track PUT keys only, also matching
+          // the write path (a blind delete never widens the bounds).
           ++ks->num_kvs;
+          if (e.tombstone) continue;
+          if (!have_bounds || e.key < ks->min_key) ks->min_key = e.key;
+          if (!have_bounds || e.key > ks->max_key) ks->max_key = e.key;
+          have_bounds = true;
         }
       }
       if (stream.torn_bytes() > 0) {
@@ -228,6 +263,64 @@ sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
       }
     }
   }
+  ks->next_seq = max_seq + 1;
+  ks->klog_bytes = 0;
+  for (ClusterId cluster : ks->klog_clusters) {
+    ks->klog_bytes += zone_manager_.ClusterBytes(cluster);
+  }
+  ks->vlog_bytes = 0;
+  for (ClusterId cluster : ks->vlog_clusters) {
+    ks->vlog_bytes += zone_manager_.ClusterBytes(cluster);
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Device::ReplayDeltaChains(Keyspace* ks) {
+  sim::TraceSpan span(sim_, "recovery", "replay_delta");
+  span.Arg("keyspace", ks->name);
+  ks->delta_index.clear();
+  ks->delta_live = 0;
+  std::uint64_t max_seq = 0;
+  std::vector<KlogEntry> parsed;
+  for (ClusterId cluster : ks->klog_clusters) {
+    for (std::uint32_t zone : zone_manager_.cluster_zones(cluster)) {
+      KlogZoneStream stream(&ssd_, zone, config_.output_batch_bytes,
+                            nullptr);
+      for (;;) {
+        parsed.clear();
+        auto more = co_await stream.NextBatch(&parsed);
+        if (!more.ok()) co_return more.status();
+        if (!*more) break;
+        for (const KlogEntry& e : parsed) {
+          max_seq = std::max(max_seq, e.seq);
+          // Newest mutation per key wins. Compare by seq, not replay
+          // order: pipelined flushes can land KLOG batches out of
+          // admission order.
+          DeltaEntry& entry = ks->delta_index[e.key];
+          if (entry.seq != 0 && e.seq < entry.seq) continue;
+          if (entry.seq != 0 && !entry.tombstone) --ks->delta_live;
+          entry.seq = e.seq;
+          entry.tombstone = e.tombstone;
+          entry.vaddr = e.value_addr;
+          entry.vlen = e.value_len;
+          entry.has_value = false;  // only the VLOG pointer survives DRAM
+          entry.value.clear();
+          if (!e.tombstone) ++ks->delta_live;
+        }
+      }
+      if (stream.torn_bytes() > 0) {
+        sim_->log().Warn(
+            "recovery", "keyspace '" + ks->name + "' delta zone " +
+                            std::to_string(zone) + ": truncating " +
+                            std::to_string(stream.torn_bytes()) +
+                            " torn byte(s)");
+        KVCSD_CO_RETURN_IF_ERROR(
+            co_await TruncateZoneTail(&ssd_, zone, stream.torn_bytes()));
+      }
+    }
+  }
+  ks->next_seq = max_seq + 1;
+  ks->num_kvs = ks->run_entries + ks->delta_live;
   ks->klog_bytes = 0;
   for (ClusterId cluster : ks->klog_clusters) {
     ks->klog_bytes += zone_manager_.ClusterBytes(cluster);

@@ -1,9 +1,17 @@
 // On-flash record formats shared by the write path, the compactor, and
 // the query engine.
 //
-//   KLOG entry   := varint32 klen | key | fixed64 vaddr | varint32 vlen
+//   KLOG entry   := varint32 klen | key | fixed64 vaddr | varint32 vlen |
+//                   varint64 seq | uint8 flags
 //   KLOG frame   := fixed32 magic | fixed32 masked_crc | varint32 len |
 //                   len bytes of KLOG entries (one frame per flush batch)
+//
+// `seq` is the keyspace-wide mutation sequence assigned at PUT/DELETE
+// admission. Up to kMaxInflightFlushes flush batches are in flight at
+// once, so KLOG append order is NOT admission order — last-writer-wins
+// resolution (compaction dedupe, delta replay) always compares seq, never
+// log position. flags bit 0 marks a tombstone (a point DELETE); tombstone
+// entries carry vaddr = 0, vlen = 0.
 //   PIDX block   := fixed16 count | count * (varint32 klen | key |
 //                   fixed64 vaddr | varint32 vlen) | zero pad to 4 KB
 //   SIDX block   := fixed16 count | count * (varint32 sklen | skey_enc |
@@ -29,18 +37,25 @@
 
 namespace kvcsd::device::wire {
 
+constexpr std::uint8_t kKlogFlagTombstone = 0x01;
+
 inline void AppendKlogEntry(std::string* out, const Slice& key,
-                            std::uint64_t vaddr, std::uint32_t vlen) {
+                            std::uint64_t vaddr, std::uint32_t vlen,
+                            std::uint64_t seq, bool tombstone = false) {
   PutVarint32(out, static_cast<std::uint32_t>(key.size()));
   out->append(key.data(), key.size());
   PutFixed64(out, vaddr);
   PutVarint32(out, vlen);
+  PutVarint64(out, seq);
+  out->push_back(static_cast<char>(tombstone ? kKlogFlagTombstone : 0));
 }
 
 struct ParsedKlogEntry {
   Slice key;
   std::uint64_t vaddr;
   std::uint32_t vlen;
+  std::uint64_t seq;
+  bool tombstone;
 };
 
 inline bool ParseKlogEntry(Slice* in, ParsedKlogEntry* out) {
@@ -48,7 +63,14 @@ inline bool ParseKlogEntry(Slice* in, ParsedKlogEntry* out) {
   if (!GetVarint32(in, &klen) || in->size() < klen) return false;
   out->key = Slice(in->data(), klen);
   in->remove_prefix(klen);
-  return GetFixed64(in, &out->vaddr) && GetVarint32(in, &out->vlen);
+  if (!GetFixed64(in, &out->vaddr) || !GetVarint32(in, &out->vlen)) {
+    return false;
+  }
+  if (!GetVarint64(in, &out->seq) || in->empty()) return false;
+  out->tombstone =
+      (static_cast<std::uint8_t>((*in)[0]) & kKlogFlagTombstone) != 0;
+  in->remove_prefix(1);
+  return true;
 }
 
 // --- KLOG frames ---

@@ -72,8 +72,23 @@ sim::Task<Status> ZoneManager::ReleaseCluster(ClusterId id) {
   if (it == clusters_.end()) {
     co_return Status::NotFound("no such cluster");
   }
+  // Reset every zone BEFORE surrendering ownership. Reset suspends, and
+  // during the suspension another coroutine may allocate a cluster or
+  // persist a metadata snapshot: a zone must never be observable as both
+  // cluster-owned and free, or the persisted table fails recovery's
+  // exclusive-ownership check (and the zone can be handed out twice).
+  // A reset-then-failed release leaves the cluster whole, which is
+  // consistent: it still owns every zone, some merely empty.
   for (std::uint32_t zone : it->second.zones) {
     KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Reset(zone));
+  }
+  // Re-find: a concurrent release of the same id may have finished while
+  // the resets were in flight.
+  it = clusters_.find(id);
+  if (it == clusters_.end()) {
+    co_return Status::NotFound("cluster released concurrently");
+  }
+  for (std::uint32_t zone : it->second.zones) {
     free_zones_.push_back(zone);
   }
   clusters_.erase(it);

@@ -66,6 +66,8 @@ const char* OpcodeLatencyClass(Opcode op) {
     case Opcode::kKvStore:
     case Opcode::kBulkStore:
       return "put";
+    case Opcode::kKvDelete:
+      return "delete";
     case Opcode::kKvRetrieve:
       return "get";
     case Opcode::kQueryPrimaryRange:

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 
 namespace kvcsd::harness {
@@ -38,6 +39,7 @@ TEST(CrashSweepTest, EveryReachableCrashPointRecovers) {
   const std::uint64_t hits = dry->hits;
   ASSERT_GT(hits, 0u);
 
+  std::set<std::string> points_seen;
   for (std::uint64_t k = 1; k <= hits; ++k) {
     auto report = RunCrashSweepCase(SweepConfig(), k);
     ASSERT_TRUE(report.ok())
@@ -45,7 +47,17 @@ TEST(CrashSweepTest, EveryReachableCrashPointRecovers) {
     EXPECT_TRUE(report->fired) << "case " << k << " never crashed";
     EXPECT_TRUE(report->ok())
         << "case " << k << ": " << Describe(*report);
+    points_seen.insert(report->crash_point);
   }
+
+  // The post-compaction mutation leg must walk the sweep through the
+  // incremental re-compaction commit protocol.
+  EXPECT_TRUE(points_seen.count("recompact.before_fold"))
+      << "sweep never crashed at recompact.before_fold";
+  EXPECT_TRUE(points_seen.count("recompact.before_commit"))
+      << "sweep never crashed at recompact.before_commit";
+  EXPECT_TRUE(points_seen.count("recompact.after_commit"))
+      << "sweep never crashed at recompact.after_commit";
 }
 
 // Tiny zones make the 4 KiB metadata zone wrap mid-workload, which is

@@ -135,13 +135,17 @@ TEST(CsdTest, WritesRejectedWhileCompacting) {
                       .ok());
     }
     EXPECT_TRUE((co_await ks.Compact()).ok());
-    // Keyspace is COMPACTING (readonly) right after the trigger returns.
+    // Keyspace is COMPACTING right after the trigger returns: writes are
+    // rejected kBusy — a retryable status, the logs are merely locked.
     auto rejected = co_await ks.Put(MakeFixedKey(99999), "late");
-    EXPECT_EQ(rejected.code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(rejected.code(), StatusCode::kBusy);
+    EXPECT_TRUE(rejected.IsRetryable());
     EXPECT_TRUE((co_await ks.WaitCompaction()).ok());
-    // Still rejected when COMPACTED.
-    auto rejected2 = co_await ks.Put(MakeFixedKey(99998), "later");
-    EXPECT_EQ(rejected2.code(), StatusCode::kFailedPrecondition);
+    // Once COMPACTED the keyspace is mutable again (delta mode).
+    EXPECT_TRUE((co_await ks.Put(MakeFixedKey(99998), "later")).ok());
+    auto readback = co_await ks.Get(MakeFixedKey(99998));
+    EXPECT_TRUE(readback.ok());
+    EXPECT_EQ(*readback, "later");
   }(&f.db));
 }
 

@@ -147,7 +147,8 @@ sim::Task<Status> SpillKlogRun(MergeFixture* f,
   std::string chunk;
   std::size_t in_chunk = 0;
   for (const auto& e : entries) {
-    wire::AppendKlogEntry(&chunk, Slice(e.key), e.value_addr, e.value_len);
+    wire::AppendKlogEntry(&chunk, Slice(e.key), e.value_addr, e.value_len,
+                          e.seq, e.tombstone);
     ++in_chunk;
     ++out->entries;
     if (in_chunk == per_segment) {

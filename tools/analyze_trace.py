@@ -173,6 +173,51 @@ def print_breakdown(cmds):
         print("  ".join(cols))
 
 
+# The delta-log buckets "point_lookup" spans tag via args.src, and their
+# rollup: a lookup answered by the delta index never touches the sorted
+# run's index blocks, so its latency profile is the delta/merge-read
+# overhead the YCSB mixes are designed to expose.
+DELTA_SRCS = ("delta", "delta_tombstone")
+RUN_SRCS = ("run", "bloom_negative", "miss")
+
+
+def print_query_breakdown(events, tracks):
+    """Point-lookup latency split by answer source (delta vs run)."""
+    by_src = defaultdict(list)
+    for e in events:
+        if e.get("ph") != "X" or e.get("name") != "point_lookup":
+            continue
+        if tracks.get(e.get("tid"), "") != "query":
+            continue
+        src = e.get("args", {}).get("src", "?")
+        by_src[src].append(float(e.get("dur", 0)) * 1000.0)
+    if not by_src:
+        return
+    print()
+    hdr = "%-20s %8s  %21s %12s %7s" % (
+        "lookup source", "count", "latency p50/p99", "max", "share")
+    print(hdr)
+    print("-" * len(hdr))
+    total_count = sum(len(v) for v in by_src.values())
+
+    def row(label, vals):
+        vals = sorted(vals)
+        print("%-20s %8d  %10s/%-10s %12s %6.1f%%" % (
+            label, len(vals),
+            fmt_ns(percentile(vals, 50)), fmt_ns(percentile(vals, 99)),
+            fmt_ns(vals[-1] if vals else 0),
+            100.0 * len(vals) / total_count if total_count else 0.0))
+
+    for src in sorted(by_src):
+        row(src, by_src[src])
+    delta_vals = [v for s in DELTA_SRCS for v in by_src.get(s, [])]
+    run_vals = [v for s in RUN_SRCS for v in by_src.get(s, [])]
+    if delta_vals and run_vals:
+        print("-" * len(hdr))
+        row("delta-served", delta_vals)
+        row("run-served", run_vals)
+
+
 def print_queue_breakdown(cmds):
     """Per-SQ queue-wait stats; silent for traces without queue ids."""
     by_q = defaultdict(list)
@@ -277,6 +322,7 @@ def main(argv):
         ", %d BAD" % bad_flows if bad_flows else ""))
     print()
     print_breakdown(cmds)
+    print_query_breakdown(events, tracks)
     print_queue_breakdown(cmds)
     print_slowest(cmds, top_n)
     if telemetry_path:
