@@ -160,6 +160,20 @@ sim::Task<Result<std::string>> GetFuture::AwaitImpl(CallFuture call) {
   co_return std::move(completion.value);
 }
 
+sim::Task<Result<SelectFuture::Rows>> SelectFuture::AwaitImpl(
+    CallFuture call) {
+  nvme::Completion completion = co_await call.Await();
+  if (!completion.status.ok()) co_return completion.status;
+  co_return std::move(completion.results);
+}
+
+sim::Task<Result<nvme::AggregateResult>> AggregateFuture::AwaitImpl(
+    CallFuture call) {
+  nvme::Completion completion = co_await call.Await();
+  if (!completion.status.ok()) co_return completion.status;
+  co_return completion.agg;
+}
+
 sim::Task<Result<KeyspaceHandle>> Client::CreateKeyspace(
     const std::string& name) {
   nvme::Command cmd;
@@ -440,6 +454,98 @@ sim::Task<Status> KeyspaceHandle::QuerySecondaryRangeF32(
   co_return co_await QuerySecondaryRange(
       index_name, nvme::EncodeSecondaryF32(lo), nvme::EncodeSecondaryF32(hi),
       limit, out);
+}
+
+namespace {
+
+nvme::Command MakePushdownCommand(std::uint64_t keyspace_id, nvme::Opcode op,
+                                  const std::string& lo,
+                                  const std::string& hi,
+                                  const KeyspaceHandle::SelectOptions& opts) {
+  nvme::Command cmd;
+  cmd.opcode = op;
+  cmd.keyspace_id = keyspace_id;
+  cmd.key = lo;
+  cmd.key_end = hi;
+  cmd.limit = opts.limit;
+  cmd.pred = opts.pred;
+  cmd.proj = opts.proj;
+  cmd.sidx.name = opts.index_name;
+  return cmd;
+}
+
+}  // namespace
+
+sim::Task<Status> KeyspaceHandle::Select(
+    const std::string& lo, const std::string& hi, const SelectOptions& opts,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  return SelectCall(
+      MakePushdownCommand(id_, nvme::Opcode::kKvSelect, lo, hi, opts), out);
+}
+
+sim::Task<SelectFuture> KeyspaceHandle::SelectAsync(
+    const std::string& lo, const std::string& hi, const SelectOptions& opts) {
+  return SelectCallAsync(
+      MakePushdownCommand(id_, nvme::Opcode::kKvSelect, lo, hi, opts));
+}
+
+sim::Task<Result<nvme::AggregateResult>> KeyspaceHandle::Aggregate(
+    const std::string& lo, const std::string& hi,
+    const nvme::AggregateSpec& agg, const SelectOptions& opts) {
+  nvme::Command cmd =
+      MakePushdownCommand(id_, nvme::Opcode::kKvAggregate, lo, hi, opts);
+  cmd.agg = agg;
+  return AggregateCall(std::move(cmd));
+}
+
+sim::Task<AggregateFuture> KeyspaceHandle::AggregateAsync(
+    const std::string& lo, const std::string& hi,
+    const nvme::AggregateSpec& agg, const SelectOptions& opts) {
+  nvme::Command cmd =
+      MakePushdownCommand(id_, nvme::Opcode::kKvAggregate, lo, hi, opts);
+  cmd.agg = agg;
+  return AggregateCallAsync(std::move(cmd));
+}
+
+sim::Task<Result<nvme::AggregateResult>> KeyspaceHandle::Aggregate(
+    const std::string& lo, const std::string& hi,
+    const nvme::AggregateSpec& agg) {
+  SelectOptions opts;
+  return Aggregate(lo, hi, agg, opts);
+}
+
+sim::Task<AggregateFuture> KeyspaceHandle::AggregateAsync(
+    const std::string& lo, const std::string& hi,
+    const nvme::AggregateSpec& agg) {
+  SelectOptions opts;
+  return AggregateAsync(lo, hi, agg, opts);
+}
+
+sim::Task<Status> KeyspaceHandle::SelectCall(
+    nvme::Command cmd,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  auto completion = co_await client_->Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  for (auto& pair : completion.results) out->push_back(std::move(pair));
+  co_return Status::Ok();
+}
+
+sim::Task<SelectFuture> KeyspaceHandle::SelectCallAsync(nvme::Command cmd) {
+  CallFuture call = co_await client_->CallAsync(std::move(cmd));
+  co_return SelectFuture(std::move(call));
+}
+
+sim::Task<Result<nvme::AggregateResult>> KeyspaceHandle::AggregateCall(
+    nvme::Command cmd) {
+  auto completion = co_await client_->Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  co_return completion.agg;
+}
+
+sim::Task<AggregateFuture> KeyspaceHandle::AggregateCallAsync(
+    nvme::Command cmd) {
+  CallFuture call = co_await client_->CallAsync(std::move(cmd));
+  co_return AggregateFuture(std::move(call));
 }
 
 sim::Task<Result<KeyspaceHandle::Stat>> KeyspaceHandle::GetStat() {

@@ -133,6 +133,39 @@ class GetFuture {
   CallFuture call_;
 };
 
+// Matched (key, value) rows from an in-flight pushdown select.
+class SelectFuture {
+ public:
+  using Rows = std::vector<std::pair<std::string, std::string>>;
+  SelectFuture() = default;
+  bool valid() const { return call_.valid(); }
+  bool completed() const { return call_.completed(); }
+  sim::Task<Result<Rows>> Await() { return AwaitImpl(call_); }
+
+ private:
+  friend class KeyspaceHandle;
+  explicit SelectFuture(CallFuture call) : call_(std::move(call)) {}
+  static sim::Task<Result<Rows>> AwaitImpl(CallFuture call);
+  CallFuture call_;
+};
+
+// Scalars from an in-flight pushdown aggregate.
+class AggregateFuture {
+ public:
+  AggregateFuture() = default;
+  bool valid() const { return call_.valid(); }
+  bool completed() const { return call_.completed(); }
+  sim::Task<Result<nvme::AggregateResult>> Await() {
+    return AwaitImpl(call_);
+  }
+
+ private:
+  friend class KeyspaceHandle;
+  explicit AggregateFuture(CallFuture call) : call_(std::move(call)) {}
+  static sim::Task<Result<nvme::AggregateResult>> AwaitImpl(CallFuture call);
+  CallFuture call_;
+};
+
 // A handle to one keyspace. Cheap to copy.
 class KeyspaceHandle {
  public:
@@ -244,6 +277,52 @@ class KeyspaceHandle {
       const std::string& index_name, float lo, float hi, std::uint32_t limit,
       std::vector<std::pair<std::string, std::string>>* out);
 
+  // --- query pushdown (DESIGN.md §13) ---
+  // Shared scan shape for Select/Aggregate. With `index_name` empty the
+  // device runs a primary range scan over [lo, hi]; set it to drive the
+  // scan through that secondary index instead (lo/hi are then
+  // order-encoded secondary keys, e.g. nvme::EncodeSecondaryF32). `pred`
+  // filters on raw value bytes beyond the scan bounds — build typed
+  // predicates with nvme::PredicateF32 / PredicateBytes. `proj` trims
+  // each select match to a byte range before it crosses PCIe (ignored —
+  // rejected — by Aggregate). `limit` caps *matched* rows.
+  struct SelectOptions {
+    nvme::ValuePredicate pred;
+    nvme::Projection proj;
+    std::uint32_t limit = 0;
+    std::string index_name;
+  };
+  // Device-filtered scan: only matching (possibly projected) records
+  // cross the link. These are deliberately NOT coroutines: they encode
+  // the descriptor structs into the wire command synchronously and hand
+  // a self-contained nvme::Command to the private *Call coroutines, so
+  // caller temporaries (e.g. a literal `{}` for opts) never become
+  // coroutine parameters.
+  sim::Task<Status> Select(const std::string& lo, const std::string& hi,
+                           const SelectOptions& opts,
+                           std::vector<std::pair<std::string, std::string>>*
+                               out);
+  sim::Task<SelectFuture> SelectAsync(const std::string& lo,
+                                      const std::string& hi,
+                                      const SelectOptions& opts);
+  // Device-computed count/min/max/sum over an attribute of every match;
+  // the completion carries four scalars regardless of row count. The
+  // opts-free overloads scan unfiltered over the primary range — prefer
+  // them over spelling `SelectOptions{}` at the call site.
+  sim::Task<Result<nvme::AggregateResult>> Aggregate(
+      const std::string& lo, const std::string& hi,
+      const nvme::AggregateSpec& agg, const SelectOptions& opts);
+  sim::Task<Result<nvme::AggregateResult>> Aggregate(
+      const std::string& lo, const std::string& hi,
+      const nvme::AggregateSpec& agg);
+  sim::Task<AggregateFuture> AggregateAsync(const std::string& lo,
+                                            const std::string& hi,
+                                            const nvme::AggregateSpec& agg,
+                                            const SelectOptions& opts);
+  sim::Task<AggregateFuture> AggregateAsync(const std::string& lo,
+                                            const std::string& hi,
+                                            const nvme::AggregateSpec& agg);
+
   // --- metadata ---
   struct Stat {
     std::uint64_t num_kvs = 0;
@@ -255,6 +334,16 @@ class KeyspaceHandle {
   friend class Client;
   KeyspaceHandle(Client* client, std::uint64_t id)
       : client_(client), id_(id) {}
+
+  // Coroutine bodies behind Select/Aggregate: own the fully-built command
+  // by value, so no argument lifetime leaks into the frame.
+  sim::Task<Status> SelectCall(
+      nvme::Command cmd,
+      std::vector<std::pair<std::string, std::string>>* out);
+  sim::Task<SelectFuture> SelectCallAsync(nvme::Command cmd);
+  sim::Task<Result<nvme::AggregateResult>> AggregateCall(nvme::Command cmd);
+  sim::Task<AggregateFuture> AggregateCallAsync(nvme::Command cmd);
+
   Client* client_ = nullptr;
   std::uint64_t id_ = 0;
 };

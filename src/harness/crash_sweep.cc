@@ -505,6 +505,22 @@ sim::Task<void> VerifyKeyspace(SweepState* st, client::Client* db,
                   " keys, fewer than the " +
                   std::to_string(m->acked.size()) + " acked in " + m->name);
   }
+
+  // The pushdown path walks the same run+delta state through a different
+  // code path (select.cc); a device-counted unfiltered aggregate must agree
+  // with the scan above exactly. Power is on here, so no crash can fire
+  // mid-select.
+  nvme::AggregateSpec count_spec;
+  count_spec.func = nvme::AggregateFunc::kCount;
+  auto agg_count = co_await handle.Aggregate("", "\x7f", count_spec);
+  if (!agg_count.ok()) {
+    st->Violation("count aggregate failed after recovery for " + m->name +
+                  ": " + agg_count.status().message());
+  } else if (agg_count->rows != all.size()) {
+    st->Violation("count aggregate disagrees with scan in " + m->name +
+                  ": aggregate=" + std::to_string(agg_count->rows) +
+                  " scan=" + std::to_string(all.size()));
+  }
 }
 
 sim::Task<void> VerifyBody(SweepState* st, sim::Simulation* sim,

@@ -28,6 +28,8 @@ bool IsKeyspaceScoped(nvme::Opcode op) {
     case nvme::Opcode::kKvRetrieve:
     case nvme::Opcode::kQueryPrimaryRange:
     case nvme::Opcode::kQuerySecondaryRange:
+    case nvme::Opcode::kKvSelect:
+    case nvme::Opcode::kKvAggregate:
     case nvme::Opcode::kKeyspaceStat:
       return true;
     default:
@@ -412,6 +414,11 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
       out.status = co_await QuerySecondaryRange(
           ks, cmd.sidx.name, cmd.key, cmd.key_end, cmd.limit, &out.results);
       out.count = out.results.size();
+      break;
+    case nvme::Opcode::kKvSelect:
+    case nvme::Opcode::kKvAggregate:
+      ++queries_;
+      out.status = co_await QueryPushdown(ks, cmd, &out);
       break;
     case nvme::Opcode::kKeyspaceStat:
       out.count = ks->num_kvs;

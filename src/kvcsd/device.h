@@ -331,6 +331,17 @@ class Device {
       const std::string& hi, std::uint32_t limit,
       std::vector<std::pair<std::string, std::string>>* out);
 
+  // --- pushdown (select.cc) ---
+  // kKvSelect / kKvAggregate: collects candidate rows through the regular
+  // range machinery above (bloom/cache/prefetch on the run side,
+  // delta-merge with tombstone suppression, coalesced gather fan-out),
+  // then filters on cmd.pred, projects per cmd.proj or folds cmd.agg —
+  // all device-side, so only survivors or scalars cross PCIe. Records
+  // "device.select.*" counters and a "query" trace span carrying the
+  // bytes-scanned vs bytes-returned split.
+  sim::Task<Status> QueryPushdown(Keyspace* ks, const nvme::Command& cmd,
+                                  nvme::Completion* out);
+
   // Reads one 4 KB index block (PIDX or SIDX) given its sketch entry,
   // consulting the DRAM index cache first; `keyspace_id` scopes the cache
   // key so recycled block addresses can never alias across keyspaces.

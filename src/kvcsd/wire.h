@@ -28,6 +28,7 @@
 // corruption.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -218,6 +219,31 @@ inline void FinishIndexBlock(std::string* block, std::uint16_t count,
                              std::uint32_t block_size) {
   EncodeFixed16(block->data(), count);
   block->resize(block_size, '\0');
+}
+
+// --- pushdown (kKvSelect / kKvAggregate) ---
+
+// Extracts the attribute byte range a predicate or aggregate addresses.
+// Returns false when the value is too short to hold it — such a record is
+// skipped (and counted by the caller), never an error: heterogeneous
+// value sizes are legal in one keyspace.
+inline bool ExtractAttribute(const Slice& value, std::uint32_t offset,
+                             std::uint32_t length, Slice* out) {
+  const std::uint64_t end = std::uint64_t{offset} + length;
+  if (end > value.size()) return false;
+  *out = Slice(value.data() + offset, length);
+  return true;
+}
+
+// Clamps a projection range to the bytes the value actually holds: a
+// range starting at or past the end projects zero bytes, one reaching
+// past the end is trimmed to what exists.
+inline Slice ClampProjection(const Slice& value, std::uint32_t offset,
+                             std::uint32_t length) {
+  if (offset >= value.size()) return Slice(value.data(), 0);
+  const std::size_t avail = value.size() - offset;
+  return Slice(value.data() + offset,
+               std::min<std::size_t>(length, avail));
 }
 
 }  // namespace kvcsd::device::wire

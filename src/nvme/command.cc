@@ -14,6 +14,14 @@ std::uint64_t CommandWireSize(const Command& cmd) {
   for (const auto& spec : cmd.sidx_list) {
     size += spec.name.size() + 9;  // offset/length/type descriptor
   }
+  // Pushdown descriptors ride in the submission payload.
+  if (cmd.pred.op != PredicateOp::kNone) {
+    size += 10 + cmd.pred.operand.size();  // op/offset/length/type + bound
+  }
+  if (cmd.proj.enabled) size += 9;         // flag/offset/length
+  if (cmd.agg.func != AggregateFunc::kNone) {
+    size += 10;                            // func/offset/length/type
+  }
   return size;
 }
 
@@ -22,6 +30,9 @@ std::uint64_t CompletionWireSize(const Completion& cpl) {
   for (const auto& [key, value] : cpl.results) {
     size += key.size() + value.size();
   }
+  // Aggregate scalars: rows + min/max/sum. This fixed cost is the whole
+  // point of kKvAggregate — the result never grows with the row count.
+  if (cpl.has_agg) size += 32;
   return size;
 }
 
@@ -57,6 +68,10 @@ const char* OpcodeName(Opcode op) {
       return "sync";
     case Opcode::kCompactWithIndexes:
       return "compact_with_indexes";
+    case Opcode::kKvSelect:
+      return "kv_select";
+    case Opcode::kKvAggregate:
+      return "kv_aggregate";
   }
   return "unknown";
 }
@@ -74,6 +89,10 @@ const char* OpcodeLatencyClass(Opcode op) {
       return "range";
     case Opcode::kQuerySecondaryRange:
       return "secondary_range";
+    case Opcode::kKvSelect:
+      return "select";
+    case Opcode::kKvAggregate:
+      return "aggregate";
     default:
       return nullptr;
   }

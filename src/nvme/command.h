@@ -40,6 +40,13 @@ enum class Opcode : std::uint8_t {
   // secondary-index construction fused into one pass, trading SoC DRAM
   // for not re-reading the keyspace during index builds.
   kCompactWithIndexes = 0xcb,
+  // Query pushdown (paper Fig. 12 / AirMettle's KV_SEND_SELECT family):
+  // the device filters on a value predicate, trims each match to a
+  // projection byte range, and only the survivors cross PCIe.
+  kKvSelect = 0xcc,
+  // Pushdown aggregation: count/min/max/sum over a fixed-offset value
+  // attribute computed device-side; the completion carries scalars only.
+  kKvAggregate = 0xcd,
 };
 
 // Secondary index key type (paper §V: applications give a byte range of
@@ -58,6 +65,73 @@ struct SecondaryIndexSpec {
   std::uint32_t value_offset = 0;
   std::uint32_t value_length = 0;
   SecondaryKeyType type = SecondaryKeyType::kBytes;
+};
+
+// --- query pushdown descriptors (kKvSelect / kKvAggregate) ---
+
+enum class PredicateOp : std::uint8_t {
+  kNone = 0,  // no predicate: every scanned record matches
+  kEq = 1,
+  kNe = 2,
+  kLt = 3,
+  kLe = 4,
+  kGt = 5,
+  kGe = 6,
+};
+
+// Device-side filter over raw value bytes, independent of any secondary
+// index: the device extracts value[value_offset, value_offset+value_length),
+// order-encodes it per `type` (nvme/skey.h), and memcmp-compares against
+// `operand` (which the client ships ALREADY order-encoded, exactly like
+// secondary-range bounds). A value too short to hold the attribute never
+// matches — short records are counted, not errors.
+struct ValuePredicate {
+  PredicateOp op = PredicateOp::kNone;
+  std::uint32_t value_offset = 0;
+  std::uint32_t value_length = 0;
+  SecondaryKeyType type = SecondaryKeyType::kBytes;
+  std::string operand;  // order-encoded comparison bound
+};
+
+// Per-record byte-range projection: each matching value is trimmed to
+// [offset, offset+length) before it crosses PCIe. A range reaching past
+// the value end is clamped to the bytes that exist (possibly empty).
+struct Projection {
+  bool enabled = false;
+  std::uint32_t offset = 0;
+  std::uint32_t length = 0;  // 0 with enabled=true projects zero bytes
+};
+
+enum class AggregateFunc : std::uint8_t {
+  kNone = 0,
+  kCount = 1,
+  kMin = 2,
+  kMax = 3,
+  kSum = 4,
+};
+
+// Aggregate over a fixed-offset typed attribute of every matching value.
+// kCount ignores the attribute fields; min/max/sum need a numeric type
+// (kBytes is rejected) and skip values too short to hold the attribute.
+struct AggregateSpec {
+  AggregateFunc func = AggregateFunc::kNone;
+  std::uint32_t value_offset = 0;
+  std::uint32_t value_length = 0;
+  SecondaryKeyType type = SecondaryKeyType::kF32;
+};
+
+// Scalars posted back for kKvAggregate. `rows` counts predicate matches;
+// min/max/sum cover only the matches that held the attribute (`valid`
+// false means zero such rows, leaving min/max/sum meaningless). The sum
+// accumulates in scan order — primary-key order for primary-driven scans,
+// (skey, pkey) order for index-driven ones — so a host model iterating
+// the same order reproduces it bit-identically.
+struct AggregateResult {
+  std::uint64_t rows = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  bool valid = false;
 };
 
 // One command submission. Exactly the fields the opcode needs are set.
@@ -81,6 +155,13 @@ struct Command {
   SecondaryIndexSpec sidx;         // secondary build / query target
   // kCompactWithIndexes: every index to build during the fused pass.
   std::vector<SecondaryIndexSpec> sidx_list;
+  // kKvSelect / kKvAggregate. When sidx.name is set, the scan is driven
+  // by that secondary index over [key, key_end] encoded bounds; otherwise
+  // it is a primary range scan. `pred` filters beyond the scan bounds,
+  // `proj` trims select results, `agg` picks the aggregate.
+  ValuePredicate pred;
+  Projection proj;
+  AggregateSpec agg;
 };
 
 // Completion posted back to the host.
@@ -90,6 +171,9 @@ struct Completion {
   std::string value;                          // retrieve result
   std::vector<std::pair<std::string, std::string>> results;  // range query
   std::uint64_t count = 0;                    // stat result / rows matched
+  // kKvAggregate scalars; has_agg gates their PCIe wire accounting.
+  bool has_agg = false;
+  AggregateResult agg;
 };
 
 // Payload size used for PCIe transfer accounting on the submission side.
@@ -103,7 +187,8 @@ const char* OpcodeName(Opcode op);
 
 // Latency-class bucket for the per-command histograms the paper's plots
 // need: "put" (store/bulk store), "get" (retrieve), "range" (primary
-// range), "secondary_range" (secondary range); nullptr for everything else
+// range), "secondary_range" (secondary range), "select" (pushdown select),
+// "aggregate" (pushdown aggregate); nullptr for everything else
 // (management commands are counted but not latency-classed).
 const char* OpcodeLatencyClass(Opcode op);
 

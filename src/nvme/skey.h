@@ -40,6 +40,33 @@ inline std::string EncodeSecondaryF64(double v) {
   return out;
 }
 
+// Builds a pushdown predicate over a float32 value attribute, with the
+// bound pre-encoded exactly the way the device compares it (the same
+// order encoding secondary-range bounds use).
+inline ValuePredicate PredicateF32(PredicateOp op, std::uint32_t value_offset,
+                                   float bound) {
+  ValuePredicate pred;
+  pred.op = op;
+  pred.value_offset = value_offset;
+  pred.value_length = 4;
+  pred.type = SecondaryKeyType::kF32;
+  pred.operand = EncodeSecondaryF32(bound);
+  return pred;
+}
+
+// Byte-wise predicate: memcmp order over the raw attribute bytes.
+inline ValuePredicate PredicateBytes(PredicateOp op,
+                                     std::uint32_t value_offset,
+                                     std::string operand) {
+  ValuePredicate pred;
+  pred.op = op;
+  pred.value_offset = value_offset;
+  pred.value_length = static_cast<std::uint32_t>(operand.size());
+  pred.type = SecondaryKeyType::kBytes;
+  pred.operand = std::move(operand);
+  return pred;
+}
+
 // Encodes the raw little-endian bytes of a stored value's key range (what
 // the device extracts during index construction).
 inline Result<std::string> EncodeSecondaryKeyBytes(

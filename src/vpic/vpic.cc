@@ -105,6 +105,27 @@ std::uint64_t Dump::CountAbove(float threshold) const {
   return static_cast<std::uint64_t>(sorted_energies_.end() - it);
 }
 
+Dump::HostAggregate Dump::FileEnergyAggregate(std::uint32_t index,
+                                              float threshold) const {
+  HostAggregate out;
+  // FileParticles yields ascending ids, and the 16 B key is big-endian id,
+  // so this iteration order IS the device's primary-scan order.
+  for (const Particle* p : FileParticles(index)) {
+    if (p->energy < threshold) continue;
+    const double v = static_cast<double>(p->energy);
+    ++out.rows;
+    if (!out.valid) {
+      out.min = out.max = v;
+      out.valid = true;
+    } else {
+      out.min = std::min(out.min, v);
+      out.max = std::max(out.max, v);
+    }
+    out.sum += v;
+  }
+  return out;
+}
+
 std::string SerializeFile(const std::vector<const Particle*>& particles) {
   std::string out;
   out.reserve(particles.size() * kParticleBytes);

@@ -76,6 +76,24 @@ class Dump {
   // Exact number of particles with energy >= threshold.
   std::uint64_t CountAbove(float threshold) const;
 
+  // Host-side reference model for device-side aggregation pushdown.
+  // Mirrors nvme::AggregateResult field for field so a bench can compare
+  // the two representations directly.
+  struct HostAggregate {
+    std::uint64_t rows = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    bool valid = false;
+  };
+
+  // count/min/max/sum of energy over file `index`'s particles with
+  // energy >= threshold, folded in ascending-id order — the same order a
+  // device-side primary scan visits records in, so `sum` is bit-identical
+  // to the device's double accumulation, not merely approximately equal.
+  HostAggregate FileEnergyAggregate(std::uint32_t index,
+                                    float threshold) const;
+
  private:
   GeneratorConfig config_;
   std::vector<Particle> particles_;

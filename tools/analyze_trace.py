@@ -10,6 +10,10 @@ Consumes the ``--trace=`` Chrome trace_event JSON emitted by the benches
   * a per-submission-queue queue-wait breakdown (the ``queue_wait``
     span carries the SQ id in ``args.q``), exposing arbitration skew
     between queues in multi-SQ runs,
+  * a pushdown attribution table: per scan source (primary vs secondary
+    index), bytes the device scanned vs bytes it returned to the host,
+    and the resulting reduction factor (``select``/``aggregate`` spans
+    on the ``query`` track),
   * the top-N slowest individual commands with their stage split,
   * a summary of every telemetry gauge (samples / min / mean / max / last).
 
@@ -218,6 +222,55 @@ def print_query_breakdown(events, tracks):
         row("run-served", run_vals)
 
 
+def print_pushdown_breakdown(events, tracks):
+    """Bytes-scanned vs bytes-returned attribution for pushdown scans.
+
+    The device emits one ``select`` / ``aggregate`` span per pushdown
+    command on the ``query`` track, tagged with the scan source
+    (``primary`` vs ``sidx``) and the byte counts on both sides of the
+    predicate.  The reduction column is the pushdown win: how many bytes
+    the device read per byte it shipped to the host.
+    """
+    groups = defaultdict(lambda: {
+        "count": 0, "scanned": 0, "returned": 0,
+        "rows_scanned": 0, "rows_matched": 0,
+    })
+    for e in events:
+        if e.get("ph") != "X" or e.get("name") not in ("select",
+                                                       "aggregate"):
+            continue
+        if tracks.get(e.get("tid"), "") != "query":
+            continue
+        args = e.get("args", {})
+        g = groups[(e["name"], args.get("src", "?"))]
+        g["count"] += 1
+        g["scanned"] += int(args.get("bytes_scanned", 0))
+        g["returned"] += int(args.get("bytes_returned", 0))
+        g["rows_scanned"] += int(args.get("rows_scanned", 0))
+        g["rows_matched"] += int(args.get("rows_matched", 0))
+    if not groups:
+        return
+    print()
+    hdr = "%-18s %6s %12s %12s %14s %14s %10s" % (
+        "pushdown", "count", "rows_scanned", "rows_matched",
+        "bytes_scanned", "bytes_returned", "reduction")
+    print(hdr)
+    print("-" * len(hdr))
+    totals = {"scanned": 0, "returned": 0}
+    for (op, src), g in sorted(groups.items()):
+        totals["scanned"] += g["scanned"]
+        totals["returned"] += g["returned"]
+        print("%-18s %6d %12d %12d %14d %14d %9.1fx" % (
+            "%s/%s" % (op, src), g["count"], g["rows_scanned"],
+            g["rows_matched"], g["scanned"], g["returned"],
+            g["scanned"] / g["returned"] if g["returned"] else 0.0))
+    print("-" * len(hdr))
+    print("%-18s %6s %12s %12s %14d %14d %9.1fx" % (
+        "total", "", "", "", totals["scanned"], totals["returned"],
+        totals["scanned"] / totals["returned"]
+        if totals["returned"] else 0.0))
+
+
 def print_queue_breakdown(cmds):
     """Per-SQ queue-wait stats; silent for traces without queue ids."""
     by_q = defaultdict(list)
@@ -323,6 +376,7 @@ def main(argv):
     print()
     print_breakdown(cmds)
     print_query_breakdown(events, tracks)
+    print_pushdown_breakdown(events, tracks)
     print_queue_breakdown(cmds)
     print_slowest(cmds, top_n)
     if telemetry_path:
