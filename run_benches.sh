@@ -1,8 +1,8 @@
 #!/bin/sh
 # Runs every benchmark binary in sequence (the repository's "regenerate
 # all paper figures" entry point) with full observability: each bench
-# writes its JSON report, Chrome trace, and telemetry time-series into a
-# timestamped results/ directory. Pass extra flags through the
+# writes its JSON report, Chrome trace, telemetry time-series, and
+# device health page(s) into a timestamped results/ directory. Pass extra flags through the
 # environment, e.g. KVCSD_BENCH_FLAGS="--keys=32000000" for paper scale.
 #
 # Inspect any run afterwards with
@@ -20,7 +20,8 @@ for b in build/bench/*; do
   "$b" ${KVCSD_BENCH_FLAGS:-} \
     --json="$outdir/$name.json" \
     --trace="$outdir/$name.trace.json" \
-    --telemetry="$outdir/$name.telemetry.json"
+    --telemetry="$outdir/$name.telemetry.json" \
+    --health="$outdir/$name.health.json"
   echo
 done
 echo "### done: $outdir"

@@ -174,6 +174,27 @@ sim::Task<Result<nvme::AggregateResult>> AggregateFuture::AwaitImpl(
   co_return completion.agg;
 }
 
+sim::Task<Result<nvme::HealthPage>> HealthFuture::AwaitImpl(CallFuture call) {
+  nvme::Completion completion = co_await call.Await();
+  if (!completion.status.ok()) co_return completion.status;
+  nvme::HealthPage page;
+  if (!nvme::DecodeHealthPage(completion.value, &page)) {
+    co_return Status::Corruption("bad health log page");
+  }
+  co_return page;
+}
+
+sim::Task<Result<nvme::StatsPage>> StatsPageFuture::AwaitImpl(
+    CallFuture call) {
+  nvme::Completion completion = co_await call.Await();
+  if (!completion.status.ok()) co_return completion.status;
+  nvme::StatsPage page;
+  if (!nvme::DecodeStatsPage(completion.value, &page)) {
+    co_return Status::Corruption("bad stats log page");
+  }
+  co_return page;
+}
+
 sim::Task<Result<KeyspaceHandle>> Client::CreateKeyspace(
     const std::string& name) {
   nvme::Command cmd;
@@ -200,6 +221,48 @@ sim::Task<Status> Client::DropKeyspace(const std::string& name) {
   cmd.name = name;
   auto completion = co_await Call(std::move(cmd));
   co_return completion.status;
+}
+
+sim::Task<Result<nvme::HealthPage>> Client::GetHealth() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kGetLogPage;
+  cmd.log_page = nvme::LogPageId::kHealth;
+  auto completion = co_await Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  nvme::HealthPage page;
+  if (!nvme::DecodeHealthPage(completion.value, &page)) {
+    co_return Status::Corruption("bad health log page");
+  }
+  co_return page;
+}
+
+sim::Task<Result<nvme::StatsPage>> Client::GetStats() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kGetLogPage;
+  cmd.log_page = nvme::LogPageId::kStats;
+  auto completion = co_await Call(std::move(cmd));
+  if (!completion.status.ok()) co_return completion.status;
+  nvme::StatsPage page;
+  if (!nvme::DecodeStatsPage(completion.value, &page)) {
+    co_return Status::Corruption("bad stats log page");
+  }
+  co_return page;
+}
+
+sim::Task<HealthFuture> Client::GetHealthAsync() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kGetLogPage;
+  cmd.log_page = nvme::LogPageId::kHealth;
+  CallFuture call = co_await CallAsync(std::move(cmd));
+  co_return HealthFuture(std::move(call));
+}
+
+sim::Task<StatsPageFuture> Client::GetStatsAsync() {
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kGetLogPage;
+  cmd.log_page = nvme::LogPageId::kStats;
+  CallFuture call = co_await CallAsync(std::move(cmd));
+  co_return StatsPageFuture(std::move(call));
 }
 
 // ---------------------------------------------------------------------------

@@ -46,6 +46,7 @@
 #include "common/status.h"
 #include "hostenv/cost_model.h"
 #include "nvme/command.h"
+#include "nvme/log_page.h"
 #include "nvme/queue.h"
 #include "nvme/skey.h"
 #include "sim/resources.h"
@@ -163,6 +164,36 @@ class AggregateFuture {
   friend class KeyspaceHandle;
   explicit AggregateFuture(CallFuture call) : call_(std::move(call)) {}
   static sim::Task<Result<nvme::AggregateResult>> AwaitImpl(CallFuture call);
+  CallFuture call_;
+};
+
+// Decoded device health page from an in-flight log-page pull.
+class HealthFuture {
+ public:
+  HealthFuture() = default;
+  bool valid() const { return call_.valid(); }
+  bool completed() const { return call_.completed(); }
+  sim::Task<Result<nvme::HealthPage>> Await() { return AwaitImpl(call_); }
+
+ private:
+  friend class Client;
+  explicit HealthFuture(CallFuture call) : call_(std::move(call)) {}
+  static sim::Task<Result<nvme::HealthPage>> AwaitImpl(CallFuture call);
+  CallFuture call_;
+};
+
+// Decoded device stats page from an in-flight log-page pull.
+class StatsPageFuture {
+ public:
+  StatsPageFuture() = default;
+  bool valid() const { return call_.valid(); }
+  bool completed() const { return call_.completed(); }
+  sim::Task<Result<nvme::StatsPage>> Await() { return AwaitImpl(call_); }
+
+ private:
+  friend class Client;
+  explicit StatsPageFuture(CallFuture call) : call_(std::move(call)) {}
+  static sim::Task<Result<nvme::StatsPage>> AwaitImpl(CallFuture call);
   CallFuture call_;
 };
 
@@ -356,6 +387,17 @@ class Client {
   sim::Task<Result<KeyspaceHandle>> CreateKeyspace(const std::string& name);
   sim::Task<Result<KeyspaceHandle>> OpenKeyspace(const std::string& name);
   sim::Task<Status> DropKeyspace(const std::string& name);
+
+  // --- in-band telemetry (DESIGN.md §14) ---
+  // Pulls a device log page over the wire (kGetLogPage) and decodes it.
+  // Health: point-in-time gauges (zone pool, per-role zns.* usage, util.*
+  // windowed utilization, delta-index sizes, inflight/compaction state).
+  // Stats: device.* counters and histogram digests, encoded at one tick —
+  // a same-tick host snapshot of the device series matches exactly.
+  sim::Task<Result<nvme::HealthPage>> GetHealth();
+  sim::Task<Result<nvme::StatsPage>> GetStats();
+  sim::Task<HealthFuture> GetHealthAsync();
+  sim::Task<StatsPageFuture> GetStatsAsync();
 
   const ClientConfig& config() const { return config_; }
   nvme::QueueSet& queue() { return *queues_; }

@@ -84,18 +84,19 @@ class CsdTestbed {
  public:
   explicit CsdTestbed(const TestbedConfig& config,
                       std::uint32_t host_cores_override = 0)
-      : config_(config),
-        queue_(&sim_, config.queues),
-        device_(&sim_, config.device, &queue_),
+      : config_(WithProcessFlightFlags(config)),
+        queue_(&sim_, config_.queues),
+        device_(&sim_, config_.device, &queue_),
         host_cpu_(&sim_, "host",
                   host_cores_override ? host_cores_override
-                                      : config.host_cores),
-        client_(&queue_, &host_cpu_, config.host_costs) {
+                                      : config_.host_cores),
+        client_(&queue_, &host_cpu_, config_.host_costs) {
     TraceRequest::EnableOn(&sim_);
     TelemetryRequest::EnableOn(&sim_);
     device_.Start();
   }
   ~CsdTestbed() {
+    HealthRequest::Dump(&device_);
     TraceRequest::Dump(&sim_);
     TelemetryRequest::Dump(&sim_);
   }
@@ -109,6 +110,13 @@ class CsdTestbed {
   sim::CpuPool& host_cpu() { return host_cpu_; }
 
  private:
+  // Overlays the process-wide --flight_* flags onto this testbed's device
+  // config before the device is constructed.
+  static TestbedConfig WithProcessFlightFlags(TestbedConfig config) {
+    FlightRequest::Configure(&config.device.flight);
+    return config;
+  }
+
   TestbedConfig config_;
   sim::Simulation sim_;
   nvme::QueueSet queue_;

@@ -1,6 +1,10 @@
 #include "harness/tracing.h"
 
 #include <cstdio>
+#include <fstream>
+
+#include "kvcsd/device.h"
+#include "kvcsd/flight_recorder.h"
 
 namespace kvcsd::harness {
 
@@ -10,6 +14,11 @@ unsigned g_dumps = 0;                // NOLINT
 std::string g_telemetry_path;        // NOLINT
 Tick g_telemetry_interval = 0;       // NOLINT
 unsigned g_telemetry_dumps = 0;      // NOLINT
+std::string g_health_path;           // NOLINT
+unsigned g_health_dumps = 0;         // NOLINT
+std::string g_flight_dump_path;      // NOLINT
+Tick g_flight_slo_exec_ns = 0;       // NOLINT
+bool g_flight_dump_on_busy = false;  // NOLINT
 }  // namespace
 
 void TraceRequest::Set(std::string path) {
@@ -75,11 +84,49 @@ void TelemetryRequest::Dump(sim::Simulation* sim) {
   }
 }
 
+void HealthRequest::Set(std::string path) {
+  g_health_path = std::move(path);
+  g_health_dumps = 0;
+}
+
+bool HealthRequest::active() { return !g_health_path.empty(); }
+
+void HealthRequest::Dump(device::Device* device) {
+  if (!active()) return;
+  std::string path = g_health_path;
+  if (g_health_dumps > 0) path += "." + std::to_string(g_health_dumps);
+  ++g_health_dumps;
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("FAILED to write health page: %s\n", path.c_str());
+    return;
+  }
+  out << device->HealthJson();
+  std::printf("health page written to %s\n", path.c_str());
+}
+
+void FlightRequest::Set(std::string dump_path, Tick slo_exec_ns,
+                        bool dump_on_busy) {
+  g_flight_dump_path = std::move(dump_path);
+  g_flight_slo_exec_ns = slo_exec_ns;
+  g_flight_dump_on_busy = dump_on_busy;
+}
+
+void FlightRequest::Configure(device::FlightRecorderConfig* config) {
+  if (!g_flight_dump_path.empty()) config->dump_path = g_flight_dump_path;
+  if (g_flight_slo_exec_ns != 0) config->slo_exec_ns = g_flight_slo_exec_ns;
+  if (g_flight_dump_on_busy) config->dump_on_busy = true;
+}
+
 void ApplyObservabilityFlags(const Flags& flags) {
   TraceRequest::Set(flags.GetString("trace", ""));
   TelemetryRequest::Set(
       flags.GetString("telemetry", ""),
       Microseconds(flags.GetUint("telemetry_interval_us", 1000)));
+  HealthRequest::Set(flags.GetString("health", ""));
+  FlightRequest::Set(flags.GetString("flight_dump", ""),
+                     Microseconds(flags.GetUint("flight_slo_us", 0)),
+                     flags.GetBool("flight_busy", false));
 }
 
 }  // namespace kvcsd::harness

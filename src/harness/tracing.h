@@ -16,6 +16,11 @@
 #include "harness/flags.h"
 #include "sim/simulation.h"
 
+namespace kvcsd::device {
+class Device;
+struct FlightRecorderConfig;
+}  // namespace kvcsd::device
+
 namespace kvcsd::harness {
 
 class TraceRequest {
@@ -44,9 +49,29 @@ class TelemetryRequest {
   static void Dump(sim::Simulation* sim);
 };
 
-// One-stop bench wiring: forwards --trace=<path>, --telemetry=<path> and
-// --telemetry_interval_us=<n> to the requests above. Every bench main
-// calls this right after parsing flags.
+// --health=<path>: each CsdTestbed dumps its device's health page (the
+// same gauges a wire-level GetHealth() pull returns) as JSON when it is
+// destroyed — <path>, then <path>.1, <path>.2, ... like the trace dumps.
+class HealthRequest {
+ public:
+  static void Set(std::string path);
+  static bool active();
+  static void Dump(device::Device* device);
+};
+
+// --flight_dump=<path> / --flight_slo_us=<n> / --flight_busy: process-wide
+// flight-recorder overrides, overlaid onto every CsdTestbed's device
+// config (DESIGN.md §14). Unset flags leave the bench's own settings.
+class FlightRequest {
+ public:
+  static void Set(std::string dump_path, Tick slo_exec_ns, bool dump_on_busy);
+  static void Configure(device::FlightRecorderConfig* config);
+};
+
+// One-stop bench wiring: forwards --trace=<path>, --telemetry=<path>,
+// --telemetry_interval_us=<n>, --health=<path>, and the --flight_* flags
+// to the requests above. Every bench main calls this right after parsing
+// flags.
 void ApplyObservabilityFlags(const Flags& flags);
 
 }  // namespace kvcsd::harness

@@ -99,7 +99,7 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
   auto spill_current = [&]() -> sim::Task<Status> {
     if (current.empty()) co_return Status::Ok();
     co_await cpu_.ComputeBytes(current_bytes,
-                               config_.costs.merge_bytes_per_sec);
+                               config_.costs.merge_bytes_per_sec, sim::Activity::kCompact);
     // (key, seq): duplicate keys stay newest-last within the run, matching
     // KlogMergeTraits so the merge's last-writer-wins pass sees every
     // version of a key adjacently in seq order.
@@ -113,9 +113,9 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
     chunk.reserve(config_.output_batch_bytes);
     auto flush_chunk = [&]() -> sim::Task<Status> {
       if (chunk.empty()) co_return Status::Ok();
-      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kCompact);
       auto addr = co_await AppendToChain(&out->temp_clusters, ZoneType::kTemp,
-                                         AsBytes(chunk));
+                                         AsBytes(chunk), sim::Activity::kCompact);
       if (!addr.ok()) co_return addr.status();
       compaction_stats_.bytes_written += chunk.size();
       spilled.segments.emplace_back(*addr,
@@ -140,7 +140,8 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
   };
 
   KlogZoneStream stream(&ssd_, zone, config_.output_batch_bytes,
-                        &compaction_stats_.bytes_read);
+                        &compaction_stats_.bytes_read,
+                        sim::Activity::kCompact);
   std::vector<KlogEntry> parsed;
   for (;;) {
     parsed.clear();
@@ -165,7 +166,7 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
 sim::Task<Status> Device::SidxSpill(SidxSortState* state) {
   if (state->current.empty()) co_return Status::Ok();
   co_await cpu_.ComputeBytes(state->current_bytes,
-                             config_.costs.merge_bytes_per_sec);
+                             config_.costs.merge_bytes_per_sec, sim::Activity::kCompact);
   std::sort(state->current.begin(), state->current.end(),
             [](const SidxTuple& a, const SidxTuple& b) {
               if (a.skey != b.skey) return a.skey < b.skey;
@@ -175,9 +176,9 @@ sim::Task<Status> Device::SidxSpill(SidxSortState* state) {
   std::string chunk;
   auto flush_chunk = [&]() -> sim::Task<Status> {
     if (chunk.empty()) co_return Status::Ok();
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kCompact);
     auto addr = co_await AppendToChain(&state->temp_clusters,
-                                       ZoneType::kTemp, AsBytes(chunk));
+                                       ZoneType::kTemp, AsBytes(chunk), sim::Activity::kCompact);
     if (!addr.ok()) co_return addr.status();
     compaction_stats_.bytes_written += chunk.size();
     spilled.segments.emplace_back(*addr,
@@ -235,9 +236,9 @@ sim::Task<Status> Device::SidxMergeToBlocks(
     std::string blob;
     blob.reserve(pending_bytes);
     for (const auto& [pivot, b] : pending_blocks) blob += b;
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kCompact);
     auto addr = co_await AppendToChain(&sidx.sidx_clusters, ZoneType::kSidx,
-                                       AsBytes(blob));
+                                       AsBytes(blob), sim::Activity::kCompact);
     if (!addr.ok()) co_return addr.status();
     compaction_stats_.bytes_written += blob.size();
     for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
@@ -271,7 +272,7 @@ sim::Task<Status> Device::SidxMergeToBlocks(
 
     merged += t.skey.size() + t.pkey.size() + 12;
     if (merged >= MiB(1)) {
-      co_await cpu_.ComputeBytes(merged, config_.costs.merge_bytes_per_sec);
+      co_await cpu_.ComputeBytes(merged, config_.costs.merge_bytes_per_sec, sim::Activity::kCompact);
       merged = 0;
     }
     if (block.size() + wire::SidxEntrySize(t.skey, t.pkey) >
@@ -284,7 +285,7 @@ sim::Task<Status> Device::SidxMergeToBlocks(
     ++sidx.entries;
   }
   if (merged > 0) {
-    co_await cpu_.ComputeBytes(merged, config_.costs.merge_bytes_per_sec);
+    co_await cpu_.ComputeBytes(merged, config_.costs.merge_bytes_per_sec, sim::Activity::kCompact);
   }
   KVCSD_CO_RETURN_IF_ERROR(co_await close_block());
   KVCSD_CO_RETURN_IF_ERROR(co_await flush_blocks());
@@ -337,9 +338,9 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
     std::string blob;
     blob.reserve(pending_bytes);
     for (const auto& [pivot, b] : pending_blocks) blob += b;
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kCompact);
     auto addr = co_await AppendToChain(&pipe->pidx_clusters, ZoneType::kPidx,
-                                       AsBytes(blob));
+                                       AsBytes(blob), sim::Activity::kCompact);
     if (!addr.ok()) co_return addr.status();
     compaction_stats_.bytes_written += blob.size();
     for (std::size_t i = 0; i < pending_blocks.size(); ++i) {
@@ -371,7 +372,7 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
     // batch sits in DRAM anyway (no keyspace re-read).
     if (!pipe->specs->empty()) {
       co_await cpu_.ComputeBytes(b.value_bytes,
-                                 config_.costs.extract_bytes_per_sec);
+                                 config_.costs.extract_bytes_per_sec, sim::Activity::kCompact);
     }
     std::uint64_t bloom_key_bytes = 0;
     for (std::size_t i = 0; i < b.entries.size(); ++i) {
@@ -402,7 +403,7 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
     if (pipe->bloom != nullptr && bloom_key_bytes > 0) {
       // Hashing each key into the filter costs about one checksum pass.
       co_await cpu_.ComputeBytes(bloom_key_bytes,
-                                 config_.costs.checksum_bytes_per_sec);
+                                 config_.costs.checksum_bytes_per_sec, sim::Activity::kCompact);
     }
     co_return Status::Ok();
   };
@@ -593,11 +594,11 @@ sim::Task<Status> Device::RunCompaction(
     for (const KlogEntry& e : b->entries) {
       refs.push_back(ValueRef{e.value_addr, e.value_len});
     }
-    auto values = co_await GatherValues(std::move(refs));
+    auto values = co_await GatherValues(std::move(refs), sim::Activity::kCompact);
     if (!values.ok()) co_return values.status();
     compaction_stats_.bytes_read += b->value_bytes;
     co_await cpu_.ComputeBytes(b->value_bytes,
-                               config_.costs.memcpy_bytes_per_sec);
+                               config_.costs.memcpy_bytes_per_sec, sim::Activity::kCompact);
     b->values = std::move(*values);
     b->new_addrs.assign(b->entries.size(), 0);
 
@@ -606,10 +607,10 @@ sim::Task<Status> Device::RunCompaction(
     std::size_t chunk_first = 0;
     auto flush_values = [&](std::size_t upto) -> sim::Task<Status> {
       if (chunk.empty()) co_return Status::Ok();
-      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kCompact);
       auto addr = co_await AppendToChain(&value_clusters,
                                          ZoneType::kSortedValues,
-                                         AsBytes(chunk));
+                                         AsBytes(chunk), sim::Activity::kCompact);
       if (!addr.ok()) co_return addr.status();
       compaction_stats_.bytes_written += chunk.size();
       std::uint64_t offset = 0;
@@ -665,7 +666,7 @@ sim::Task<Status> Device::RunCompaction(
       merged_bytes += entry.key.size() + 12;
       if (merged_bytes >= MiB(1)) {
         co_await cpu_.ComputeBytes(merged_bytes,
-                                   config_.costs.merge_bytes_per_sec);
+                                   config_.costs.merge_bytes_per_sec, sim::Activity::kCompact);
         merged_bytes = 0;
       }
       if (pending.has_value() && pending->key != entry.key &&
@@ -684,7 +685,7 @@ sim::Task<Status> Device::RunCompaction(
       }
       if (merged_bytes > 0) {
         co_await cpu_.ComputeBytes(merged_bytes,
-                                   config_.costs.merge_bytes_per_sec);
+                                   config_.costs.merge_bytes_per_sec, sim::Activity::kCompact);
       }
       if (pipeline_status.ok()) {
         pipeline_status = co_await emit_batch(std::move(batch));
@@ -864,10 +865,10 @@ sim::Task<Status> Device::BuildSecondaryIndexInner(
 
   auto process_scan_batch = [&]() -> sim::Task<Status> {
     if (batch_refs.empty()) co_return Status::Ok();
-    auto values = co_await GatherValues(batch_refs);
+    auto values = co_await GatherValues(batch_refs, sim::Activity::kCompact);
     if (!values.ok()) co_return values.status();
     co_await cpu_.ComputeBytes(batch_bytes,
-                               config_.costs.extract_bytes_per_sec);
+                               config_.costs.extract_bytes_per_sec, sim::Activity::kCompact);
     for (std::size_t i = 0; i < values->size(); ++i) {
       auto skey = ExtractSecondaryKey(Slice((*values)[i]), spec);
       if (!skey.ok()) co_return skey.status();
@@ -883,7 +884,7 @@ sim::Task<Status> Device::BuildSecondaryIndexInner(
   };
 
   for (const SketchEntry& block_ref : ks->pidx_sketch) {
-    auto block = co_await ReadIndexBlock(ks->id, block_ref);
+    auto block = co_await ReadIndexBlock(ks->id, block_ref, sim::Activity::kCompact);
     if (!block.ok()) co_return block.status();
     std::uint16_t count = 0;
     Slice in;

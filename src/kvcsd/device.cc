@@ -49,16 +49,32 @@ Device::Device(sim::Simulation* sim, const DeviceConfig& config,
       keyspace_manager_(&ssd_, &zone_manager_),
       cpu_(sim, "soc", config.soc_cores),
       index_cache_(config.EffectiveIndexCacheBytes()),
-      faults_(config.zns.faults) {
+      faults_(config.zns.faults),
+      dispatch_meter_(sim, "dispatch", 1.0),
+      flight_(std::make_shared<FlightRecorder>(config.flight)) {
   if (faults_ != nullptr) faults_->set_log(&sim_->log());
   // Key "device" on purpose: a Device::Restart over the same simulation
   // re-registers and supersedes the powered-off device's gauges.
   telemetry_token_ = sim_->telemetry().AddSource(
       "device",
       [this](sim::TelemetrySampler::Gauges* out) { CollectTelemetry(out); });
+  flight_->set_snapshot_provider(
+      [this](sim::TelemetrySampler::Gauges* out) { CollectTelemetry(out); });
+  if (faults_ != nullptr && config_.flight.dump_on_crash) {
+    // Dump the ring the instant power dies, before any state is torn
+    // down — the hook list is cleared by the injector after the crash.
+    flight_crash_token_ = faults_->AddCrashHook([this] {
+      flight_->Dump("crash", sim_->Now(), faults_->crash_point());
+    });
+  }
 }
 
-Device::~Device() { sim_->telemetry().RemoveSource(telemetry_token_); }
+Device::~Device() {
+  sim_->telemetry().RemoveSource(telemetry_token_);
+  if (faults_ != nullptr && flight_crash_token_ != 0) {
+    faults_->RemoveCrashHook(flight_crash_token_);
+  }
+}
 
 void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
   out->emplace_back("nvme.sq_depth", queues_->sq_depth());
@@ -106,7 +122,66 @@ void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
     auto it = buffers_.find(id);
     out->emplace_back(prefix + "buffer_bytes",
                       it == buffers_.end() ? 0 : it->second.bytes);
+    out->emplace_back(prefix + "delta_entries", ks->delta_index.size());
+    out->emplace_back(prefix + "delta_live", ks->delta_live);
   }
+  // Windowed utilization by activity class (DESIGN.md §14): who is burning
+  // the SoC cores, the NAND channels, the PCIe link, and the dispatch core
+  // right now. Permille-of-window gauges, see ResourceMeter::AppendGauges.
+  cpu_.meter().AppendGauges(out);
+  dispatch_meter_.AppendGauges(out);
+  ssd_.nand().meter().AppendGauges(out);
+  queues_->h2d_meter().AppendGauges(out);
+  queues_->d2h_meter().AppendGauges(out);
+  out->emplace_back("device.flight.trips", flight_->trips());
+}
+
+// ---------------------------------------------------------------------------
+// In-band telemetry (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+nvme::HealthPage Device::BuildHealthPage() const {
+  nvme::HealthPage page;
+  page.tick = sim_->Now();
+  CollectTelemetry(&page.gauges);
+  return page;
+}
+
+nvme::StatsPage Device::BuildStatsPage() const {
+  nvme::StatsPage page;
+  page.tick = sim_->Now();
+  // Device-owned series only: the host can already see its own client.*
+  // numbers, and pulling them back over the wire would just be noise.
+  // device.stage.* histograms are excluded because the pull command itself
+  // records into them mid-dispatch — with them, a page could never equal a
+  // same-tick host snapshot, and the acceptance test depends on exactly
+  // that equality.
+  for (const auto& [name, counter] : stats().counters()) {
+    if (name.rfind("device.", 0) == 0) {
+      page.counters.emplace_back(name, counter.value());
+    }
+  }
+  for (const auto& [name, hist] : stats().histograms()) {
+    if (name.rfind("device.", 0) == 0 && name.rfind("device.stage.", 0) != 0) {
+      page.histograms.emplace_back(name, hist.Summary());
+    }
+  }
+  return page;
+}
+
+std::string Device::HealthJson() const {
+  const nvme::HealthPage page = BuildHealthPage();
+  std::string json = "{\n  \"tick\": " + std::to_string(page.tick);
+  json += ",\n  \"gauges\": {";
+  bool first = true;
+  for (const auto& [name, value] : page.gauges) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n    \"" + name + "\": " + std::to_string(value);
+  }
+  if (!first) json += "\n  ";
+  json += "}\n}\n";
+  return json;
 }
 
 void Device::Start() {
@@ -125,6 +200,14 @@ std::unique_ptr<Device> Device::Restart(sim::Simulation* sim,
   if (config.zns.faults != nullptr) config.zns.faults->ResetForRestart();
   auto device = std::make_unique<Device>(sim, config, queues);
   device->ssd_.CloneStateFrom(prior.ssd_);
+  // The flight recorder survives the power cycle (like sim::Log): the
+  // pre-crash command history stays readable from the restarted device.
+  // Re-bind the snapshot provider so a post-restart dump reflects the live
+  // device, not the powered-off one.
+  device->flight_ = prior.flight_;
+  Device* raw = device.get();
+  device->flight_->set_snapshot_provider(
+      [raw](sim::TelemetrySampler::Gauges* out) { raw->CollectTelemetry(out); });
   return device;
 }
 
@@ -174,7 +257,15 @@ sim::Task<void> Device::MainLoop() {
            {"q", std::to_string(incoming.queue_id)}});
     }
     // Every command pays the SPDK-ish userspace dispatch cost once.
-    co_await cpu_.Compute(config_.costs.syscall_overhead);
+    // Metered as wall time on a capacity-1 "dispatch" resource: the single
+    // main loop is the serial bottleneck (ROADMAP item 1), and the meter
+    // includes any wait for a free SoC core, so util.dispatch.dispatch
+    // pins near 1000 permille exactly when command pop rate saturates.
+    const Tick dispatch_begin = sim_->Now();
+    co_await cpu_.Compute(config_.costs.syscall_overhead,
+                          sim::Activity::kDispatch);
+    dispatch_meter_.Add(sim::Activity::kDispatch,
+                        sim_->Now() - dispatch_begin);
     sim_->Spawn(HandleCommand(std::move(incoming)));
   }
 }
@@ -240,6 +331,22 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
     completion = nvme::Completion{};
     completion.status = Status::IoError("device powered off (in flight)");
   }
+  // Flight recorder: one summary per completed command, recorded before
+  // the completion DMA so a breach dump never misses its own trigger.
+  FlightRecorder::Entry fe;
+  fe.cmd_id = incoming.cmd_id;
+  fe.opcode = op;
+  fe.queue_id = incoming.queue_id;
+  fe.tick = sim_->Now();
+  fe.queue_wait_ns = incoming.dequeue_tick - incoming.enqueue_tick;
+  fe.dispatch_ns = begin - incoming.dequeue_tick;
+  fe.exec_ns = sim_->Now() - begin;
+  fe.status = completion.status.code();
+  flight_->Record(fe);
+  if (const char* reason = flight_->BreachReason(fe)) {
+    sim_->stats().counter("device.flight.trips_total").Increment();
+    flight_->Dump(reason, sim_->Now());
+  }
   co_await queues_->Complete(std::move(incoming), std::move(completion));
 }
 
@@ -272,6 +379,26 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
         break;
       }
       out.status = co_await DropKeyspace(*ks);
+      break;
+    }
+    case nvme::Opcode::kGetLogPage: {
+      // Admin pull of a device log page (DESIGN.md §14). Encoded inline at
+      // the current tick, so every value in the page is from one instant —
+      // a host-side Stats snapshot taken at the same tick decodes equal.
+      co_await cpu_.Compute(config_.costs.kv_op_fixed);
+      switch (cmd.log_page) {
+        case nvme::LogPageId::kHealth:
+          out.value = nvme::EncodeHealthPage(BuildHealthPage());
+          break;
+        case nvme::LogPageId::kStats:
+          out.value = nvme::EncodeStatsPage(BuildStatsPage());
+          break;
+        default:
+          out.status = Status::InvalidArgument(
+              "unknown log page " +
+              std::to_string(static_cast<unsigned>(cmd.log_page)));
+          break;
+      }
       break;
     }
     default: {
@@ -447,9 +574,9 @@ sim::Task<void> Device::Unpin(Keyspace* ks) {
 
 sim::Task<Result<std::uint64_t>> Device::AppendToChain(
     std::vector<ClusterId>* chain, ZoneType type,
-    std::span<const std::byte> data) {
+    std::span<const std::byte> data, sim::Activity act) {
   if (!chain->empty()) {
-    auto addr = co_await zone_manager_.Append(chain->back(), data);
+    auto addr = co_await zone_manager_.Append(chain->back(), data, act);
     if (addr.ok() || addr.status().code() != StatusCode::kOutOfSpace) {
       co_return addr;
     }
@@ -457,7 +584,7 @@ sim::Task<Result<std::uint64_t>> Device::AppendToChain(
   auto cluster = zone_manager_.AllocateCluster(type);
   if (!cluster.ok()) co_return cluster.status();
   chain->push_back(*cluster);
-  co_return co_await zone_manager_.Append(*cluster, data);
+  co_return co_await zone_manager_.Append(*cluster, data, act);
 }
 
 Status Device::CheckMutable(Keyspace* ks) const {
@@ -511,7 +638,7 @@ sim::Task<Status> Device::DoPut(Keyspace* ks, std::string key,
     co_return admit;
   }
 
-  co_await cpu_.Compute(config_.costs.kv_op_fixed);
+  co_await cpu_.Compute(config_.costs.kv_op_fixed, sim::Activity::kHostWrite);
   WriteBuffer& buffer = buffers_[ks->id];
   buffer.bytes += key.size() + value.size();
   ++puts_;
@@ -551,7 +678,7 @@ sim::Task<Status> Device::DoDelete(Keyspace* ks, std::string key) {
     co_return admit;
   }
 
-  co_await cpu_.Compute(config_.costs.kv_op_fixed);
+  co_await cpu_.Compute(config_.costs.kv_op_fixed, sim::Activity::kHostWrite);
   WriteBuffer& buffer = buffers_[ks->id];
   buffer.bytes += key.size();
   const std::uint64_t seq = ks->next_seq++;
@@ -589,7 +716,8 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
   // record still costs per-record handling on the weak SoC cores — this is
   // what bounds the prototype's ingest rate; bulk puts win over singles by
   // amortizing the command/DMA overhead, not the record handling (§V).
-  co_await cpu_.ComputeBytes(frame.size(), config_.costs.memcpy_bytes_per_sec);
+  co_await cpu_.ComputeBytes(frame.size(), config_.costs.memcpy_bytes_per_sec,
+                             sim::Activity::kHostWrite);
 
   Status s = Status::Ok();
   WriteBuffer& buffer = buffers_[ks->id];
@@ -621,7 +749,8 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
     buffer.entries.push_back(
         WriteEntry{key.ToString(), value.ToString(), seq, false});
     if (records_uncharged >= 512) {
-      co_await cpu_.Compute(records_uncharged * config_.costs.kv_op_fixed);
+      co_await cpu_.Compute(records_uncharged * config_.costs.kv_op_fixed,
+                            sim::Activity::kHostWrite);
       records_uncharged = 0;
     }
     if (buffer.bytes >= config_.write_buffer_bytes) {
@@ -630,7 +759,8 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
     }
   }
   if (records_uncharged > 0) {
-    co_await cpu_.Compute(records_uncharged * config_.costs.kv_op_fixed);
+    co_await cpu_.Compute(records_uncharged * config_.costs.kv_op_fixed,
+                            sim::Activity::kHostWrite);
   }
   lock->Release();
   co_return s;
@@ -682,15 +812,18 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
     values.reserve(batch.bytes);
     for (const auto& e : batch.entries) values += e.value;
     co_await cpu_.ComputeBytes(values.size(),
-                               config_.costs.memcpy_bytes_per_sec);
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
+                               config_.costs.memcpy_bytes_per_sec,
+                               sim::Activity::kHostWrite);
+    co_await cpu_.Compute(config_.costs.io_path_overhead,
+                          sim::Activity::kHostWrite);
     Result<std::uint64_t> vaddr{std::uint64_t{0}};
     if (!values.empty()) {
       vaddr = co_await AppendToChain(
           &ks->vlog_clusters, ZoneType::kVlog,
           std::span<const std::byte>(
               reinterpret_cast<const std::byte*>(values.data()),
-              values.size()));
+              values.size()),
+          sim::Activity::kHostWrite);
     }
     if (vaddr.ok() && CrashPoint("flush.between_logs")) {
       // Values landed, keys did not: the VLOG record is unreachable
@@ -715,12 +848,15 @@ sim::Task<void> Device::FlushIo(Keyspace* ks, WriteBuffer batch) {
       klog.reserve(payload.size() + 16);
       wire::AppendKlogFrame(&klog, Slice(payload));
       co_await cpu_.ComputeBytes(klog.size(),
-                                 config_.costs.memcpy_bytes_per_sec);
-      co_await cpu_.Compute(config_.costs.io_path_overhead);
+                                 config_.costs.memcpy_bytes_per_sec,
+                                 sim::Activity::kHostWrite);
+      co_await cpu_.Compute(config_.costs.io_path_overhead,
+                            sim::Activity::kHostWrite);
       auto kaddr = co_await AppendToChain(
           &ks->klog_clusters, ZoneType::kKlog,
           std::span<const std::byte>(
-              reinterpret_cast<const std::byte*>(klog.data()), klog.size()));
+              reinterpret_cast<const std::byte*>(klog.data()), klog.size()),
+          sim::Activity::kHostWrite);
       if (kaddr.ok()) {
         ks->klog_bytes += klog.size();
         // Both logs durable; a crash here loses only the acknowledgement.

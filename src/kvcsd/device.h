@@ -25,10 +25,13 @@
 
 #include "common/status.h"
 #include "hostenv/cost_model.h"
+#include "kvcsd/flight_recorder.h"
 #include "kvcsd/index_cache.h"
 #include "kvcsd/keyspace_manager.h"
 #include "kvcsd/zone_manager.h"
+#include "nvme/log_page.h"
 #include "nvme/queue.h"
+#include "sim/activity.h"
 #include "sim/resources.h"
 #include "sim/sync.h"
 #include "sim/telemetry.h"
@@ -65,6 +68,11 @@ struct DeviceConfig {
   std::uint32_t gather_fanout = 8;
   // Overlap the next index-block read with the current one in range scans.
   bool index_prefetch = true;
+
+  // Flight recorder (DESIGN.md §14): ring capacity, SLO trip rules, dump
+  // path. The ring itself is always on; dumps only happen when a rule is
+  // configured (or the fault injector cuts power with dump_on_crash set).
+  FlightRecorderConfig flight;
 
   std::uint64_t EffectiveSortRunBytes() const {
     return sort_run_bytes != 0 ? sort_run_bytes : dram_bytes / 4;
@@ -179,6 +187,26 @@ class Device {
   // Compactions started (kCompact spawn) and not yet finished.
   std::uint64_t compactions_running() const { return compactions_running_; }
 
+  // --- in-band telemetry (DESIGN.md §14) ---
+  // The device-side builders behind the kGetLogPage admin command. Public
+  // so the harness can render a health dump without a queue round-trip;
+  // over the wire the host receives the same pages flat-encoded
+  // (nvme/log_page.h) and decodes them with Client::GetHealth()/GetStats().
+  nvme::HealthPage BuildHealthPage() const;
+  nvme::StatsPage BuildStatsPage() const;
+  // The health page rendered as a JSON object ({"tick":..., "gauges":{}}).
+  std::string HealthJson() const;
+
+  // Bounded ring of recent command summaries + SLO trip dumps. Shared with
+  // the Restart successor so a power cycle keeps pre-crash history.
+  FlightRecorder& flight() { return *flight_; }
+  const FlightRecorder& flight() const { return *flight_; }
+
+  // Windowed wall-time meter of the single-core command dispatch loop
+  // (capacity 1.0): the ROADMAP's known serialization bottleneck, made
+  // visible as "util.dispatch.*" gauges.
+  const sim::ResourceMeter& dispatch_meter() const { return dispatch_meter_; }
+
  private:
   // White-box access for read-path unit tests (tests/kvcsd/*): GatherValues
   // and ReadIndexBlock are internal, but dedupe/coalescing behavior is
@@ -201,11 +229,12 @@ class Device {
   bool CrashPoint(const char* point);
 
   // Appends to the last cluster of `chain`, allocating a new cluster of
-  // `type` when full.
-  sim::Task<Result<std::uint64_t>> AppendToChain(std::vector<ClusterId>* chain,
-                                                 ZoneType type,
-                                                 std::span<const std::byte>
-                                                     data);
+  // `type` when full. `act` attributes the NAND channel time (host-write
+  // for log flushes, compact/recompact for the background folds).
+  sim::Task<Result<std::uint64_t>> AppendToChain(
+      std::vector<ClusterId>* chain, ZoneType type,
+      std::span<const std::byte> data,
+      sim::Activity act = sim::Activity::kOther);
 
   // --- write path ---
   struct WriteEntry {
@@ -311,7 +340,8 @@ class Device {
                                     std::vector<ClusterId>* scratch);
   // Loads a delta entry's value bytes (inline if the device never lost
   // power since the PUT, otherwise gathered from the VLOG delta).
-  sim::Task<Result<std::string>> LoadDeltaValue(const DeltaEntry& entry);
+  sim::Task<Result<std::string>> LoadDeltaValue(
+      const DeltaEntry& entry, sim::Activity act = sim::Activity::kHostRead);
   // Queries arriving while a re-compaction owns the keyspace wait here
   // (the commit swaps clusters under the reader otherwise).
   sim::Task<Status> AwaitQueryable(Keyspace* ks);
@@ -322,14 +352,18 @@ class Device {
   // --- queries (query.cc) ---
   sim::Task<Result<std::string>> QueryPoint(Keyspace* ks,
                                             const std::string& key);
+  // `act` attributes the scan's flash reads and SoC compute: host-read for
+  // client-issued scans, pushdown when QueryPushdown drives them.
   sim::Task<Status> QueryPrimaryRange(
       Keyspace* ks, const std::string& lo, const std::string& hi,
       std::uint32_t limit,
-      std::vector<std::pair<std::string, std::string>>* out);
+      std::vector<std::pair<std::string, std::string>>* out,
+      sim::Activity act = sim::Activity::kHostRead);
   sim::Task<Status> QuerySecondaryRange(
       Keyspace* ks, const std::string& index_name, const std::string& lo,
       const std::string& hi, std::uint32_t limit,
-      std::vector<std::pair<std::string, std::string>>* out);
+      std::vector<std::pair<std::string, std::string>>* out,
+      sim::Activity act = sim::Activity::kHostRead);
 
   // --- pushdown (select.cc) ---
   // kKvSelect / kKvAggregate: collects candidate rows through the regular
@@ -345,8 +379,9 @@ class Device {
   // Reads one 4 KB index block (PIDX or SIDX) given its sketch entry,
   // consulting the DRAM index cache first; `keyspace_id` scopes the cache
   // key so recycled block addresses can never alias across keyspaces.
-  sim::Task<Result<std::string>> ReadIndexBlock(std::uint64_t keyspace_id,
-                                                const SketchEntry& entry);
+  sim::Task<Result<std::string>> ReadIndexBlock(
+      std::uint64_t keyspace_id, const SketchEntry& entry,
+      sim::Activity act = sim::Activity::kHostRead);
 
   // One-slot pipeline stage for range scans: the next sketch block's read
   // is issued while the current block is still in flight or being parsed.
@@ -359,7 +394,9 @@ class Device {
     std::unique_ptr<sim::Event> done;
   };
   sim::Task<void> PrefetchIndexBlock(std::uint64_t keyspace_id,
-                                     SketchEntry entry, IndexPrefetch* slot);
+                                     SketchEntry entry, IndexPrefetch* slot,
+                                     sim::Activity act =
+                                         sim::Activity::kHostRead);
 
   // Gathers values for (addr, len) requests: identical refs are deduped,
   // address-adjacent reads are coalesced into ranges, and the range reads
@@ -370,7 +407,8 @@ class Device {
     std::uint32_t len;
   };
   sim::Task<Result<std::vector<std::string>>> GatherValues(
-      std::vector<ValueRef> refs);
+      std::vector<ValueRef> refs,
+      sim::Activity act = sim::Activity::kHostRead);
 
   // --- deletion ---
   // Defers while the keyspace is compacting or has pinned commands;
@@ -412,6 +450,12 @@ class Device {
   IndexBlockCache index_cache_;
   // Mirrors config_.zns.faults (not owned); nullptr = no fault injection.
   sim::FaultInjector* faults_ = nullptr;
+  // Wall time of the single dispatch core (MainLoop), per activity class.
+  sim::ResourceMeter dispatch_meter_;
+  // Shared across Device::Restart so pre-crash history survives the cycle.
+  std::shared_ptr<FlightRecorder> flight_;
+  // Crash-hook registration for the dump-on-crash rule (0 = none).
+  std::uint64_t flight_crash_token_ = 0;
 
   std::map<std::uint64_t, WriteBuffer> buffers_;
   std::map<std::uint64_t, std::unique_ptr<sim::Semaphore>> write_locks_;

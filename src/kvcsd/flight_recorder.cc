@@ -1,0 +1,127 @@
+#include "kvcsd/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string_view>
+
+namespace kvcsd::device {
+
+namespace {
+
+// Minimal JSON string escaping — names here are opcode/status/metric
+// identifiers, but a crash-point or gauge name must never break the
+// document.
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)) {
+  if (config_.capacity == 0) config_.capacity = 1;
+  ring_.resize(config_.capacity);
+}
+
+void FlightRecorder::Record(const Entry& entry) {
+  ring_[next_] = entry;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+}
+
+const char* FlightRecorder::BreachReason(const Entry& entry) const {
+  if (config_.slo_exec_ns != 0 && entry.exec_ns > config_.slo_exec_ns) {
+    return "slo_exec";
+  }
+  if (config_.dump_on_busy && entry.status == StatusCode::kBusy) {
+    return "busy";
+  }
+  return nullptr;
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::Entries() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  const std::size_t start = size_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::Dump(const std::string& reason, Tick now,
+                                 const std::string& crash_point) {
+  ++trips_;
+  std::string json = "{\n  \"reason\": ";
+  AppendJsonString(&json, reason);
+  json += ",\n  \"tick\": " + std::to_string(now);
+  json += ",\n  \"trip\": " + std::to_string(trips_);
+  if (!crash_point.empty()) {
+    json += ",\n  \"crash_point\": ";
+    AppendJsonString(&json, crash_point);
+  }
+  json += ",\n  \"utilization\": {";
+  if (snapshot_) {
+    std::vector<std::pair<std::string, std::uint64_t>> gauges;
+    snapshot_(&gauges);
+    bool first = true;
+    for (const auto& [name, value] : gauges) {
+      if (!first) json += ",";
+      first = false;
+      json += "\n    ";
+      AppendJsonString(&json, name);
+      json += ": " + std::to_string(value);
+    }
+    if (!first) json += "\n  ";
+  }
+  json += "},\n  \"entries\": [";
+  bool first = true;
+  for (const Entry& e : Entries()) {
+    if (!first) json += ",";
+    first = false;
+    json += "\n    {\"cmd_id\": " + std::to_string(e.cmd_id) + ", \"op\": ";
+    AppendJsonString(&json, nvme::OpcodeName(e.opcode));
+    json += ", \"q\": " + std::to_string(e.queue_id);
+    json += ", \"tick\": " + std::to_string(e.tick);
+    json += ", \"queue_wait_ns\": " + std::to_string(e.queue_wait_ns);
+    json += ", \"dispatch_ns\": " + std::to_string(e.dispatch_ns);
+    json += ", \"exec_ns\": " + std::to_string(e.exec_ns);
+    json += ", \"status\": ";
+    AppendJsonString(&json, StatusCodeName(e.status));
+    json += "}";
+  }
+  if (!first) json += "\n  ";
+  json += "]\n}\n";
+
+  last_dump_ = json;
+  if (!config_.dump_path.empty()) {
+    std::ofstream out(config_.dump_path + "." + std::to_string(trips_) +
+                      ".json");
+    out << json;
+  }
+  return json;
+}
+
+}  // namespace kvcsd::device

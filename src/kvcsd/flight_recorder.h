@@ -1,0 +1,100 @@
+// Device-side flight recorder (DESIGN.md §14): a bounded ring of recent
+// command summaries that dumps itself — together with a utilization
+// snapshot — the moment an SLO rule trips, so the commands *leading up to*
+// a latency breach, a kBusy rejection storm, or a power cut are preserved
+// without tracing every command of a long run.
+//
+// The ring is cheap enough to stay on for every bench: one POD entry per
+// completed command, overwriting the oldest once `capacity` is reached.
+// Three trip rules, all off by default:
+//
+//  * slo_exec_ns  — a command's device execution time exceeded the bound;
+//  * dump_on_busy — a command completed kBusy (backpressure made visible);
+//  * dump_on_crash — the fault injector cut power (the device registers a
+//    crash hook; the dump then carries the crash point's name).
+//
+// Dumps are JSON. With `dump_path` set, each trip writes
+// <dump_path>.<trip#>.json; the newest dump is always retained in memory
+// (last_dump()) for tests and the harness. The recorder is shared between
+// a device and its Restart successor (std::shared_ptr, like sim::Log), so
+// a power cycle keeps the pre-crash history readable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "nvme/command.h"
+
+namespace kvcsd::device {
+
+struct FlightRecorderConfig {
+  // Ring capacity in command summaries.
+  std::size_t capacity = 256;
+  // Dump when a command's exec latency exceeds this bound; 0 disables.
+  Tick slo_exec_ns = 0;
+  // Dump when a command completes kBusy (compaction backpressure).
+  bool dump_on_busy = false;
+  // Dump from the fault injector's crash hook (the device wires this up).
+  bool dump_on_crash = true;
+  // File prefix for dumps ("<path>.<trip#>.json"); empty = memory only.
+  std::string dump_path;
+};
+
+class FlightRecorder {
+ public:
+  // One completed command, as the device saw it.
+  struct Entry {
+    std::uint64_t cmd_id = 0;
+    nvme::Opcode opcode = nvme::Opcode::kKvStore;
+    std::uint32_t queue_id = 0;
+    Tick tick = 0;           // completion tick
+    Tick queue_wait_ns = 0;  // SQ residency before the main loop popped it
+    Tick dispatch_ns = 0;    // pop -> handler start (dispatch-core time)
+    Tick exec_ns = 0;        // handler start -> completion
+    StatusCode status = StatusCode::kOk;
+  };
+
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  void Record(const Entry& entry);
+
+  // Non-null when `entry` trips a configured SLO rule; the string is the
+  // dump reason ("slo_exec" / "busy").
+  const char* BreachReason(const Entry& entry) const;
+
+  // Called at dump time to append "util.*" gauges (and anything else worth
+  // snapshotting) to the dump. Re-bound by Device::Restart so the dump
+  // always reflects the live device.
+  using SnapshotFn =
+      std::function<void(std::vector<std::pair<std::string, std::uint64_t>>*)>;
+  void set_snapshot_provider(SnapshotFn fn) { snapshot_ = std::move(fn); }
+
+  // Serializes the ring (oldest first) plus the utilization snapshot,
+  // retains it as last_dump(), writes it to dump_path when configured, and
+  // counts the trip. Returns the JSON document.
+  std::string Dump(const std::string& reason, Tick now,
+                   const std::string& crash_point = std::string());
+
+  std::uint64_t trips() const { return trips_; }
+  const std::string& last_dump() const { return last_dump_; }
+  std::size_t size() const { return size_; }
+  // Ring contents, oldest first.
+  std::vector<Entry> Entries() const;
+  const FlightRecorderConfig& config() const { return config_; }
+
+ private:
+  FlightRecorderConfig config_;
+  std::vector<Entry> ring_;
+  std::size_t next_ = 0;  // overwrite cursor
+  std::size_t size_ = 0;
+  std::uint64_t trips_ = 0;
+  std::string last_dump_;
+  SnapshotFn snapshot_;
+};
+
+}  // namespace kvcsd::device

@@ -29,12 +29,14 @@ namespace kvcsd::device {
 class KlogZoneStream {
  public:
   KlogZoneStream(storage::ZnsSsd* ssd, std::uint32_t zone,
-                 std::uint64_t chunk_bytes, std::uint64_t* bytes_read)
+                 std::uint64_t chunk_bytes, std::uint64_t* bytes_read,
+                 sim::Activity act = sim::Activity::kOther)
       : ssd_(ssd),
         chunk_bytes_(std::max<std::uint64_t>(chunk_bytes, 512)),
         base_(static_cast<std::uint64_t>(zone) * ssd->zone_size()),
         extent_(ssd->write_pointer(zone)),
         bytes_read_(bytes_read),
+        act_(act),
         finished_(extent_ == 0) {}
 
   // Appends the next chunk's worth of entries to *out. Returns false once
@@ -48,7 +50,8 @@ class KlogZoneStream {
       KVCSD_CO_RETURN_IF_ERROR(co_await ssd_->Read(
           base_ + offset_,
           std::span<std::byte>(
-              reinterpret_cast<std::byte*>(carry_.data()) + old_size, len)));
+              reinterpret_cast<std::byte*>(carry_.data()) + old_size, len),
+          act_));
       offset_ += len;
       if (bytes_read_ != nullptr) *bytes_read_ += len;
     }
@@ -96,6 +99,7 @@ class KlogZoneStream {
   std::uint64_t base_;
   std::uint64_t extent_;
   std::uint64_t* bytes_read_;
+  sim::Activity act_;  // who the zone reads are billed to
   std::uint64_t offset_ = 0;
   std::uint64_t torn_bytes_ = 0;
   bool finished_;

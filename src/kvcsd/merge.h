@@ -205,7 +205,8 @@ class TempRunReader
     self->prefetch_status_ = co_await self->ssd_->Read(
         addr, std::span<std::byte>(
                   reinterpret_cast<std::byte*>(self->prefetch_buffer_.data()),
-                  self->prefetch_buffer_.size()));
+                  self->prefetch_buffer_.size()),
+        sim::Activity::kCompact);
     if (self->bytes_read_ != nullptr) *self->bytes_read_ += len;
     self->prefetch_ready_.Set();
   }

@@ -86,36 +86,38 @@ std::size_t SketchRangeStart(const std::vector<SketchEntry>& sketch,
 }  // namespace
 
 sim::Task<Result<std::string>> Device::ReadIndexBlock(
-    std::uint64_t keyspace_id, const SketchEntry& entry) {
+    std::uint64_t keyspace_id, const SketchEntry& entry, sim::Activity act) {
   if (index_cache_.enabled()) {
     std::string cached;
     if (index_cache_.Lookup(keyspace_id, entry.block_addr, &cached)) {
       stats().counter("device.read_cache.hits").Increment();
-      co_await cpu_.Compute(config_.costs.block_search);
+      co_await cpu_.Compute(config_.costs.block_search, act);
       co_return cached;
     }
     stats().counter("device.read_cache.misses").Increment();
   }
   std::string block(entry.block_len, '\0');
-  co_await cpu_.Compute(config_.costs.io_path_overhead);
+  co_await cpu_.Compute(config_.costs.io_path_overhead, act);
   KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
       entry.block_addr,
       std::span<std::byte>(reinterpret_cast<std::byte*>(block.data()),
-                           block.size())));
-  co_await cpu_.Compute(config_.costs.block_search);
+                           block.size()),
+      act));
+  co_await cpu_.Compute(config_.costs.block_search, act);
   index_cache_.Insert(keyspace_id, entry.block_addr, block);
   co_return block;
 }
 
 sim::Task<void> Device::PrefetchIndexBlock(std::uint64_t keyspace_id,
                                            SketchEntry entry,
-                                           IndexPrefetch* slot) {
-  slot->block = co_await ReadIndexBlock(keyspace_id, entry);
+                                           IndexPrefetch* slot,
+                                           sim::Activity act) {
+  slot->block = co_await ReadIndexBlock(keyspace_id, entry, act);
   slot->done->Set();
 }
 
 sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
-    std::vector<ValueRef> refs) {
+    std::vector<ValueRef> refs, sim::Activity act) {
   std::vector<std::string> out(refs.size());
   if (refs.empty()) co_return out;
 
@@ -189,11 +191,12 @@ sim::Task<Result<std::vector<std::string>>> Device::GatherValues(
   auto read_range = [&](std::size_t r) -> sim::Task<Status> {
     const Range& range = ranges[r];
     std::string buffer(range.end - range.start, '\0');
-    co_await cpu_.Compute(config_.costs.io_path_overhead);
+    co_await cpu_.Compute(config_.costs.io_path_overhead, act);
     KVCSD_CO_RETURN_IF_ERROR(co_await ssd_.Read(
         range.start,
         std::span<std::byte>(reinterpret_cast<std::byte*>(buffer.data()),
-                             buffer.size())));
+                             buffer.size()),
+        act));
     for (std::size_t u = range.first; u < range.last; ++u) {
       const ValueRef& ref = refs[uniq[u]];
       uniq_values[u] = buffer.substr(ref.addr - range.start, ref.len);
@@ -231,7 +234,8 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
   // The delta index is authoritative for every key it holds — strictly
   // newer than anything in the run.
   if (auto it = ks->delta_index.find(key); it != ks->delta_index.end()) {
-    co_await cpu_.Compute(config_.costs.block_search);
+    co_await cpu_.Compute(config_.costs.block_search,
+                          sim::Activity::kHostRead);
     if (it->second.tombstone) {
       span.Arg("src", "delta_tombstone");
       stats().counter("device.query.delta_hits").Increment();
@@ -245,7 +249,8 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
   // both the index-block read and the value gather.
   bool bloom_said_maybe = false;
   if (!ks->pidx_bloom.empty()) {
-    co_await cpu_.Compute(config_.costs.bloom_check);
+    co_await cpu_.Compute(config_.costs.bloom_check,
+                          sim::Activity::kHostRead);
     if (!BloomFilterMayContain(Slice(ks->pidx_bloom), Slice(key))) {
       stats().counter("device.bloom.negative").Increment();
       span.Arg("src", "bloom_negative");
@@ -292,7 +297,8 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
 sim::Task<Status> Device::QueryPrimaryRange(
     Keyspace* ks, const std::string& lo, const std::string& hi,
     std::uint32_t limit,
-    std::vector<std::pair<std::string, std::string>>* out) {
+    std::vector<std::pair<std::string, std::string>>* out,
+    sim::Activity act) {
   KVCSD_CO_RETURN_IF_ERROR(co_await AwaitQueryable(ks));
   ReaderGuard reader(ks, ReadersIdle(ks->id));
 
@@ -328,7 +334,7 @@ sim::Task<Status> Device::QueryPrimaryRange(
     } else {
       s.done->Reset();
     }
-    sim_->Spawn(PrefetchIndexBlock(ks->id, sketch[p], &s));
+    sim_->Spawn(PrefetchIndexBlock(ks->id, sketch[p], &s, act));
   };
 
   Status scan_status = Status::Ok();
@@ -354,7 +360,7 @@ sim::Task<Status> Device::QueryPrimaryRange(
       cur.active = false;
       block = std::move(cur.block);
     } else {
-      block = co_await ReadIndexBlock(ks->id, sketch[pos]);
+      block = co_await ReadIndexBlock(ks->id, sketch[pos], act);
     }
     if (!block.ok()) {
       scan_status = block.status();
@@ -451,7 +457,7 @@ sim::Task<Status> Device::QueryPrimaryRange(
       ref_slot.push_back(r);
     }
   }
-  auto values = co_await GatherValues(std::move(refs));
+  auto values = co_await GatherValues(std::move(refs), act);
   if (!values.ok()) co_return values.status();
   std::vector<std::string> vals(rows.size());
   for (std::size_t k = 0; k < ref_slot.size(); ++k) {
@@ -472,7 +478,8 @@ sim::Task<Status> Device::QueryPrimaryRange(
 sim::Task<Status> Device::QuerySecondaryRange(
     Keyspace* ks, const std::string& index_name, const std::string& lo,
     const std::string& hi, std::uint32_t limit,
-    std::vector<std::pair<std::string, std::string>>* out) {
+    std::vector<std::pair<std::string, std::string>>* out,
+    sim::Activity act) {
   KVCSD_CO_RETURN_IF_ERROR(co_await AwaitQueryable(ks));
   ReaderGuard reader(ks, ReadersIdle(ks->id));
   auto sidx_it = ks->secondary_indexes.find(index_name);
@@ -498,7 +505,7 @@ sim::Task<Status> Device::QuerySecondaryRange(
   for (const auto& [pkey, entry] : ks->delta_index) {
     if (limit != 0) ++scan_limit;
     if (entry.tombstone) continue;
-    auto value = co_await LoadDeltaValue(entry);
+    auto value = co_await LoadDeltaValue(entry, act);
     if (!value.ok()) co_return value.status();
     if (sidx.spec.value_offset + sidx.spec.value_length > value->size()) {
       co_return Status::InvalidArgument("secondary key range beyond value");
@@ -529,7 +536,7 @@ sim::Task<Status> Device::QuerySecondaryRange(
     } else {
       s.done->Reset();
     }
-    sim_->Spawn(PrefetchIndexBlock(ks->id, sketch[p], &s));
+    sim_->Spawn(PrefetchIndexBlock(ks->id, sketch[p], &s, act));
   };
 
   Status scan_status = Status::Ok();
@@ -568,7 +575,7 @@ sim::Task<Status> Device::QuerySecondaryRange(
       cur.active = false;
       block = std::move(cur.block);
     } else {
-      block = co_await ReadIndexBlock(ks->id, sketch[pos]);
+      block = co_await ReadIndexBlock(ks->id, sketch[pos], act);
     }
     if (!block.ok()) {
       scan_status = block.status();
@@ -667,7 +674,7 @@ sim::Task<Status> Device::QuerySecondaryRange(
       ref_slot.push_back(r);
     }
   }
-  auto values = co_await GatherValues(std::move(refs));
+  auto values = co_await GatherValues(std::move(refs), act);
   if (!values.ok()) co_return values.status();
   std::vector<std::string> vals(rows.size());
   for (std::size_t k = 0; k < ref_slot.size(); ++k) {

@@ -92,12 +92,13 @@ struct PidxRec {
 
 }  // namespace
 
-sim::Task<Result<std::string>> Device::LoadDeltaValue(const DeltaEntry& entry) {
+sim::Task<Result<std::string>> Device::LoadDeltaValue(const DeltaEntry& entry,
+                                                      sim::Activity act) {
   if (entry.has_value) co_return entry.value;
   if (entry.vlen == 0) co_return std::string();
   std::vector<ValueRef> one;
   one.push_back(ValueRef{entry.vaddr, entry.vlen});
-  auto values = co_await GatherValues(std::move(one));
+  auto values = co_await GatherValues(std::move(one), act);
   if (!values.ok()) co_return values.status();
   co_return std::move((*values)[0]);
 }
@@ -189,7 +190,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
       items.push_back(std::move(item));
     }
     if (!refs.empty()) {
-      auto values = co_await GatherValues(std::move(refs));
+      auto values = co_await GatherValues(std::move(refs), sim::Activity::kRecompact);
       if (!values.ok()) co_return values.status();
       for (std::size_t i = 0; i < ref_slot.size(); ++i) {
         items[ref_slot[i]].value = std::move((*values)[i]);
@@ -205,10 +206,10 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
     std::vector<std::size_t> chunk_items;
     auto flush_values = [&]() -> sim::Task<Status> {
       if (chunk.empty()) co_return Status::Ok();
-      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kRecompact);
       auto addr = co_await AppendToChain(&new_value_clusters,
                                          ZoneType::kSortedValues,
-                                         AsBytes(chunk));
+                                         AsBytes(chunk), sim::Activity::kRecompact);
       if (!addr.ok()) co_return addr.status();
       compaction_stats_.bytes_written += chunk.size();
       std::uint64_t offset = 0;
@@ -233,7 +234,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
     }
     KVCSD_CO_RETURN_IF_ERROR(co_await flush_values());
     co_await cpu_.ComputeBytes(value_bytes,
-                               config_.costs.memcpy_bytes_per_sec);
+                               config_.costs.memcpy_bytes_per_sec, sim::Activity::kRecompact);
   }
   scratch->insert(scratch->end(), new_value_clusters.begin(),
                   new_value_clusters.end());
@@ -286,9 +287,9 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
       std::string blob;
       blob.reserve(done.size() * config_.index_block_size);
       for (const auto& [p, b] : done) blob += b;
-      co_await cpu_.Compute(config_.costs.io_path_overhead);
+      co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kRecompact);
       auto addr = co_await AppendToChain(chain, ZoneType::kPidx,
-                                         AsBytes(blob));
+                                         AsBytes(blob), sim::Activity::kRecompact);
       if (!addr.ok()) co_return addr.status();
       compaction_stats_.bytes_written += blob.size();
       for (std::size_t i = 0; i < done.size(); ++i) {
@@ -350,7 +351,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
       continue;
     }
     ++pidx_rebuilt;
-    auto block = co_await ReadIndexBlock(ks->id, old_sketch[pos]);
+    auto block = co_await ReadIndexBlock(ks->id, old_sketch[pos], sim::Activity::kRecompact);
     if (!block.ok()) co_return block.status();
     compaction_stats_.bytes_read += old_sketch[pos].block_len;
     std::uint16_t count = 0;
@@ -384,7 +385,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
     ++pidx_rebuilt;
   }
   if (fold_bytes > 0) {
-    co_await cpu_.ComputeBytes(fold_bytes, config_.costs.merge_bytes_per_sec);
+    co_await cpu_.ComputeBytes(fold_bytes, config_.costs.merge_bytes_per_sec, sim::Activity::kRecompact);
   }
   scratch->insert(scratch->end(), new_pidx_clusters.begin(),
                   new_pidx_clusters.end());
@@ -506,9 +507,9 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
         std::string blob;
         blob.reserve(done.size() * config_.index_block_size);
         for (const auto& [p, b] : done) blob += b;
-        co_await cpu_.Compute(config_.costs.io_path_overhead);
+        co_await cpu_.Compute(config_.costs.io_path_overhead, sim::Activity::kRecompact);
         auto addr = co_await AppendToChain(&fold.new_clusters,
-                                           ZoneType::kSidx, AsBytes(blob));
+                                           ZoneType::kSidx, AsBytes(blob), sim::Activity::kRecompact);
         if (!addr.ok()) co_return addr.status();
         compaction_stats_.bytes_written += blob.size();
         for (std::size_t i = 0; i < done.size(); ++i) {
@@ -538,7 +539,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
     };
 
     for (std::size_t pos = 0; pos < sketch.size(); ++pos) {
-      auto block = co_await ReadIndexBlock(ks->id, sketch[pos]);
+      auto block = co_await ReadIndexBlock(ks->id, sketch[pos], sim::Activity::kRecompact);
       if (!block.ok()) co_return block.status();
       compaction_stats_.bytes_read += sketch[pos].block_len;
       std::uint16_t count = 0;
@@ -615,7 +616,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
     }
     if (bloom_key_bytes > 0) {
       co_await cpu_.ComputeBytes(bloom_key_bytes,
-                                 config_.costs.checksum_bytes_per_sec);
+                                 config_.costs.checksum_bytes_per_sec, sim::Activity::kRecompact);
     }
   }
 

@@ -141,10 +141,12 @@ sim::Task<Status> Device::QueryPushdown(Keyspace* ks,
   const bool via_sidx = !cmd.sidx.name.empty();
   if (via_sidx) {
     KVCSD_CO_RETURN_IF_ERROR(co_await QuerySecondaryRange(
-        ks, cmd.sidx.name, cmd.key, cmd.key_end, /*limit=*/0, &rows));
+        ks, cmd.sidx.name, cmd.key, cmd.key_end, /*limit=*/0, &rows,
+        sim::Activity::kPushdown));
   } else {
     KVCSD_CO_RETURN_IF_ERROR(co_await QueryPrimaryRange(
-        ks, cmd.key, cmd.key_end, /*limit=*/0, &rows));
+        ks, cmd.key, cmd.key_end, /*limit=*/0, &rows,
+        sim::Activity::kPushdown));
   }
   if (CrashPoint("select.mid_scan")) {
     co_return Status::IoError("simulated power loss (mid select scan)");
@@ -156,9 +158,9 @@ sim::Task<Status> Device::QueryPushdown(Keyspace* ks,
   // same rate class as secondary-key extraction — plus fixed per-record
   // handling. This is the CPU the host does NOT pay.
   co_await cpu_.ComputeBytes(bytes_scanned,
-                             config_.costs.extract_bytes_per_sec);
+                             config_.costs.extract_bytes_per_sec, sim::Activity::kPushdown);
   co_await cpu_.Compute(static_cast<Tick>(rows.size()) *
-                        config_.costs.kv_op_fixed);
+                        config_.costs.kv_op_fixed, sim::Activity::kPushdown);
 
   nvme::SecondaryIndexSpec pred_spec;
   pred_spec.value_offset = cmd.pred.value_offset;

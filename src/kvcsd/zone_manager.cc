@@ -96,7 +96,7 @@ sim::Task<Status> ZoneManager::ReleaseCluster(ClusterId id) {
 }
 
 sim::Task<Result<std::uint64_t>> ZoneManager::Append(
-    ClusterId id, std::span<const std::byte> data) {
+    ClusterId id, std::span<const std::byte> data, sim::Activity act) {
   auto it = clusters_.find(id);
   if (it == clusters_.end()) {
     co_return Status::NotFound("no such cluster");
@@ -113,7 +113,7 @@ sim::Task<Result<std::uint64_t>> ZoneManager::Append(
                                    cluster.zones.size());
     if (ssd_->zone_state(zone) != storage::ZoneState::kFull &&
         ssd_->write_pointer(zone) + data.size() <= ssd_->zone_size()) {
-      co_return co_await ssd_->Append(zone, data);
+      co_return co_await ssd_->Append(zone, data, act);
     }
   }
   co_return Status::OutOfSpace("cluster full");

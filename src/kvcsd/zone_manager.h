@@ -62,12 +62,15 @@ class ZoneManager {
   // per append starting at the cluster's random offset. Returns the device
   // byte address of the record. Fails with kOutOfSpace when no zone in the
   // cluster can hold the record (caller allocates a follow-up cluster).
-  sim::Task<Result<std::uint64_t>> Append(ClusterId id,
-                                          std::span<const std::byte> data);
+  // `act` attributes NAND channel time per activity class.
+  sim::Task<Result<std::uint64_t>> Append(
+      ClusterId id, std::span<const std::byte> data,
+      sim::Activity act = sim::Activity::kOther);
 
   // Reads back exactly `out.size()` bytes from device address `addr`.
-  sim::Task<Status> Read(std::uint64_t addr, std::span<std::byte> out) {
-    return ssd_->Read(addr, out);
+  sim::Task<Status> Read(std::uint64_t addr, std::span<std::byte> out,
+                         sim::Activity act = sim::Activity::kOther) {
+    return ssd_->Read(addr, out, act);
   }
 
   ZoneType cluster_type(ClusterId id) const;

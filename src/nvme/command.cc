@@ -22,6 +22,7 @@ std::uint64_t CommandWireSize(const Command& cmd) {
   if (cmd.agg.func != AggregateFunc::kNone) {
     size += 10;                            // func/offset/length/type
   }
+  if (cmd.opcode == Opcode::kGetLogPage) size += 4;  // log page id
   return size;
 }
 
@@ -72,8 +73,35 @@ const char* OpcodeName(Opcode op) {
       return "kv_select";
     case Opcode::kKvAggregate:
       return "kv_aggregate";
+    case Opcode::kGetLogPage:
+      return "get_log_page";
   }
   return "unknown";
+}
+
+sim::Activity ActivityForOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kKvRetrieve:
+    case Opcode::kQueryPrimaryRange:
+    case Opcode::kQuerySecondaryRange:
+    case Opcode::kKeyspaceStat:
+      return sim::Activity::kHostRead;
+    case Opcode::kKvStore:
+    case Opcode::kKvDelete:
+    case Opcode::kBulkStore:
+    case Opcode::kSync:
+      return sim::Activity::kHostWrite;
+    case Opcode::kCompact:
+    case Opcode::kCompactWait:
+    case Opcode::kSecondaryBuild:
+    case Opcode::kCompactWithIndexes:
+      return sim::Activity::kCompact;
+    case Opcode::kKvSelect:
+    case Opcode::kKvAggregate:
+      return sim::Activity::kPushdown;
+    default:
+      return sim::Activity::kOther;
+  }
 }
 
 const char* OpcodeLatencyClass(Opcode op) {

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "sim/activity.h"
 
 namespace kvcsd::nvme {
 
@@ -47,6 +48,16 @@ enum class Opcode : std::uint8_t {
   // Pushdown aggregation: count/min/max/sum over a fixed-offset value
   // attribute computed device-side; the completion carries scalars only.
   kKvAggregate = 0xcd,
+  // Admin introspection (NVMe Get Log Page): the device returns a
+  // versioned, flat-encoded log page (nvme/log_page.h) in the completion
+  // payload. Not keyspace-scoped; `log_page` selects the page.
+  kGetLogPage = 0xce,
+};
+
+// Log page identifiers for kGetLogPage.
+enum class LogPageId : std::uint32_t {
+  kHealth = 1,  // gauges: zones per role, delta bytes, inflight, utilization
+  kStats = 2,   // device.* counters + latency-histogram digests
 };
 
 // Secondary index key type (paper §V: applications give a byte range of
@@ -162,6 +173,8 @@ struct Command {
   ValuePredicate pred;
   Projection proj;
   AggregateSpec agg;
+  // kGetLogPage: which page to return.
+  LogPageId log_page = LogPageId::kHealth;
 };
 
 // Completion posted back to the host.
@@ -191,5 +204,10 @@ const char* OpcodeName(Opcode op);
 // "aggregate" (pushdown aggregate); nullptr for everything else
 // (management commands are counted but not latency-classed).
 const char* OpcodeLatencyClass(Opcode op);
+
+// Activity class for per-resource utilization attribution: host reads,
+// host writes, compaction triggers, pushdown scans; management commands
+// (keyspace create/open/drop, log-page pulls) land in kOther.
+sim::Activity ActivityForOpcode(Opcode op);
 
 }  // namespace kvcsd::nvme

@@ -1,0 +1,60 @@
+// Wire codec for kGetLogPage payloads.
+//
+// Real CSDs expose device health and statistics as NVMe log pages the host
+// pulls over the admin queue; this module is our equivalent. Pages are
+// versioned, flat, little-endian encodings (common/coding.h) shared by the
+// device-side encoder (src/kvcsd/device.cc) and the host-side decoder
+// (src/client/client.cc), so both ends agree on the format by construction.
+//
+// Two pages exist today:
+//   kHealth — point-in-time gauges: free zones, per-role zone budgets,
+//     delta-index bytes, inflight/compaction state, and the windowed
+//     per-activity utilization section (util.<resource>.<class>).
+//   kStats  — the device.* counter registry plus latency-histogram digests.
+//     Doubles in a digest are encoded via bit_cast so a decoded digest is
+//     bit-identical to the device-side HistogramSummary, not merely close.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "nvme/command.h"
+#include "sim/stats.h"
+
+namespace kvcsd::nvme {
+
+// Bump when an encoding changes shape; decoders reject other versions.
+inline constexpr std::uint16_t kLogPageVersion = 1;
+
+// kHealth: named u64 gauges, same shape as a telemetry sample.
+struct HealthPage {
+  std::uint16_t version = kLogPageVersion;
+  Tick tick = 0;  // device tick at which the page was assembled
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+
+  // Convenience lookup; returns 0 for an absent gauge.
+  std::uint64_t Gauge(const std::string& name) const;
+};
+
+// kStats: counters and histogram digests snapshotted at one tick.
+struct StatsPage {
+  std::uint16_t version = kLogPageVersion;
+  Tick tick = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, sim::HistogramSummary>> histograms;
+
+  std::uint64_t Counter(const std::string& name) const;
+};
+
+std::string EncodeHealthPage(const HealthPage& page);
+std::string EncodeStatsPage(const StatsPage& page);
+
+// Decoders return false on truncated input, a version mismatch, or a page
+// id that does not match the struct being decoded.
+bool DecodeHealthPage(const std::string& payload, HealthPage* page);
+bool DecodeStatsPage(const std::string& payload, StatsPage* page);
+
+}  // namespace kvcsd::nvme

@@ -64,7 +64,7 @@ sim::Task<Completion> QueuePair::Submit(Command command) {
   const std::uint64_t wire = CommandWireSize(command);
   if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
   span.Arg("wire_bytes", wire);
-  co_await host_to_device_->Transfer(wire);
+  co_await host_to_device_->Transfer(wire, ActivityForOpcode(command.opcode));
 
   // NOTE: named + std::make_shared, never a prvalue temporary — see the
   // "GCC 12 pitfall" note in sim/task.h.
@@ -87,7 +87,7 @@ sim::Task<std::shared_ptr<ReplyState>> QueuePair::SubmitAsync(Command command,
   const std::uint64_t wire = CommandWireSize(command);
   if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
   span.Arg("wire_bytes", wire);
-  co_await host_to_device_->Transfer(wire);
+  co_await host_to_device_->Transfer(wire, ActivityForOpcode(command.opcode));
 
   auto state = std::make_shared<ReplyState>(sim_);
   state->cq_ring = ring;
@@ -123,8 +123,10 @@ sim::Task<std::vector<std::shared_ptr<ReplyState>>> QueuePair::SubmitBatch(
     span.Arg("count", static_cast<std::uint64_t>(chunk));
     span.Arg("wire_bytes", wire);
     // One doorbell for the whole chunk: a single link operation pays
-    // `request_latency` once, then streams every command's bytes.
-    co_await host_to_device_->Transfer(wire);
+    // `request_latency` once, then streams every command's bytes. Batches
+    // are homogeneous in practice, so the first opcode classes the chunk.
+    co_await host_to_device_->Transfer(
+        wire, ActivityForOpcode(commands[next].opcode));
     for (std::size_t i = next; i < next + chunk; ++i) {
       auto state = std::make_shared<ReplyState>(sim_);
       state->cq_ring = ring;
@@ -145,7 +147,7 @@ sim::Task<void> QueuePair::Complete(Incoming incoming, Completion completion) {
   // the data's lifetime independent of this frame.
   std::shared_ptr<ReplyState> reply = std::move(incoming.reply);
   reply->completion = std::move(completion);
-  co_await device_to_host_->Transfer(wire);
+  co_await device_to_host_->Transfer(wire, ActivityForOpcode(incoming.opcode));
   const Tick end = sim_->Now();
   sim_->stats().histogram("client.stage.complete_ns").Record(end - begin);
   if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
@@ -172,7 +174,11 @@ QueueSet::QueueSet(sim::Simulation* sim, const QueueSetConfig& config)
                       config.pcie.request_latency),
       device_to_host_(sim, "pcie.d2h", config.pcie.bytes_per_sec,
                       config.pcie.completion_latency),
+      h2d_meter_(sim, "pcie.h2d", 1.0),
+      d2h_meter_(sim, "pcie.d2h", 1.0),
       work_(sim, 0) {
+  host_to_device_.set_meter(&h2d_meter_);
+  device_to_host_.set_meter(&d2h_meter_);
   const std::uint32_t n = std::max<std::uint32_t>(config.num_queues, 1);
   pairs_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

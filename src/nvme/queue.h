@@ -228,6 +228,11 @@ class QueueSet {
     return device_to_host_.total_bytes();
   }
 
+  // Per-activity windowed occupancy of the shared PCIe link, one meter per
+  // direction (link-equivalents: 1.0 = direction saturated for the window).
+  const sim::ResourceMeter& h2d_meter() const { return h2d_meter_; }
+  const sim::ResourceMeter& d2h_meter() const { return d2h_meter_; }
+
   const QueueSetConfig& config() const { return config_; }
   sim::Simulation* sim() const { return sim_; }
 
@@ -253,6 +258,8 @@ class QueueSet {
   QueueSetConfig config_;
   sim::BandwidthResource host_to_device_;
   sim::BandwidthResource device_to_host_;
+  sim::ResourceMeter h2d_meter_;
+  sim::ResourceMeter d2h_meter_;
   std::vector<std::unique_ptr<QueuePair>> pairs_;
   // Counts queued-but-unserved commands across all pairs; NextCommand()
   // acquires one token per command so it only scans when work exists.

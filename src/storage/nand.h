@@ -38,14 +38,22 @@ class NandModel {
 
   // Occupies `channel` for the transfer time of `bytes` plus the array
   // read latency. `bytes` is rounded up to whole pages (read amplification
-  // at page granularity is real and intentional).
-  sim::Task<void> Read(std::uint32_t channel, std::uint64_t bytes);
+  // at page granularity is real and intentional). `act` attributes the
+  // channel service time in the aggregate meter; it never changes timing.
+  sim::Task<void> Read(std::uint32_t channel, std::uint64_t bytes,
+                       sim::Activity act = sim::Activity::kOther);
 
   // Same for programming (writing).
-  sim::Task<void> Program(std::uint32_t channel, std::uint64_t bytes);
+  sim::Task<void> Program(std::uint32_t channel, std::uint64_t bytes,
+                          sim::Activity act = sim::Activity::kOther);
 
   // Erase occupies the channel for the (long) erase latency.
-  sim::Task<void> Erase(std::uint32_t channel);
+  sim::Task<void> Erase(std::uint32_t channel,
+                        sim::Activity act = sim::Activity::kOther);
+
+  // Aggregate per-activity occupancy across ALL channels: WindowLoad is in
+  // channel-equivalents, capacity() = the channel count.
+  const sim::ResourceMeter& meter() const { return meter_; }
 
   const NandConfig& config() const { return config_; }
   std::uint64_t bytes_read() const { return bytes_read_; }
@@ -60,6 +68,7 @@ class NandModel {
  private:
   sim::Simulation* sim_;
   NandConfig config_;
+  sim::ResourceMeter meter_;
   std::vector<std::unique_ptr<sim::BandwidthResource>> channels_;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;

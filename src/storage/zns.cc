@@ -57,7 +57,7 @@ Status ZnsSsd::CheckZoneId(std::uint32_t zone) const {
 }
 
 sim::Task<Result<std::uint64_t>> ZnsSsd::Append(
-    std::uint32_t zone, std::span<const std::byte> data) {
+    std::uint32_t zone, std::span<const std::byte> data, sim::Activity act) {
   if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
   if (config_.faults != nullptr) {
     if (Status s = config_.faults->OnIo(sim::FaultOp::kAppend, zone);
@@ -96,11 +96,12 @@ sim::Task<Result<std::uint64_t>> ZnsSsd::Append(
   last_append_end_ = z.write_pointer;
   last_append_len_ = data.size();
 
-  co_await nand_.Program(ChannelOf(zone), data.size());
+  co_await nand_.Program(ChannelOf(zone), data.size(), act);
   co_return addr;
 }
 
-sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out) {
+sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out,
+                               sim::Activity act) {
   const std::uint32_t zone =
       static_cast<std::uint32_t>(addr / config_.zone_size);
   if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
@@ -122,11 +123,11 @@ sim::Task<Status> ZnsSsd::Read(std::uint64_t addr, std::span<std::byte> out) {
     tc.read_bytes->Add(out.size());
     tc.reads->Increment();
   }
-  co_await nand_.Read(ChannelOf(zone), out.size());
+  co_await nand_.Read(ChannelOf(zone), out.size(), act);
   co_return Status::Ok();
 }
 
-sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone) {
+sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone, sim::Activity act) {
   if (Status s = CheckZoneId(zone); !s.ok()) co_return s;
   if (config_.faults != nullptr) {
     if (Status s = config_.faults->OnIo(sim::FaultOp::kReset, zone);
@@ -150,7 +151,7 @@ sim::Task<Status> ZnsSsd::Reset(std::uint32_t zone) {
   if (had_data) {
     // NAND erase-blocks must be erased before reuse; resetting a
     // never-written zone only rewinds the write pointer.
-    co_await nand_.Erase(ChannelOf(zone));
+    co_await nand_.Erase(ChannelOf(zone), act);
   }
   co_return Status::Ok();
 }

@@ -62,17 +62,21 @@ class ZnsSsd {
 
   // Appends `data` at the zone's write pointer. Returns the device byte
   // address of the first appended byte. Fails if the zone is full or the
-  // data does not fit in the remaining zone capacity.
-  sim::Task<Result<std::uint64_t>> Append(std::uint32_t zone,
-                                          std::span<const std::byte> data);
+  // data does not fit in the remaining zone capacity. `act` attributes the
+  // NAND channel time per activity class (accounting only).
+  sim::Task<Result<std::uint64_t>> Append(
+      std::uint32_t zone, std::span<const std::byte> data,
+      sim::Activity act = sim::Activity::kOther);
 
   // Reads `out.size()` bytes starting at device byte address `addr`. The
   // range must lie entirely within the written extent of one zone.
-  sim::Task<Status> Read(std::uint64_t addr, std::span<std::byte> out);
+  sim::Task<Status> Read(std::uint64_t addr, std::span<std::byte> out,
+                         sim::Activity act = sim::Activity::kOther);
 
   // Rewinds the zone's write pointer and discards its contents (charges
   // the NAND erase latency).
-  sim::Task<Status> Reset(std::uint32_t zone);
+  sim::Task<Status> Reset(std::uint32_t zone,
+                          sim::Activity act = sim::Activity::kOther);
 
   // Transitions an open zone to Full (no more appends until reset).
   Status Finish(std::uint32_t zone);
@@ -107,6 +111,7 @@ class ZnsSsd {
   std::uint32_t num_zones() const { return config_.num_zones; }
   std::uint64_t zone_size() const { return config_.zone_size; }
   NandModel& nand() { return nand_; }
+  const NandModel& nand() const { return nand_; }
   sim::FaultInjector* fault_injector() const { return config_.faults; }
 
   std::uint64_t total_bytes_written() const { return bytes_written_; }

@@ -176,5 +176,40 @@ TEST(ObservabilityTest, TelemetrySourceReplacedAcrossRestart) {
   EXPECT_EQ(occurrences, 1u);
 }
 
+TEST(ObservabilityTest, TelemetryRingSaturatesCleanlyAcrossRestart) {
+  // A deliberately tiny sample ring saturates mid-run and keeps rolling
+  // through a power cycle: the drop counter accounts for every evicted
+  // sample, and the survivors still carry exactly one "device" source's
+  // gauges (the restarted incarnation's).
+  Fixture f;
+  f.sim.telemetry().Enable(Microseconds(10), /*max_samples=*/16);
+  testutil::RunSim(f.sim, LoadAndSync(f.db.get(), "sat", 120));
+  f.faults.Crash();
+  f.Restart();
+  testutil::RunSim(f.sim, RecoverAndRead(f.dev(), f.db.get(), "sat", 120));
+
+  EXPECT_EQ(f.sim.telemetry().size(), 16u);
+  EXPECT_GT(f.sim.telemetry().dropped(), 0u);
+  // Samples remain in tick order after the wrap and the restart.
+  Tick prev = 0;
+  for (const auto& sample : f.sim.telemetry().samples()) {
+    EXPECT_GE(sample.tick, prev);
+    prev = sample.tick;
+  }
+  // The post-restart device's utilization gauges are present exactly once
+  // per sample (no duplicate from the dead incarnation).
+  std::uint32_t util_id = UINT32_MAX;
+  const auto& names = f.sim.telemetry().names();
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    if (names[i] == "util.dispatch.dispatch") util_id = i;
+  }
+  ASSERT_NE(util_id, UINT32_MAX);
+  std::size_t occurrences = 0;
+  for (const auto& [id, value] : f.sim.telemetry().samples().back().values) {
+    if (id == util_id) ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
 }  // namespace
 }  // namespace kvcsd::device

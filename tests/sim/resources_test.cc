@@ -129,5 +129,85 @@ TEST(CpuPoolTest, ForegroundBlockedByBackgroundSharingPool) {
   }
 }
 
+namespace {
+// Advances the simulation clock to `when` (events only move time forward).
+void AdvanceTo(Simulation* sim, Tick when) {
+  sim->Spawn([](Simulation* s, Tick target) -> Task<void> {
+    co_await s->Delay(target - s->Now());
+  }(sim, when));
+  sim->Run();
+  ASSERT_EQ(sim->Now(), when);
+}
+}  // namespace
+
+TEST(ResourceMeterTest, UtilizationStableAtZeroElapsed) {
+  Simulation sim;
+  ResourceMeter m(&sim, "soc", 4.0, /*window=*/100);
+  // t=0: zero ticks of the window have elapsed. The meter must report a
+  // stable 0.0, not 0/0 — this was the early-tick NaN gauge regression.
+  EXPECT_EQ(m.utilization(), 0.0);
+  m.Add(Activity::kHostWrite, 10);
+  EXPECT_EQ(m.utilization(), 0.0);
+
+  // Exactly at a window rotation the elapsed-in-window is again zero.
+  AdvanceTo(&sim, 100);
+  EXPECT_EQ(m.utilization(), 0.0);
+
+  // One tick into the window the ratio is finite and well-defined again.
+  AdvanceTo(&sim, 101);
+  m.Add(Activity::kHostWrite, 2);
+  EXPECT_DOUBLE_EQ(m.utilization(), 2.0 / (4.0 * 1.0));
+}
+
+TEST(ResourceMeterTest, AttributesBusyTimePerClassAcrossWindows) {
+  Simulation sim;
+  ResourceMeter m(&sim, "soc", 2.0, /*window=*/100);
+  m.Add(Activity::kHostWrite, 60);
+  m.Add(Activity::kCompact, 20);
+  m.Add(Activity::kHostWrite, 10);
+
+  // From the next window, window 0 is the "last completed" one.
+  AdvanceTo(&sim, 150);
+  EXPECT_DOUBLE_EQ(m.WindowLoad(Activity::kHostWrite), 0.7);
+  EXPECT_DOUBLE_EQ(m.WindowLoad(Activity::kCompact), 0.2);
+  EXPECT_DOUBLE_EQ(m.WindowLoad(Activity::kPushdown), 0.0);
+
+  // Gauges are permille-of-window per class plus capacity x 1000.
+  std::vector<std::pair<std::string, std::uint64_t>> gauges;
+  m.AppendGauges(&gauges);
+  std::uint64_t host_write = 0, capacity = 0;
+  for (const auto& [name, value] : gauges) {
+    if (name == "util.soc.host_write") host_write = value;
+    if (name == "util.soc.capacity") capacity = value;
+  }
+  EXPECT_EQ(host_write, 700u);
+  EXPECT_EQ(capacity, 2000u);
+
+  // Idle for a full window: the stale window must not be reported as
+  // recent load.
+  AdvanceTo(&sim, 400);
+  EXPECT_DOUBLE_EQ(m.WindowLoad(Activity::kHostWrite), 0.0);
+  EXPECT_DOUBLE_EQ(m.WindowLoad(Activity::kCompact), 0.0);
+}
+
+TEST(CpuPoolTest, ComputeMetersActivityClass) {
+  Simulation sim;
+  CpuPool pool(&sim, "soc", 2);
+  sim.Spawn([](CpuPool* p) -> Task<void> {
+    co_await p->Compute(40, Activity::kCompact);
+    co_await p->Compute(30, Activity::kHostRead);
+  }(&pool));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 70u);
+  AdvanceTo(&sim, ResourceMeter::kDefaultWindow);
+  EXPECT_DOUBLE_EQ(
+      pool.meter().WindowLoad(Activity::kCompact),
+      40.0 / static_cast<double>(ResourceMeter::kDefaultWindow));
+  EXPECT_DOUBLE_EQ(
+      pool.meter().WindowLoad(Activity::kHostRead),
+      30.0 / static_cast<double>(ResourceMeter::kDefaultWindow));
+  EXPECT_DOUBLE_EQ(pool.meter().WindowLoad(Activity::kHostWrite), 0.0);
+}
+
 }  // namespace
 }  // namespace kvcsd::sim

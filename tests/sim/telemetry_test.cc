@@ -117,5 +117,56 @@ TEST(TelemetrySamplerTest, ToJsonIsColumnar) {
   EXPECT_NE(json.find("{\"t\":100,\"v\":[[0,5],[1,6]]}"), std::string::npos);
 }
 
+TEST(TelemetrySamplerTest, RingSaturationDropsOldestAndCounts) {
+  TelemetrySampler t;
+  t.Enable(/*interval=*/100, /*max_samples=*/4);
+  std::uint64_t tick_value = 0;
+  t.AddSource("dev", [&tick_value](TelemetrySampler::Gauges* out) {
+    out->emplace_back("g", tick_value);
+  });
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    tick_value = i;
+    t.Sample(i * 100);
+  }
+  // Bounded ring: newest 4 samples kept, 6 oldest dropped and counted.
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  ASSERT_EQ(t.samples().size(), 4u);
+  EXPECT_EQ(t.samples().front().tick, 700u);
+  EXPECT_EQ(t.samples().front().values[0].second, 7u);
+  EXPECT_EQ(t.samples().back().tick, 1000u);
+  EXPECT_EQ(t.samples().back().values[0].second, 10u);
+  // The drop count is surfaced in the JSON dump so analysis tooling can
+  // tell a truncated series from a complete one.
+  EXPECT_NE(t.ToJson().find("\"dropped\":6"), std::string::npos);
+
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TelemetrySamplerTest, SourceReplacementSupersedesOldToken) {
+  // The Device::Restart pattern: a new incarnation re-registers under the
+  // same key; the dead incarnation's later RemoveSource must not evict
+  // the replacement, and samples must list each gauge exactly once.
+  TelemetrySampler t;
+  t.Enable(/*interval=*/100);
+  const std::uint64_t old_token =
+      t.AddSource("device", [](TelemetrySampler::Gauges* out) {
+        out->emplace_back("g", 1);
+      });
+  t.Sample(100);
+  const std::uint64_t new_token =
+      t.AddSource("device", [](TelemetrySampler::Gauges* out) {
+        out->emplace_back("g", 2);
+      });
+  EXPECT_NE(old_token, new_token);
+  t.RemoveSource(old_token);  // stale token: ignored, key now owned by new
+  t.Sample(200);
+  ASSERT_EQ(t.samples().size(), 2u);
+  ASSERT_EQ(t.samples().back().values.size(), 1u);
+  EXPECT_EQ(t.samples().back().values[0].second, 2u);
+}
+
 }  // namespace
 }  // namespace kvcsd::sim

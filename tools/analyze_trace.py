@@ -26,10 +26,16 @@ default and hard failures under ``--strict-flows`` (used in CI).
 Usage:
   tools/analyze_trace.py TRACE.json [TELEMETRY.json]
       [--top=N] [--strict-flows] [--require-opcode=NAME ...]
+      [--require-bottleneck=RESOURCE]
 
 ``--require-opcode=NAME`` exits non-zero unless at least one command of
 that opcode completed all stages — CI uses it to assert the trace
 actually exercised the paths it claims to cover.
+
+``--require-bottleneck=RESOURCE`` exits non-zero unless the bottleneck
+section (which needs TELEMETRY.json with util.* gauges) names that
+resource as the most-utilized one — CI uses it to pin known saturation
+points, e.g. the single-core dispatch loop under multi-tenant load.
 
 Stage model (tracks are named via thread_name metadata):
   client   opcode span       = full client-observed round trip
@@ -49,7 +55,8 @@ from collections import defaultdict
 
 USAGE = (
     "usage: analyze_trace.py TRACE.json [TELEMETRY.json] "
-    "[--top=N] [--strict-flows] [--require-opcode=NAME ...]"
+    "[--top=N] [--strict-flows] [--require-opcode=NAME ...] "
+    "[--require-bottleneck=RESOURCE]"
 )
 
 # Stages joined per cmd_id, in pipeline order. The client span is the
@@ -328,7 +335,7 @@ def print_telemetry(path):
         len(samples), fmt_ns(data.get("interval_ns", 0)), len(series),
         ", %d dropped" % data["dropped"] if data.get("dropped") else ""))
     if not series:
-        return
+        return series
     print("%-36s %8s %12s %12s %12s %12s" % (
         "gauge", "samples", "min", "mean", "max", "last"))
     for name in sorted(series):
@@ -336,6 +343,128 @@ def print_telemetry(path):
         print("%-36s %8d %12d %12.1f %12d %12d" % (
             name, len(vals), min(vals), sum(vals) / len(vals), max(vals),
             vals[-1]))
+    return series
+
+
+# Activity classes of the device's ResourceMeter gauges
+# ("util.<resource>.<class>", permille of the sampling window against
+# "util.<resource>.capacity" = capacity x 1000).
+ACTIVITY_CLASSES = (
+    "host_read", "host_write", "compact", "recompact", "pushdown",
+    "dispatch", "other")
+
+# Which wire opcodes an activity class serves, for the latency join. The
+# dispatch class is the device's serial command pop-loop: every opcode
+# rides it, so its join lists the opcodes with the worst queue_wait.
+CLASS_OPCODES = {
+    "host_read": ("kv_retrieve", "query_primary_range",
+                  "query_secondary_range", "keyspace_stat"),
+    "host_write": ("kv_store", "kv_delete", "bulk_store", "sync"),
+    "pushdown": ("kv_select", "kv_aggregate"),
+    "compact": ("compact", "compact_with_indexes", "compact_wait",
+                "secondary_build"),
+    "recompact": ("compact",),
+}
+
+
+def print_bottlenecks(series, cmds):
+    """Joins per-class utilization against per-opcode latency and names
+    the saturated resource.
+
+    For every metered resource (soc cores, dispatch loop, NAND channels,
+    PCIe directions) the table shows mean/peak utilization and which
+    activity class dominates its busy time.  The ``bottleneck:`` line
+    names the hottest resource and its dominant class; the join then
+    lists the latency of the opcodes that class serves — if the resource
+    is saturated, those are the commands paying for it.
+    """
+    resources = {}
+    for name, vals in series.items():
+        if not name.startswith("util.") or not vals:
+            continue
+        rest = name[len("util."):]
+        if rest.endswith(".capacity"):
+            res = rest[:-len(".capacity")]
+            resources.setdefault(res, {})["capacity"] = vals
+        else:
+            res, _, cls = rest.rpartition(".")
+            if res and cls in ACTIVITY_CLASSES:
+                resources.setdefault(res, {}).setdefault(
+                    "classes", {})[cls] = vals
+    rows = []
+    for res, info in sorted(resources.items()):
+        classes = info.get("classes", {})
+        if not classes:
+            continue
+        cap = (info.get("capacity") or [1000])[-1] or 1000
+        n = max(len(v) for v in classes.values())
+        totals = [sum(v[i] for v in classes.values() if i < len(v))
+                  for i in range(n)]
+        # A window's total can exceed the capacity because work is booked
+        # into the window in which it completes; clamp to capacity so one
+        # long compaction compute landing in a single window does not
+        # dominate the ranking.
+        clamped = [min(t, cap) for t in totals]
+        mean_util = sum(clamped) / n / cap
+        sat_share = sum(1 for c in clamped if c >= 0.9 * cap) / n
+        mean_total = sum(totals) / n
+        dom = max(classes,
+                  key=lambda c: sum(classes[c]) / len(classes[c]))
+        dom_share = (sum(classes[dom]) / len(classes[dom]) / mean_total
+                     if mean_total else 0.0)
+        rows.append((res, mean_util, sat_share, dom, dom_share))
+    if not rows:
+        return
+    print()
+    hdr = "%-12s %10s %11s  %-12s %10s" % (
+        "resource", "mean util", "win >= 90%", "top class", "class share")
+    print(hdr)
+    print("-" * len(hdr))
+    for res, mean_util, sat_share, dom, dom_share in rows:
+        print("%-12s %9.1f%% %10.1f%%  %-12s %9.1f%%" % (
+            res, 100.0 * mean_util, 100.0 * sat_share, dom,
+            100.0 * dom_share))
+
+    rows.sort(key=lambda r: r[1], reverse=True)
+    res, mean_util, sat_share, dom, dom_share = rows[0]
+    verdict = "saturated" if sat_share >= 0.05 or mean_util >= 0.9 \
+        else "hot" if mean_util >= 0.3 else "moderate"
+    print()
+    print("bottleneck: %s (class %s, %.1f%% of its load), "
+          "mean util %.1f%%, %.1f%% of windows >= 90%% [%s]" % (
+              res, dom, 100.0 * dom_share, 100.0 * mean_util,
+              100.0 * sat_share, verdict))
+
+    # Latency join: the opcodes the dominant class serves. The dispatch
+    # loop serializes everything, so its victims are whoever waited
+    # longest in the SQ.
+    if dom == "dispatch":
+        affected = sorted(
+            ((op, [c["queue_wait"] for c in group if "queue_wait" in c])
+             for op, group in _by_opcode(cmds).items()),
+            key=lambda kv: -percentile(sorted(kv[1]), 99))[:5]
+        stage = "queue_wait"
+    else:
+        ops = CLASS_OPCODES.get(dom, ())
+        affected = [(op, [c["exec"] for c in group if "exec" in c])
+                    for op, group in _by_opcode(cmds).items() if op in ops]
+        stage = "exec"
+    affected = [(op, vals) for op, vals in affected if vals]
+    if affected:
+        print("  affected opcodes (%s p50/p99):" % stage)
+        for op, vals in affected:
+            vals.sort()
+            print("    %-20s %10s/%-10s (%d cmds)" % (
+                op, fmt_ns(percentile(vals, 50)),
+                fmt_ns(percentile(vals, 99)), len(vals)))
+    return res
+
+
+def _by_opcode(cmds):
+    by_op = defaultdict(list)
+    for c in cmds.values():
+        by_op[c.get("opcode", "?")].append(c)
+    return by_op
 
 
 def main(argv):
@@ -344,6 +473,7 @@ def main(argv):
     top_n = 10
     strict = False
     required = []
+    required_bottleneck = None
     for arg in argv[1:]:
         if arg.startswith("--top="):
             top_n = int(arg.split("=", 1)[1])
@@ -351,6 +481,8 @@ def main(argv):
             strict = True
         elif arg.startswith("--require-opcode="):
             required.append(arg.split("=", 1)[1])
+        elif arg.startswith("--require-bottleneck="):
+            required_bottleneck = arg.split("=", 1)[1]
         elif arg.startswith("--"):
             die("unknown flag %s\n%s" % (arg, USAGE))
         elif trace_path is None:
@@ -379,10 +511,17 @@ def main(argv):
     print_pushdown_breakdown(events, tracks)
     print_queue_breakdown(cmds)
     print_slowest(cmds, top_n)
+    bottleneck = None
     if telemetry_path:
-        print_telemetry(telemetry_path)
+        series = print_telemetry(telemetry_path)
+        bottleneck = print_bottlenecks(series, cmds)
 
     status = 0
+    if required_bottleneck is not None and bottleneck != required_bottleneck:
+        sys.stderr.write(
+            "analyze_trace: required bottleneck '%s' but found '%s'\n"
+            % (required_bottleneck, bottleneck))
+        status = 1
     for op in required:
         complete = [
             c for c in cmds.values()

@@ -20,12 +20,22 @@ Counters, tables and wall_clock_unix are informational and never gated.
 Metrics present on only one side are reported (a vanished metric fails:
 the bench silently stopped measuring something the baseline covers).
 
-To refresh a baseline after an intentional change, re-run the bench with
-the flags recorded in the baseline's "args" and copy the report over it.
+To refresh baselines after an intentional change, run the benches (e.g.
+./run_benches.sh) and point the script at the results directory:
+
+  tools/check_bench_regression.py --update-baselines results/<stamp> \
+      [--baselines-dir=bench/baselines]
+
+Every bench --json report found in the directory (trace/telemetry/health
+sidecar files are skipped automatically) is rewritten over the baseline
+named after its "bench" field.  Baselines with no matching report are
+left untouched and listed, so a partial bench run cannot silently erase
+coverage.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -46,7 +56,78 @@ def relative_growth(base, cur):
     return (cur - base) / base if base > 0 else 0.0
 
 
+def update_baselines(results_dir, baselines_dir):
+    """Regenerates the checked-in baselines from a results directory."""
+    if not os.path.isdir(results_dir):
+        print(f"FAIL: {results_dir} is not a directory")
+        return 2
+    reports = {}
+    for entry in sorted(os.listdir(results_dir)):
+        if not entry.endswith(".json"):
+            continue
+        # Observability sidecars written next to the reports by
+        # run_benches.sh; they are not bench reports.
+        if entry.endswith((".trace.json", ".telemetry.json",
+                           ".health.json", ".flight.json")):
+            continue
+        path = os.path.join(results_dir, entry)
+        try:
+            with open(path, encoding="utf-8") as f:
+                report = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"  skip {entry}: unreadable ({e})")
+            continue
+        bench = report.get("bench")
+        if not bench or "schema_version" not in report:
+            print(f"  skip {entry}: not a bench report")
+            continue
+        if bench in reports:
+            print(f"FAIL: duplicate reports for bench {bench!r} in "
+                  f"{results_dir}")
+            return 2
+        reports[bench] = (entry, report)
+
+    if not reports:
+        print(f"FAIL: no bench reports found in {results_dir}")
+        return 2
+
+    existing = {
+        name[:-len(".json")]
+        for name in os.listdir(baselines_dir)
+        if name.endswith(".json")
+    } if os.path.isdir(baselines_dir) else set()
+    os.makedirs(baselines_dir, exist_ok=True)
+    for bench, (entry, report) in sorted(reports.items()):
+        dest = os.path.join(baselines_dir, f"{bench}.json")
+        verb = "updated" if bench in existing else "created"
+        with open(dest, "w", encoding="utf-8") as f:
+            json.dump(report, f, separators=(",", ":"))
+            f.write("\n")
+        print(f"  {verb} {dest} from {entry}")
+
+    stale = sorted(existing - set(reports))
+    for bench in stale:
+        print(f"  WARNING: baseline {bench}.json has no report in "
+              f"{results_dir}; left as-is")
+    print(f"PASS: {len(reports)} baseline(s) written to {baselines_dir}"
+          + (f", {len(stale)} not refreshed" if stale else ""))
+    return 0
+
+
 def main():
+    if "--update-baselines" in sys.argv[1:]:
+        parser = argparse.ArgumentParser(
+            description="regenerate checked-in bench baselines")
+        parser.add_argument("--update-baselines", action="store_true")
+        parser.add_argument("results_dir",
+                            help="directory of bench --json reports "
+                                 "(e.g. results/<stamp>)")
+        parser.add_argument("--baselines-dir", default="bench/baselines",
+                            help="destination directory "
+                                 "(default bench/baselines)")
+        args = parser.parse_args()
+        return update_baselines(args.results_dir, args.baselines_dir)
+
     parser = argparse.ArgumentParser(
         description="perf-regression gate for bench --json reports")
     parser.add_argument("baseline")
