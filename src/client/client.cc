@@ -14,6 +14,7 @@ Client::Client(nvme::QueueSet* queues, sim::CpuPool* host_cpu,
       costs_(host_costs),
       config_(std::move(config)),
       window_(queues->sim(), std::max<std::uint32_t>(config_.max_inflight, 1)),
+      batch_gate_(queues->sim(), 1),
       cq_ring_(queues->sim()) {}
 
 sim::Stats& Client::stats() { return queues_->sim()->stats(); }
@@ -119,6 +120,15 @@ sim::Task<std::vector<CallFuture>> Client::CallBatchAsync(
     // never wait on completions of this very batch.
     const std::size_t chunk =
         std::min<std::size_t>(commands.size() - next, window_cap);
+    // Only one batch may hold partial window permits at a time. With
+    // several batch submitters racing, interleaved acquisition could
+    // carve the window up among callers that each park waiting for the
+    // rest — nothing submitted, nothing completes, nothing released.
+    // The gate holder's missing permits always come from commands that
+    // are already in flight (if none were, the window would be whole and
+    // the chunk-sized acquisition below could not block), so holding the
+    // gate across the acquisition loop cannot stall.
+    co_await batch_gate_.Acquire();
     const Tick begin = sim->Now();
     std::vector<nvme::Command> batch;
     batch.reserve(chunk);
@@ -130,6 +140,10 @@ sim::Task<std::vector<CallFuture>> Client::CallBatchAsync(
       co_await window_.Acquire();
       ++async_inflight_;
     }
+    // All permits held: the gate has done its job. Release before the
+    // doorbell so concurrent batches pipeline on the submit path instead
+    // of serializing behind each other's DMA setup.
+    batch_gate_.Release();
     // One doorbell ring on the host side for the whole chunk.
     co_await host_cpu_->Compute(costs_.syscall_overhead);
     nvme::QueuePair* pair = SubmitPair();

@@ -439,6 +439,9 @@ class Client {
   hostenv::CostModel costs_;
   ClientConfig config_;
   sim::Semaphore window_;
+  // Serializes window-permit acquisition across concurrent batch
+  // submitters (see CallBatchAsync). Single callers bypass it.
+  sim::Semaphore batch_gate_;
   nvme::CqRing cq_ring_;
   bool reactor_started_ = false;
   std::uint32_t rr_cursor_ = 0;

@@ -90,8 +90,10 @@ sim::Task<Status> Device::GenerateZoneRuns(std::uint32_t zone,
                                            RunGenOutput* out) {
   // One track per worker share keeps concurrent run-gen spans on separate
   // viewer rows (zone index mod the share count matches the fan-out width).
-  sim::TraceSpan span(
-      sim_, "compact.gen." + std::to_string(zone % kRunGenShares), "run_gen");
+  sim::TraceSpan span(sim_,
+                      config_.stats_prefix + "compact.gen." +
+                          std::to_string(zone % kRunGenShares),
+                      "run_gen");
   span.Arg("zone", static_cast<std::uint64_t>(zone));
   std::vector<KlogEntry> current;
   std::uint64_t current_bytes = 0;
@@ -439,7 +441,7 @@ sim::Task<Status> Device::IndexBuildStage(PidxPipeline* pipe) {
 sim::Task<Status> Device::CompactKeyspace(
     Keyspace* ks, std::vector<nvme::SecondaryIndexSpec> fused_specs,
     std::uint64_t trigger_cmd_id) {
-  sim::TraceSpan span(sim_, "compaction", "compact");
+  sim::TraceSpan span(sim_, trk_compaction_, "compact");
   span.Arg("keyspace", ks->name);
   span.Arg("fused_indexes", static_cast<std::uint64_t>(fused_specs.size()));
   if (trigger_cmd_id != 0) {
@@ -447,7 +449,7 @@ sim::Task<Status> Device::CompactKeyspace(
     if (sim_->tracer().enabled()) {
       // Closes the flow opened by the kCompact command's exec span: the
       // viewer draws client submit -> device exec -> this compaction.
-      sim_->tracer().FlowEnd(sim_->tracer().Track("compaction"), "compact",
+      sim_->tracer().FlowEnd(sim_->tracer().Track(trk_compaction_), "compact",
                              trigger_cmd_id, sim_->Now());
     }
   }
@@ -547,12 +549,12 @@ sim::Task<Status> Device::RunCompaction(
     co_return Status::IoError("simulated power loss after run generation");
   }
   compaction_stats_.phase1_ticks += sim_->Now() - phase1_start;
-  sim_->stats()
+  stats()
       .histogram("device.compact.phase1_ns")
       .Record(sim_->Now() - phase1_start);
   if (sim_->tracer().enabled()) {
     sim_->tracer().CompleteSpan(
-        sim_->tracer().Track("compaction"), "phase1.run_gen", phase1_start,
+        sim_->tracer().Track(trk_compaction_), "phase1.run_gen", phase1_start,
         sim_->Now(),
         {{"keyspace", ks->name}, {"runs", std::to_string(runs.size())}});
   }
@@ -736,12 +738,13 @@ sim::Task<Status> Device::RunCompaction(
     }
   }
   compaction_stats_.phase2_ticks += sim_->Now() - phase2_start;
-  sim_->stats()
+  stats()
       .histogram("device.compact.phase2_ns")
       .Record(sim_->Now() - phase2_start);
   if (sim_->tracer().enabled()) {
     sim_->tracer().CompleteSpan(
-        sim_->tracer().Track("compaction"), "phase2.merge_index", phase2_start,
+        sim_->tracer().Track(trk_compaction_), "phase2.merge_index",
+        phase2_start,
         sim_->Now(),
         {{"keyspace", ks->name}, {"fanin", std::to_string(runs.size())}});
   }

@@ -39,24 +39,37 @@ bool IsKeyspaceScoped(nvme::Opcode op) {
 
 }  // namespace
 
+DeviceConfig Device::Prefixed(DeviceConfig config) {
+  // One prefix knob for the whole device: push it down to the SSD so the
+  // NAND meter and zns.<tag>.* counters carry it too.
+  config.zns.stats_prefix = config.stats_prefix;
+  return config;
+}
+
 Device::Device(sim::Simulation* sim, const DeviceConfig& config,
                nvme::QueueSet* queues)
     : sim_(sim),
-      config_(config),
+      config_(Prefixed(config)),
+      stats_view_(&sim->stats(), config_.stats_prefix),
+      trk_device_(config_.stats_prefix + "device"),
+      trk_nvme_sq_(config_.stats_prefix + "nvme.sq"),
+      trk_compaction_(config_.stats_prefix + "compaction"),
+      trk_query_(config_.stats_prefix + "query"),
+      trk_recovery_(config_.stats_prefix + "recovery"),
       queues_(queues),
-      ssd_(sim, config.zns),
-      zone_manager_(&ssd_, config.zones),
+      ssd_(sim, config_.zns),
+      zone_manager_(&ssd_, config_.zones),
       keyspace_manager_(&ssd_, &zone_manager_),
-      cpu_(sim, "soc", config.soc_cores),
-      index_cache_(config.EffectiveIndexCacheBytes()),
-      faults_(config.zns.faults),
-      dispatch_meter_(sim, "dispatch", 1.0),
-      flight_(std::make_shared<FlightRecorder>(config.flight)) {
+      cpu_(sim, config_.stats_prefix + "soc", config_.soc_cores),
+      index_cache_(config_.EffectiveIndexCacheBytes()),
+      faults_(config_.zns.faults),
+      dispatch_meter_(sim, config_.stats_prefix + "dispatch", 1.0),
+      flight_(std::make_shared<FlightRecorder>(config_.flight)) {
   if (faults_ != nullptr) faults_->set_log(&sim_->log());
-  // Key "device" on purpose: a Device::Restart over the same simulation
-  // re-registers and supersedes the powered-off device's gauges.
+  // Key "<prefix>device" on purpose: a Device::Restart over the same
+  // simulation re-registers and supersedes the powered-off device's gauges.
   telemetry_token_ = sim_->telemetry().AddSource(
-      "device",
+      config_.stats_prefix + "device",
       [this](sim::TelemetrySampler::Gauges* out) { CollectTelemetry(out); });
   flight_->set_snapshot_provider(
       [this](sim::TelemetrySampler::Gauges* out) { CollectTelemetry(out); });
@@ -77,25 +90,30 @@ Device::~Device() {
 }
 
 void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
-  out->emplace_back("nvme.sq_depth", queues_->sq_depth());
-  out->emplace_back("nvme.inflight", queues_->inflight());
+  // Gauge names carry the instance prefix (empty in single-device sims,
+  // "shard<i>." in fleets); the utilization meters below self-prefix via
+  // the names they were constructed with.
+  const std::string& p = config_.stats_prefix;
+  out->emplace_back(p + "nvme.sq_depth", queues_->sq_depth());
+  out->emplace_back(p + "nvme.inflight", queues_->inflight());
   if (queues_->num_queues() > 1) {
     // Per-queue gauges so multi-queue runs can see imbalance; single-queue
     // runs keep the exact legacy gauge set.
     for (std::uint32_t q = 0; q < queues_->num_queues(); ++q) {
-      const std::string prefix = "nvme.q" + std::to_string(q) + ".";
+      const std::string prefix = p + "nvme.q" + std::to_string(q) + ".";
       out->emplace_back(prefix + "sq_depth", queues_->pair(q)->sq_depth());
       out->emplace_back(prefix + "inflight", queues_->pair(q)->inflight());
     }
   }
-  out->emplace_back("device.inflight_cmds", inflight_commands_);
-  out->emplace_back("device.compactions_running", compactions_running_);
-  out->emplace_back("device.compact.bytes_read", compaction_stats_.bytes_read);
-  out->emplace_back("device.compact.bytes_written",
+  out->emplace_back(p + "device.inflight_cmds", inflight_commands_);
+  out->emplace_back(p + "device.compactions_running", compactions_running_);
+  out->emplace_back(p + "device.compact.bytes_read",
+                    compaction_stats_.bytes_read);
+  out->emplace_back(p + "device.compact.bytes_written",
                     compaction_stats_.bytes_written);
-  out->emplace_back("device.read_cache.bytes", index_cache_.charge());
-  out->emplace_back("device.read_cache.entries", index_cache_.entries());
-  out->emplace_back("zns.free_zones", zone_manager_.free_zones());
+  out->emplace_back(p + "device.read_cache.bytes", index_cache_.charge());
+  out->emplace_back(p + "device.read_cache.entries", index_cache_.entries());
+  out->emplace_back(p + "zns.free_zones", zone_manager_.free_zones());
   // Per-role zone utilization, one pass over the live cluster table.
   struct RoleUsage {
     std::uint64_t zones = 0;
@@ -109,11 +127,12 @@ void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
   }
   for (const auto& [type, usage] : by_role) {
     const std::string role = ZoneTypeName(type);
-    out->emplace_back("zns." + role + ".zones", usage.zones);
-    out->emplace_back("zns." + role + ".bytes", usage.bytes);
+    out->emplace_back(p + "zns." + role + ".zones", usage.zones);
+    out->emplace_back(p + "zns." + role + ".bytes", usage.bytes);
   }
+  std::uint64_t delta_index_bytes_total = 0;
   for (const auto& [id, ks] : keyspace_manager_.all()) {
-    const std::string prefix = "device.ks." + ks->name + ".";
+    const std::string prefix = p + "device.ks." + ks->name + ".";
     out->emplace_back(prefix + "state",
                       static_cast<std::uint64_t>(ks->state));
     out->emplace_back(prefix + "num_kvs", ks->num_kvs);
@@ -124,7 +143,12 @@ void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
                       it == buffers_.end() ? 0 : it->second.bytes);
     out->emplace_back(prefix + "delta_entries", ks->delta_index.size());
     out->emplace_back(prefix + "delta_live", ks->delta_live);
+    out->emplace_back(prefix + "delta_index_bytes", ks->delta_index_bytes);
+    delta_index_bytes_total += ks->delta_index_bytes;
   }
+  // Aggregate DRAM footprint of every keyspace's delta index — the series
+  // the delta_fold_watermark_bytes knob bounds (DESIGN.md §12).
+  out->emplace_back(p + "device.delta.index_bytes", delta_index_bytes_total);
   // Windowed utilization by activity class (DESIGN.md §14): who is burning
   // the SoC cores, the NAND channels, the PCIe link, and the dispatch core
   // right now. Permille-of-window gauges, see ResourceMeter::AppendGauges.
@@ -133,7 +157,7 @@ void Device::CollectTelemetry(sim::TelemetrySampler::Gauges* out) const {
   ssd_.nand().meter().AppendGauges(out);
   queues_->h2d_meter().AppendGauges(out);
   queues_->d2h_meter().AppendGauges(out);
-  out->emplace_back("device.flight.trips", flight_->trips());
+  out->emplace_back(p + "device.flight.trips", flight_->trips());
 }
 
 // ---------------------------------------------------------------------------
@@ -156,14 +180,19 @@ nvme::StatsPage Device::BuildStatsPage() const {
   // records into them mid-dispatch — with them, a page could never equal a
   // same-tick host snapshot, and the acceptance test depends on exactly
   // that equality.
-  for (const auto& [name, counter] : stats().counters()) {
-    if (name.rfind("device.", 0) == 0) {
-      page.counters.emplace_back(name, counter.value());
+  // Names in the page are device-local (prefix stripped): the host decodes
+  // the same series whether the device runs alone or as shard N of a fleet.
+  const std::string dev = config_.stats_prefix + "device.";
+  const std::string stage = config_.stats_prefix + "device.stage.";
+  const std::size_t strip = config_.stats_prefix.size();
+  for (const auto& [name, counter] : stats_view_.base().counters()) {
+    if (name.rfind(dev, 0) == 0) {
+      page.counters.emplace_back(name.substr(strip), counter.value());
     }
   }
-  for (const auto& [name, hist] : stats().histograms()) {
-    if (name.rfind("device.", 0) == 0 && name.rfind("device.stage.", 0) != 0) {
-      page.histograms.emplace_back(name, hist.Summary());
+  for (const auto& [name, hist] : stats_view_.base().histograms()) {
+    if (name.rfind(dev, 0) == 0 && name.rfind(stage, 0) != 0) {
+      page.histograms.emplace_back(name.substr(strip), hist.Summary());
     }
   }
   return page;
@@ -220,8 +249,8 @@ bool Device::CrashPoint(const char* point) {
   return faults_ != nullptr && faults_->Hit(point);
 }
 
-sim::Stats& Device::stats() { return sim_->stats(); }
-const sim::Stats& Device::stats() const { return sim_->stats(); }
+sim::StatsView& Device::stats() { return stats_view_; }
+const sim::StatsView& Device::stats() const { return stats_view_; }
 
 sim::Semaphore* Device::WriteLock(std::uint64_t keyspace_id) {
   auto& lock = write_locks_[keyspace_id];
@@ -250,7 +279,8 @@ sim::Task<void> Device::MainLoop() {
         .Record(incoming.dequeue_tick - incoming.enqueue_tick);
     if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
       sim_->tracer().CompleteSpan(
-          sim_->tracer().Track("nvme.sq"), "queue_wait", incoming.enqueue_tick,
+          sim_->tracer().Track(trk_nvme_sq_), "queue_wait",
+          incoming.enqueue_tick,
           incoming.dequeue_tick,
           {{"cmd_id", std::to_string(incoming.cmd_id)},
            {"op", nvme::OpcodeName(incoming.opcode)},
@@ -275,7 +305,7 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
     // Power is gone: fail fast without touching device state. Still close
     // the command's flow so the trace has no dangling arrows.
     if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
-      const std::uint32_t track = sim_->tracer().Track("device");
+      const std::uint32_t track = sim_->tracer().Track(trk_device_);
       const Tick now = sim_->Now();
       sim_->tracer().CompleteSpan(
           track, "powered_off", now, now,
@@ -289,7 +319,7 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
   }
   const nvme::Opcode op = incoming.command.opcode;
   const Tick begin = sim_->Now();
-  sim_->stats()
+  stats()
       .histogram("device.stage.dispatch_ns")
       .Record(begin - incoming.dequeue_tick);
   ++inflight_commands_;
@@ -298,30 +328,30 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
     // Span covers the device-side processing; the completion DMA below is
     // on the nvme track. The flow arrow from the client's submit span
     // terminates here ("bp":"e" binds it to this enclosing span).
-    sim::TraceSpan span(sim_, "device", nvme::OpcodeName(op));
+    sim::TraceSpan span(sim_, trk_device_, nvme::OpcodeName(op));
     span.Arg("cmd_id", incoming.cmd_id);
     span.Arg("keyspace_id", incoming.command.keyspace_id);
     if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
-      sim_->tracer().FlowEnd(sim_->tracer().Track("device"), "cmd",
+      sim_->tracer().FlowEnd(sim_->tracer().Track(trk_device_), "cmd",
                              incoming.cmd_id, begin);
     }
     completion = co_await Dispatch(incoming.command);
   }
-  sim_->stats().histogram("device.stage.exec_ns").Record(sim_->Now() - begin);
+  stats().histogram("device.stage.exec_ns").Record(sim_->Now() - begin);
   --inflight_commands_;
-  sim_->stats()
+  stats()
       .counter(std::string("device.cmd.") + nvme::OpcodeName(op))
       .Increment();
   if (const char* cls = nvme::OpcodeLatencyClass(op)) {
-    sim_->stats()
+    stats()
         .histogram(std::string("device.cmd.") + cls + "_ns")
         .Record(sim_->Now() - begin);
   }
   if (!completion.status.ok()) {
-    sim_->stats().counter("device.cmd.errors").Increment();
+    stats().counter("device.cmd.errors").Increment();
     // Per-opcode error breakdown alongside the aggregate, so a workload
     // can tell rejected deletes from failed compactions at a glance.
-    sim_->stats()
+    stats()
         .counter(std::string("device.cmd.") + nvme::OpcodeName(op) + ".errors")
         .Increment();
   }
@@ -344,7 +374,7 @@ sim::Task<void> Device::HandleCommand(nvme::QueuePair::Incoming incoming) {
   fe.status = completion.status.code();
   flight_->Record(fe);
   if (const char* reason = flight_->BreachReason(fe)) {
-    sim_->stats().counter("device.flight.trips_total").Increment();
+    stats().counter("device.flight.trips_total").Increment();
     flight_->Dump(reason, sim_->Now());
   }
   co_await queues_->Complete(std::move(incoming), std::move(completion));
@@ -426,7 +456,7 @@ sim::Task<nvme::Completion> Device::Dispatch(nvme::Command& cmd) {
       // Record while still pinned: the name is safe to read until Unpin
       // lets a deferred drop free the keyspace.
       if (const char* cls = nvme::OpcodeLatencyClass(cmd.opcode)) {
-        sim_->stats()
+        stats()
             .histogram("device.ks." + keyspace->name + "." + cls + "_ns")
             .Record(sim_->Now() - ks_begin);
       }
@@ -464,8 +494,8 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
         ks->state = KeyspaceState::kRecompacting;
         CompactionDone(ks->id)->Reset();
         if (sim_->tracer().enabled() && cmd.cmd_id != 0) {
-          sim_->tracer().FlowBegin(sim_->tracer().Track("device"), "compact",
-                                   cmd.cmd_id, sim_->Now());
+          sim_->tracer().FlowBegin(sim_->tracer().Track(trk_device_),
+                                   "compact", cmd.cmd_id, sim_->Now());
         }
         sim_->Spawn([](Device* device, Keyspace* target,
                        std::uint64_t trigger) -> sim::Task<void> {
@@ -497,7 +527,7 @@ sim::Task<nvme::Completion> Device::DispatchKeyspaceCommand(nvme::Command& cmd,
       if (sim_->tracer().enabled() && cmd.cmd_id != 0) {
         // Second flow hop: from this command's exec span to the async
         // compaction span it spawns.
-        sim_->tracer().FlowBegin(sim_->tracer().Track("device"), "compact",
+        sim_->tracer().FlowBegin(sim_->tracer().Track(trk_device_), "compact",
                                  cmd.cmd_id, sim_->Now());
       }
       sim_->Spawn([](Device* device, Keyspace* target,
@@ -608,6 +638,14 @@ void Device::ApplyDeltaMutation(Keyspace* ks, const std::string& key,
                                 std::string value, std::uint64_t seq,
                                 bool tombstone) {
   DeltaEntry& entry = ks->delta_index[key];
+  if (entry.seq == 0) {
+    // Fresh key: charge the node, the key bytes, and the value below.
+    ks->delta_index_bytes += kDeltaEntryOverhead + key.size();
+  } else {
+    // Overwrite: node + key stay, the old inline value is released.
+    ks->delta_index_bytes -= entry.value.size();
+  }
+  ks->delta_index_bytes += value.size();
   if (entry.seq != 0 && !entry.tombstone) --ks->delta_live;
   entry.seq = seq;
   entry.tombstone = tombstone;
@@ -620,6 +658,30 @@ void Device::ApplyDeltaMutation(Keyspace* ks, const std::string& key,
   // (telling them apart needs an index lookup); re-compaction restores the
   // exact count. Recovery's delta replay computes the same value.
   ks->num_kvs = ks->run_entries + ks->delta_live;
+}
+
+// The self-triggered counterpart of kCompact-on-COMPACTED: once the delta
+// index crosses the configured watermark, fold it back into the sorted run
+// so the DRAM it occupies stays bounded no matter how long the host defers
+// an explicit re-compaction. Called after the write lock is released (the
+// fold re-acquires it); a no-op while a fold or drop is already pending.
+void Device::MaybeRequestDeltaFold(Keyspace* ks) {
+  if (config_.delta_fold_watermark_bytes == 0) return;
+  if (ks->state != KeyspaceState::kCompacted) return;
+  if (ks->pending_delete || ks->delta_index.empty()) return;
+  if (ks->delta_index_bytes < config_.delta_fold_watermark_bytes) return;
+  stats().counter("device.delta.watermark_folds").Increment();
+  sim_->log().Info("device",
+                   "delta watermark: keyspace '" + ks->name + "' index at " +
+                       std::to_string(ks->delta_index_bytes) + " B >= " +
+                       std::to_string(config_.delta_fold_watermark_bytes) +
+                       " B, folding");
+  ks->state = KeyspaceState::kRecompacting;
+  CompactionDone(ks->id)->Reset();
+  sim_->Spawn([](Device* device, Keyspace* target) -> sim::Task<void> {
+    Status s = co_await device->RecompactKeyspace(target);
+    (void)s;  // failure rolls back to COMPACTED; retried at next crossing
+  }(this, ks));
 }
 
 sim::Task<Status> Device::DoPut(Keyspace* ks, std::string key,
@@ -658,6 +720,7 @@ sim::Task<Status> Device::DoPut(Keyspace* ks, std::string key,
     s = co_await FlushBuffer(ks);
   }
   lock->Release();
+  MaybeRequestDeltaFold(ks);
   co_return s;
 }
 
@@ -697,6 +760,7 @@ sim::Task<Status> Device::DoDelete(Keyspace* ks, std::string key) {
     s = co_await FlushBuffer(ks);
   }
   lock->Release();
+  MaybeRequestDeltaFold(ks);
   co_return s;
 }
 
@@ -763,6 +827,7 @@ sim::Task<Status> Device::DoBulkPut(Keyspace* ks, const std::string& frame) {
                             sim::Activity::kHostWrite);
   }
   lock->Release();
+  MaybeRequestDeltaFold(ks);
   co_return s;
 }
 

@@ -74,6 +74,21 @@ struct DeviceConfig {
   // configured (or the fault injector cuts power with dump_on_crash set).
   FlightRecorderConfig flight;
 
+  // Stats/telemetry/trace name prefix for this device instance. Empty (the
+  // default) keeps every historical name; a fleet of devices sharing one
+  // simulation uses "shard0.", "shard1.", ... so each device's counters
+  // ("shard0.device.*"), utilization meters ("util.shard0.soc.*"), NAND/ZNS
+  // series and trace tracks stay separable. Applied transitively to the
+  // embedded ZnsConfig (zns.stats_prefix is overwritten at construction).
+  std::string stats_prefix;
+
+  // Delta-index headroom bound (DESIGN.md §12): when a COMPACTED
+  // keyspace's in-DRAM delta index exceeds this many bytes after a
+  // mutation, the device triggers an incremental re-compaction on its own
+  // (same fold the host can request with kCompact), bounding the DRAM the
+  // delta can occupy. 0 (the default) disables the watermark.
+  std::uint64_t delta_fold_watermark_bytes = 0;
+
   std::uint64_t EffectiveSortRunBytes() const {
     return sort_run_bytes != 0 ? sort_run_bytes : dram_bytes / 4;
   }
@@ -166,13 +181,15 @@ class Device {
   const DeviceConfig& config() const { return config_; }
   const IndexBlockCache& index_cache() const { return index_cache_; }
 
-  // The simulation-wide stats registry. The device records per-opcode
-  // counters ("device.cmd.<op>"), aggregate latency histograms
+  // Prefix-scoped view over the simulation-wide stats registry (the
+  // prefix is config().stats_prefix; empty for single-device sims, so
+  // names are unchanged). The device records per-opcode counters
+  // ("device.cmd.<op>"), aggregate latency histograms
   // ("device.cmd.<class>_ns") and per-keyspace latency histograms
   // ("device.ks.<keyspace>.<class>_ns") for the put/get/range/
   // secondary_range classes (nvme::OpcodeLatencyClass).
-  sim::Stats& stats();
-  const sim::Stats& stats() const;
+  sim::StatsView& stats();
+  const sim::StatsView& stats() const;
 
   std::uint64_t puts() const { return puts_; }
   std::uint64_t flushes() const { return flushes_; }
@@ -261,6 +278,11 @@ class Device {
   void ApplyDeltaMutation(Keyspace* ks, const std::string& key,
                           std::string value, std::uint64_t seq,
                           bool tombstone);
+  // Delta-index headroom bound: after a delta mutation, spawns an
+  // incremental re-compaction when delta_index_bytes has crossed
+  // config_.delta_fold_watermark_bytes (and the keyspace is idle in
+  // kCompacted). Counts "device.delta.watermark_folds" per trigger.
+  void MaybeRequestDeltaFold(Keyspace* ks);
 
   // --- compaction (compactor.cc) ---
   // Sorts the keyspace; when `fused_specs` is non-empty, also builds those
@@ -440,8 +462,22 @@ class Device {
   // re-compaction commit waits on it (recompact.cc).
   sim::Event* ReadersIdle(std::uint64_t keyspace_id);
 
+  // Applies config.stats_prefix transitively (zns.stats_prefix) before
+  // the members below are constructed from config_.
+  static DeviceConfig Prefixed(DeviceConfig config);
+
   sim::Simulation* sim_;
   DeviceConfig config_;
+  // Prefix-scoped stats recording for everything device-side; transparent
+  // pass-through when config_.stats_prefix is empty.
+  sim::StatsView stats_view_;
+  // Trace track names, carrying config_.stats_prefix so per-device spans
+  // stay separable ("shard0.device", "shard0.compaction", ...).
+  std::string trk_device_;
+  std::string trk_nvme_sq_;
+  std::string trk_compaction_;
+  std::string trk_query_;
+  std::string trk_recovery_;
   nvme::QueueSet* queues_;
   storage::ZnsSsd ssd_;
   ZoneManager zone_manager_;

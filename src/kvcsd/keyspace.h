@@ -58,6 +58,12 @@ struct SecondaryIndex {
 // While the device stays up the value rides inline (written by the PUT
 // before its flush lands); after a replay only the VLOG pointer survives
 // and readers gather the value from flash.
+// Fixed DRAM cost charged per delta-index entry (map node + DeltaEntry
+// fields) when maintaining Keyspace::delta_index_bytes, on top of the key
+// and inline value bytes. An estimate — the gauge bounds headroom, it does
+// not bill exact allocator bytes.
+inline constexpr std::uint64_t kDeltaEntryOverhead = 48;
+
 struct DeltaEntry {
   std::uint64_t seq = 0;
   std::uint64_t vaddr = 0;
@@ -112,6 +118,12 @@ struct Keyspace {
   // non-tombstone entries is tracked in delta_live.
   std::map<std::string, DeltaEntry> delta_index;
   std::uint64_t delta_live = 0;
+  // Approximate DRAM footprint of delta_index (key + inline value bytes
+  // plus a fixed per-entry overhead), maintained by every mutation and
+  // recomputed by delta replay. Exported as the "device.delta.index_bytes"
+  // gauge and compared against DeviceConfig::delta_fold_watermark_bytes to
+  // trigger watermark folds. Not persisted.
+  std::uint64_t delta_index_bytes = 0;
 
   // Deletion requested while compaction/index build was running (paper:
   // "deletion may be deferred due to on-going compaction"). Persisted in

@@ -230,7 +230,7 @@ sim::Task<Result<std::string>> Device::QueryPoint(Keyspace* ks,
                                                   const std::string& key) {
   KVCSD_CO_RETURN_IF_ERROR(co_await AwaitQueryable(ks));
   ReaderGuard reader(ks, ReadersIdle(ks->id));
-  sim::TraceSpan span(sim_, "query", "point_lookup");
+  sim::TraceSpan span(sim_, trk_query_, "point_lookup");
   // The delta index is authoritative for every key it holds — strictly
   // newer than anything in the run.
   if (auto it = ks->delta_index.find(key); it != ks->delta_index.end()) {

@@ -108,13 +108,13 @@ sim::Task<Result<std::string>> Device::LoadDeltaValue(const DeltaEntry& entry,
 // its delta untouched, so the mutations stay pending rather than lost.
 sim::Task<Status> Device::RecompactKeyspace(Keyspace* ks,
                                             std::uint64_t trigger_cmd_id) {
-  sim::TraceSpan span(sim_, "compaction", "recompact");
+  sim::TraceSpan span(sim_, trk_compaction_, "recompact");
   span.Arg("keyspace", ks->name);
   span.Arg("delta_keys", static_cast<std::uint64_t>(ks->delta_index.size()));
   if (trigger_cmd_id != 0) {
     span.Arg("trigger_cmd_id", trigger_cmd_id);
     if (sim_->tracer().enabled()) {
-      sim_->tracer().FlowEnd(sim_->tracer().Track("compaction"), "compact",
+      sim_->tracer().FlowEnd(sim_->tracer().Track(trk_compaction_), "compact",
                              trigger_cmd_id, sim_->Now());
     }
   }
@@ -679,6 +679,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
   const std::uint64_t old_run_entries = ks->run_entries;
   std::map<std::string, DeltaEntry> old_delta = std::move(ks->delta_index);
   const std::uint64_t old_delta_live = ks->delta_live;
+  const std::uint64_t old_delta_index_bytes = ks->delta_index_bytes;
   std::map<std::string, std::pair<std::vector<ClusterId>,
                                   std::vector<SketchEntry>>> old_sidx;
   for (auto& [name, sidx] : ks->secondary_indexes) {
@@ -705,6 +706,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
   ks->num_kvs = ks->run_entries;
   ks->delta_index.clear();
   ks->delta_live = 0;
+  ks->delta_index_bytes = 0;
   for (auto& [name, sidx] : ks->secondary_indexes) {
     SidxFold& fold = sidx_folds[name];
     sidx.sidx_clusters = sidx_parts[name].first;
@@ -728,6 +730,7 @@ sim::Task<Status> Device::RunRecompaction(Keyspace* ks,
     ks->run_entries = old_run_entries;
     ks->delta_index = std::move(old_delta);
     ks->delta_live = old_delta_live;
+    ks->delta_index_bytes = old_delta_index_bytes;
     ks->sorted_value_clusters.resize(old_value_count);
     for (auto& [name, sidx] : ks->secondary_indexes) {
       sidx.sidx_clusters = std::move(old_sidx[name].first);

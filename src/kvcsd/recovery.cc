@@ -69,7 +69,7 @@ void AppendAll(std::vector<ClusterId>* out,
 }  // namespace
 
 sim::Task<Status> Device::Recover() {
-  sim::TraceSpan span(sim_, "recovery", "recover");
+  sim::TraceSpan span(sim_, trk_recovery_, "recover");
   sim::Log& log = sim_->log();
   log.Info("recovery", "start (crash point '" +
                            (faults_ != nullptr ? faults_->crash_point()
@@ -223,7 +223,7 @@ sim::Task<Status> Device::Recover() {
 }
 
 sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
-  sim::TraceSpan span(sim_, "recovery", "replay_klog");
+  sim::TraceSpan span(sim_, trk_recovery_, "replay_klog");
   span.Arg("keyspace", ks->name);
   ks->num_kvs = 0;
   ks->min_key.clear();
@@ -276,10 +276,11 @@ sim::Task<Status> Device::ReplayKlogChains(Keyspace* ks) {
 }
 
 sim::Task<Status> Device::ReplayDeltaChains(Keyspace* ks) {
-  sim::TraceSpan span(sim_, "recovery", "replay_delta");
+  sim::TraceSpan span(sim_, trk_recovery_, "replay_delta");
   span.Arg("keyspace", ks->name);
   ks->delta_index.clear();
   ks->delta_live = 0;
+  ks->delta_index_bytes = 0;
   std::uint64_t max_seq = 0;
   std::vector<KlogEntry> parsed;
   for (ClusterId cluster : ks->klog_clusters) {
@@ -321,6 +322,12 @@ sim::Task<Status> Device::ReplayDeltaChains(Keyspace* ks) {
   }
   ks->next_seq = max_seq + 1;
   ks->num_kvs = ks->run_entries + ks->delta_live;
+  // Rebuild the DRAM-footprint gauge to match the replayed index. No
+  // inline values survive a power cut (only VLOG pointers), so the
+  // footprint is node overhead + key bytes per entry.
+  for (const auto& kv : ks->delta_index) {
+    ks->delta_index_bytes += kDeltaEntryOverhead + kv.first.size();
+  }
   ks->klog_bytes = 0;
   for (ClusterId cluster : ks->klog_clusters) {
     ks->klog_bytes += zone_manager_.ClusterBytes(cluster);

@@ -130,7 +130,7 @@ sim::Task<Status> Device::QueryPushdown(Keyspace* ks,
   }
   KVCSD_CO_RETURN_IF_ERROR(ValidatePredicate(cmd.pred));
 
-  sim::TraceSpan span(sim_, "query", aggregate ? "aggregate" : "select");
+  sim::TraceSpan span(sim_, trk_query_, aggregate ? "aggregate" : "select");
 
   // The predicate can match anywhere in the scan range, so row collection
   // runs unbounded (limit = 0); cmd.limit cuts *matches* below. Both scan

@@ -27,6 +27,10 @@ QueuePair::QueuePair(sim::Simulation* sim, QueueSet* set, std::uint32_t id,
       device_to_host_(d2h),
       config_depth_cap_(depth_cap),
       submissions_(sim) {
+  if (!set->config_.name_prefix.empty()) {
+    trk_nvme_ = set->config_.name_prefix + trk_nvme_;
+    trk_nvme_cq_ = set->config_.name_prefix + trk_nvme_cq_;
+  }
   if (depth_cap > 0) {
     depth_slots_ = std::make_unique<sim::Semaphore>(sim, depth_cap);
   }
@@ -60,7 +64,7 @@ sim::Task<Completion> QueuePair::Submit(Command command) {
   if (command.submit_tick == 0) command.submit_tick = begin;
   // Spans the whole host-visible round trip: submission DMA, device
   // service time, completion DMA.
-  sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
+  sim::TraceSpan span(sim_, trk_nvme_, OpcodeName(command.opcode));
   const std::uint64_t wire = CommandWireSize(command);
   if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
   span.Arg("wire_bytes", wire);
@@ -83,7 +87,7 @@ sim::Task<std::shared_ptr<ReplyState>> QueuePair::SubmitAsync(Command command,
   if (command.submit_tick == 0) command.submit_tick = begin;
   // Async spans cover the submission DMA only; the client-side reactor
   // records the full round trip when it reaps the completion.
-  sim::TraceSpan span(sim_, "nvme", OpcodeName(command.opcode));
+  sim::TraceSpan span(sim_, trk_nvme_, OpcodeName(command.opcode));
   const std::uint64_t wire = CommandWireSize(command);
   if (command.cmd_id != 0) span.Arg("cmd_id", command.cmd_id);
   span.Arg("wire_bytes", wire);
@@ -119,7 +123,7 @@ sim::Task<std::vector<std::shared_ptr<ReplyState>>> QueuePair::SubmitBatch(
       wire += CommandWireSize(commands[i]);
     }
     submitted_ += chunk;
-    sim::TraceSpan span(sim_, "nvme", "batch_submit");
+    sim::TraceSpan span(sim_, trk_nvme_, "batch_submit");
     span.Arg("count", static_cast<std::uint64_t>(chunk));
     span.Arg("wire_bytes", wire);
     // One doorbell for the whole chunk: a single link operation pays
@@ -152,7 +156,7 @@ sim::Task<void> QueuePair::Complete(Incoming incoming, Completion completion) {
   sim_->stats().histogram("client.stage.complete_ns").Record(end - begin);
   if (sim_->tracer().enabled() && incoming.cmd_id != 0) {
     sim_->tracer().CompleteSpan(
-        sim_->tracer().Track("nvme.cq"), "complete", begin, end,
+        sim_->tracer().Track(trk_nvme_cq_), "complete", begin, end,
         {{"cmd_id", std::to_string(incoming.cmd_id)},
          {"op", OpcodeName(incoming.opcode)},
          {"q", std::to_string(incoming.queue_id)}});
@@ -170,12 +174,13 @@ sim::Task<void> QueuePair::Complete(Incoming incoming, Completion completion) {
 QueueSet::QueueSet(sim::Simulation* sim, const QueueSetConfig& config)
     : sim_(sim),
       config_(config),
-      host_to_device_(sim, "pcie.h2d", config.pcie.bytes_per_sec,
-                      config.pcie.request_latency),
-      device_to_host_(sim, "pcie.d2h", config.pcie.bytes_per_sec,
+      host_to_device_(sim, config.name_prefix + "pcie.h2d",
+                      config.pcie.bytes_per_sec, config.pcie.request_latency),
+      device_to_host_(sim, config.name_prefix + "pcie.d2h",
+                      config.pcie.bytes_per_sec,
                       config.pcie.completion_latency),
-      h2d_meter_(sim, "pcie.h2d", 1.0),
-      d2h_meter_(sim, "pcie.d2h", 1.0),
+      h2d_meter_(sim, config.name_prefix + "pcie.h2d", 1.0),
+      d2h_meter_(sim, config.name_prefix + "pcie.d2h", 1.0),
       work_(sim, 0) {
   host_to_device_.set_meter(&h2d_meter_);
   device_to_host_.set_meter(&d2h_meter_);

@@ -54,6 +54,11 @@ enum class Arbitration : std::uint8_t {
 
 struct QueueSetConfig {
   PcieConfig pcie;
+  // Prefixes the PCIe bandwidth/meter names ("pcie.h2d", "pcie.d2h") and
+  // the set's trace tracks ("nvme", "nvme.cq"). Multi-device simulations
+  // give each set a shard prefix ("shard0.") so link utilization and
+  // completion spans attribute per device; empty keeps legacy names.
+  std::string name_prefix;
   std::uint32_t num_queues = 1;
   // Max commands submitted-and-uncompleted per pair; 0 = unbounded.
   // Submitters block (before the submission DMA) until a slot frees.
@@ -167,6 +172,10 @@ class QueuePair {
   sim::Simulation* sim_;
   QueueSet* set_ = nullptr;  // null for standalone pairs
   std::uint32_t id_ = 0;
+  // Trace track names ("nvme", "nvme.cq"), carrying the owning set's
+  // name_prefix so per-device spans stay separable in multi-device sims.
+  std::string trk_nvme_ = "nvme";
+  std::string trk_nvme_cq_ = "nvme.cq";
   // Standalone pairs own their link; set members borrow the set's.
   std::unique_ptr<sim::BandwidthResource> owned_h2d_;
   std::unique_ptr<sim::BandwidthResource> owned_d2h_;

@@ -1,0 +1,78 @@
+// Key→shard placement policies for the host-side shard router.
+//
+// A Partitioner maps every primary key to exactly one shard, making the
+// logical keyspace the disjoint union of the per-shard keyspaces. The
+// mapping must be deterministic and stateless: the router consults it on
+// every routed command, and a power-cycled device must route identically
+// after recovery — there is no placement table to persist or rebuild.
+// Determinism is also what makes scatter-gather merges exact: because no
+// key lives on two shards, merging per-shard sorted streams reproduces
+// the single-device scan order without deduplication.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/crc32c.h"
+
+namespace kvcsd::router {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  Partitioner() = default;
+  Partitioner(const Partitioner&) = delete;
+  Partitioner& operator=(const Partitioner&) = delete;
+
+  // Shard index in [0, num_shards) that owns `key`. Must be a pure
+  // function of (key, num_shards).
+  virtual std::uint32_t ShardOf(std::string_view key,
+                                std::uint32_t num_shards) const = 0;
+  virtual std::string_view name() const = 0;
+};
+
+// CRC32C(key) mod N. Spreads uniform and skewed key populations evenly;
+// the tradeoff is that a primary range scan touches every shard (the
+// router's scatter-gather merge handles that).
+class HashPartitioner final : public Partitioner {
+ public:
+  std::uint32_t ShardOf(std::string_view key,
+                        std::uint32_t num_shards) const override {
+    if (num_shards <= 1) return 0;
+    return crc32c::Value(key.data(), key.size()) % num_shards;
+  }
+  std::string_view name() const override { return "hash"; }
+};
+
+// Explicit split points: shard 0 owns keys < splits[0], shard i owns
+// [splits[i-1], splits[i]), the last shard owns the tail. With k split
+// points the natural shard count is k+1; fewer shards clamp to the last
+// one so the mapping stays total.
+class RangePartitioner final : public Partitioner {
+ public:
+  explicit RangePartitioner(std::vector<std::string> splits)
+      : splits_(std::move(splits)) {
+    std::sort(splits_.begin(), splits_.end());
+  }
+
+  std::uint32_t ShardOf(std::string_view key,
+                        std::uint32_t num_shards) const override {
+    if (num_shards == 0) return 0;
+    const auto it =
+        std::upper_bound(splits_.begin(), splits_.end(), key,
+                         [](std::string_view k, const std::string& split) {
+                           return k < std::string_view(split);
+                         });
+    const auto shard = static_cast<std::uint32_t>(it - splits_.begin());
+    return std::min(shard, num_shards - 1);
+  }
+  std::string_view name() const override { return "range"; }
+
+ private:
+  std::vector<std::string> splits_;
+};
+
+}  // namespace kvcsd::router

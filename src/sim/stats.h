@@ -126,4 +126,38 @@ class Stats {
   std::map<std::string, Histogram> histograms_;
 };
 
+// Prefix-scoped view over a shared Stats registry: every name passed
+// through the view is recorded under `prefix + name` in the base
+// registry. With an empty prefix the view is a transparent pass-through,
+// so single-instance components keep their historical metric names; a
+// fleet of instances sharing one simulation gives each its own prefix
+// ("shard0.", "shard1.", ...) and their series stay separable while
+// living in the one registry every reporter already reads.
+class StatsView {
+ public:
+  StatsView(Stats* base, std::string prefix)
+      : base_(base), prefix_(std::move(prefix)) {}
+
+  Counter& counter(const std::string& name) {
+    return base_->counter(prefix_.empty() ? name : prefix_ + name);
+  }
+  Histogram& histogram(const std::string& name) {
+    return base_->histogram(prefix_.empty() ? name : prefix_ + name);
+  }
+  std::uint64_t counter_value(const std::string& name) const {
+    return base_->counter_value(prefix_.empty() ? name : prefix_ + name);
+  }
+  bool has_counter(const std::string& name) const {
+    return base_->has_counter(prefix_.empty() ? name : prefix_ + name);
+  }
+
+  const std::string& prefix() const { return prefix_; }
+  Stats& base() { return *base_; }
+  const Stats& base() const { return *base_; }
+
+ private:
+  Stats* base_;
+  std::string prefix_;
+};
+
 }  // namespace kvcsd::sim

@@ -10,7 +10,8 @@
 namespace kvcsd::storage {
 
 ZnsSsd::ZnsSsd(sim::Simulation* sim, const ZnsConfig& config)
-    : sim_(sim), config_(config), nand_(sim, config.nand, "zns"),
+    : sim_(sim), config_(config),
+      nand_(sim, config.nand, config.stats_prefix + "zns"),
       zones_(config.num_zones), zone_tags_(config.num_zones, kNoTag) {
   if (config_.faults != nullptr) {
     // Power cut tears the in-flight append; the hook list is cleared by
@@ -32,7 +33,8 @@ std::uint16_t ZnsSsd::InternTag(std::string_view tag) {
   }
   TagCounters set;
   set.name = std::string(tag);
-  const std::string prefix = "zns." + set.name + ".";
+  const std::string prefix =
+      config_.stats_prefix + "zns." + set.name + ".";
   sim::Stats& stats = sim_->stats();
   set.append_bytes = &stats.counter(prefix + "append_bytes");
   set.appends = &stats.counter(prefix + "appends");

@@ -45,6 +45,11 @@ struct ZnsConfig {
   NandConfig nand;
   std::uint64_t zone_size = MiB(64);
   std::uint32_t num_zones = 1024;
+  // Stats/meter name prefix: prefixes the "zns" NAND utilization meter
+  // and the per-tag "zns.<tag>.*" I/O counters. Empty (the default) keeps
+  // the historical names; multi-device simulations give each SSD its own
+  // prefix ("shard0.", ...) so the series stay separable.
+  std::string stats_prefix;
   // Optional fault injector consulted on every I/O; not owned, must
   // outlive the ZnsSsd. nullptr = no fault injection.
   sim::FaultInjector* faults = nullptr;

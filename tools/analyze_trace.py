@@ -10,6 +10,12 @@ Consumes the ``--trace=`` Chrome trace_event JSON emitted by the benches
   * a per-submission-queue queue-wait breakdown (the ``queue_wait``
     span carries the SQ id in ``args.q``), exposing arbitration skew
     between queues in multi-SQ runs,
+  * for sharded (multi-device) traces, where every device-side track is
+    prefixed ``shard<i>.``: a per-shard command breakdown (routing skew,
+    per-shard queue-wait/exec) and a scatter-gather attribution table
+    built from the router track's ``scan``/``secondary_scan``/``select``/
+    ``aggregate`` spans (fan-out, merged rows, slowest shard, and how
+    much of the gather was merge overhead vs waiting on that shard),
   * a pushdown attribution table: per scan source (primary vs secondary
     index), bytes the device scanned vs bytes it returned to the host,
     and the resulting reduction factor (``select``/``aggregate`` spans
@@ -50,8 +56,9 @@ reported in nanoseconds.
 
 import json
 import math
+import re
 import sys
-from collections import defaultdict
+from collections import Counter, defaultdict
 
 USAGE = (
     "usage: analyze_trace.py TRACE.json [TELEMETRY.json] "
@@ -94,6 +101,20 @@ def fmt_ns(ns):
     if ns >= 1e3:
         return "%.3fus" % (ns / 1e3)
     return "%dns" % int(ns)
+
+
+# Sharded testbeds prefix every per-device track ("shard3.nvme.sq",
+# "shard3.device", "shard3.query", ...); the router's own spans live on
+# an unprefixed "router" track.
+SHARD_TRACK_RE = re.compile(r"^shard(\d+)\.(.*)$")
+
+
+def split_track(track):
+    """'shard3.nvme.sq' -> (3, 'nvme.sq'); unsharded -> (None, track)."""
+    m = SHARD_TRACK_RE.match(track)
+    if m:
+        return int(m.group(1)), m.group(2)
+    return None, track
 
 
 def track_map(events):
@@ -145,9 +166,11 @@ def collect_commands(events, tracks):
         cmd_id = args.get("cmd_id")
         if cmd_id is None:
             continue
-        track = tracks.get(e.get("tid"), "")
+        shard, track = split_track(tracks.get(e.get("tid"), ""))
         dur_ns = float(e.get("dur", 0)) * 1000.0
         c = cmds[cmd_id]
+        if shard is not None:
+            c["shard"] = shard
         if track == "client":
             c["opcode"] = e.get("name", "?")
             c["total"] = dur_ns
@@ -155,7 +178,8 @@ def collect_commands(events, tracks):
         elif track == "nvme.sq" and e.get("name") == "queue_wait":
             c["queue_wait"] = dur_ns
             if "q" in args:
-                c["queue_id"] = str(args["q"])
+                c["queue_id"] = str(args["q"]) if shard is None \
+                    else "shard%d.sq%s" % (shard, args["q"])
         elif track == "device":
             c["exec"] = dur_ns
             c.setdefault("opcode", e.get("name", "?"))
@@ -198,7 +222,7 @@ def print_query_breakdown(events, tracks):
     for e in events:
         if e.get("ph") != "X" or e.get("name") != "point_lookup":
             continue
-        if tracks.get(e.get("tid"), "") != "query":
+        if split_track(tracks.get(e.get("tid"), ""))[1] != "query":
             continue
         src = e.get("args", {}).get("src", "?")
         by_src[src].append(float(e.get("dur", 0)) * 1000.0)
@@ -246,7 +270,7 @@ def print_pushdown_breakdown(events, tracks):
         if e.get("ph") != "X" or e.get("name") not in ("select",
                                                        "aggregate"):
             continue
-        if tracks.get(e.get("tid"), "") != "query":
+        if split_track(tracks.get(e.get("tid"), ""))[1] != "query":
             continue
         args = e.get("args", {})
         g = groups[(e["name"], args.get("src", "?"))]
@@ -288,18 +312,106 @@ def print_queue_breakdown(cmds):
         return
     grand_total = sum(sum(vals) for vals in by_q.values())
     print()
-    hdr = "%-8s %8s  %21s %12s %12s %7s" % (
+    hdr = "%-14s %8s  %21s %12s %12s %7s" % (
         "queue", "count", "queue_wait p50/p99", "max", "total", "share")
     print(hdr)
     print("-" * len(hdr))
     for qid in sorted(by_q, key=lambda q: (len(q), q)):
         vals = sorted(by_q[qid])
         total = sum(vals)
-        print("%-8s %8d  %10s/%-10s %12s %12s %6.1f%%" % (
-            "sq%s" % qid, len(vals),
+        print("%-14s %8d  %10s/%-10s %12s %12s %6.1f%%" % (
+            qid if "." in qid else "sq%s" % qid, len(vals),
             fmt_ns(percentile(vals, 50)), fmt_ns(percentile(vals, 99)),
             fmt_ns(vals[-1]), fmt_ns(total),
             100.0 * total / grand_total if grand_total else 0.0))
+
+
+def print_shard_breakdown(cmds):
+    """Per-shard command split for sharded (multi-device) traces.
+
+    Joins each command's device-side spans to the shard that executed
+    them, exposing routing skew (share) and any per-shard latency outlier
+    (one shard compacting while the others serve shows up as an exec/p99
+    spike on that row alone). Silent for single-device traces.
+    """
+    by_shard = defaultdict(list)
+    for c in cmds.values():
+        if "shard" in c:
+            by_shard[c["shard"]].append(c)
+    if not by_shard:
+        return
+    total_count = sum(len(v) for v in by_shard.values())
+    print()
+    print("per-shard breakdown:")
+    hdr = "%-8s %8s  %21s %21s %21s %7s" % (
+        "shard", "count", "queue_wait p50/p99", "exec p50/p99",
+        "total p50/p99", "share")
+    print(hdr)
+    print("-" * len(hdr))
+    for shard in sorted(by_shard):
+        group = by_shard[shard]
+        cols = ["%-8s %8d" % ("shard%d" % shard, len(group))]
+        for stage in ("queue_wait", "exec", "total"):
+            vals = sorted(c[stage] for c in group if stage in c)
+            cols.append("%10s/%-10s" % (fmt_ns(percentile(vals, 50)),
+                                        fmt_ns(percentile(vals, 99))))
+        cols.append("%6.1f%%" % (100.0 * len(group) / total_count))
+        print("  ".join(cols))
+
+
+def print_scatter_breakdown(events, tracks):
+    """Scatter-gather attribution from the ``router`` track.
+
+    Every routed fan-out query (scan / secondary_scan / select /
+    aggregate) emits one span whose args carry the fan-out width, merged
+    row count, and the slowest shard's identity and elapsed time. The
+    gather cannot finish before its slowest shard, so ``dur -
+    slowest_ns`` is the router's own merge/fold overhead — the column to
+    watch when scaling out stops paying.
+    """
+    by_kind = defaultdict(list)
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        if tracks.get(e.get("tid"), "") != "router":
+            continue
+        args = e.get("args", {})
+        if "fanout" not in args:
+            continue
+        by_kind[e.get("name", "?")].append({
+            "dur": float(e.get("dur", 0)) * 1000.0,
+            "fanout": int(args.get("fanout", 0)),
+            "rows": int(args.get("rows", 0)),
+            "slowest_shard": int(args.get("slowest_shard", 0)),
+            "slowest_ns": float(args.get("slowest_ns", 0)),
+        })
+    if not by_kind:
+        return
+    print()
+    print("scatter-gather attribution (router track):")
+    hdr = "%-16s %6s %7s %10s  %21s %21s %10s  %-14s" % (
+        "query", "count", "fanout", "rows", "gather p50/p99",
+        "slowest-shard p50/p99", "merge ovh", "slowest shard")
+    print(hdr)
+    print("-" * len(hdr))
+    for kind in sorted(by_kind):
+        group = by_kind[kind]
+        durs = sorted(g["dur"] for g in group)
+        slowest = sorted(g["slowest_ns"] for g in group)
+        # Merge overhead: the part of the gather not explained by waiting
+        # on the slowest shard, averaged across queries of this kind.
+        ovh = [1.0 - g["slowest_ns"] / g["dur"]
+               for g in group if g["dur"] > 0]
+        mode_shard, mode_n = Counter(
+            g["slowest_shard"] for g in group).most_common(1)[0]
+        print("%-16s %6d %7s %10d  %10s/%-10s %10s/%-10s %9.1f%%  %-14s" % (
+            kind, len(group),
+            "/".join(str(f) for f in sorted({g["fanout"] for g in group})),
+            sum(g["rows"] for g in group),
+            fmt_ns(percentile(durs, 50)), fmt_ns(percentile(durs, 99)),
+            fmt_ns(percentile(slowest, 50)), fmt_ns(percentile(slowest, 99)),
+            100.0 * sum(ovh) / len(ovh) if ovh else 0.0,
+            "shard%d (%d/%d)" % (mode_shard, mode_n, len(group))))
 
 
 def print_slowest(cmds, top_n):
@@ -510,6 +622,8 @@ def main(argv):
     print_query_breakdown(events, tracks)
     print_pushdown_breakdown(events, tracks)
     print_queue_breakdown(cmds)
+    print_shard_breakdown(cmds)
+    print_scatter_breakdown(events, tracks)
     print_slowest(cmds, top_n)
     bottleneck = None
     if telemetry_path:

@@ -30,7 +30,11 @@ Every bench --json report found in the directory (trace/telemetry/health
 sidecar files are skipped automatically) is rewritten over the baseline
 named after its "bench" field.  Baselines with no matching report are
 left untouched and listed, so a partial bench run cannot silently erase
-coverage.
+coverage.  A report whose schema_version differs from the existing
+baseline's is refused: that means the report format changed underneath a
+stale results directory (or vice versa), and overwriting would replace a
+meaningful baseline with an incomparable one — delete the baseline
+explicitly if the schema change is intentional.
 """
 
 import argparse
@@ -97,9 +101,19 @@ def update_baselines(results_dir, baselines_dir):
         if name.endswith(".json")
     } if os.path.isdir(baselines_dir) else set()
     os.makedirs(baselines_dir, exist_ok=True)
+    refused = []
     for bench, (entry, report) in sorted(reports.items()):
         dest = os.path.join(baselines_dir, f"{bench}.json")
         verb = "updated" if bench in existing else "created"
+        if bench in existing:
+            old_schema = load(dest).get("schema_version")
+            new_schema = report.get("schema_version")
+            if old_schema != new_schema:
+                print(f"  REFUSED {dest}: schema_version {old_schema} != "
+                      f"report {entry} schema_version {new_schema} "
+                      f"(stale results? delete the baseline to force)")
+                refused.append(bench)
+                continue
         with open(dest, "w", encoding="utf-8") as f:
             json.dump(report, f, separators=(",", ":"))
             f.write("\n")
@@ -109,6 +123,10 @@ def update_baselines(results_dir, baselines_dir):
     for bench in stale:
         print(f"  WARNING: baseline {bench}.json has no report in "
               f"{results_dir}; left as-is")
+    if refused:
+        print(f"FAIL: {len(refused)} baseline(s) refused on "
+              f"schema_version mismatch: {', '.join(refused)}")
+        return 1
     print(f"PASS: {len(reports)} baseline(s) written to {baselines_dir}"
           + (f", {len(stale)} not refreshed" if stale else ""))
     return 0
